@@ -1,0 +1,59 @@
+"""Ablation: solving the full chain vs its lumped quotient.
+
+Ordinary lumping preserves every ENABLED-based measure exactly (tested in
+tests/test_lumping.py); this bench quantifies what it buys on the largest
+chain in the repository — the streaming Markovian model — in states and
+solve time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aemilia import generate_lts
+from repro.casestudies.streaming import family
+from repro.core import IncrementalMethodology
+from repro.ctmc import (
+    build_ctmc,
+    evaluate_measures,
+    lump,
+    steady_state,
+)
+
+
+@pytest.fixture(scope="module")
+def streaming_setup():
+    methodology = IncrementalMethodology(family())
+    lts = methodology.build_lts(
+        "markovian", "dpm", {"awake_period": 100.0}
+    )
+    ctmc = build_ctmc(lts)
+    return methodology, ctmc
+
+
+def test_full_chain_solve(benchmark, streaming_setup):
+    _, ctmc = streaming_setup
+    pi = benchmark.pedantic(
+        lambda: steady_state(ctmc), rounds=1, iterations=1
+    )
+    assert pi.sum() == pytest.approx(1.0)
+
+
+def test_lump_then_solve(benchmark, streaming_setup):
+    methodology, ctmc = streaming_setup
+
+    def run():
+        quotient, block_of = lump(ctmc)
+        return quotient, steady_state(quotient)
+
+    quotient, pi_quotient = benchmark.pedantic(run, rounds=1, iterations=1)
+    reduction = ctmc.num_states / quotient.num_states
+    print(
+        f"\n  lumping: {ctmc.num_states} -> {quotient.num_states} states "
+        f"({reduction:.2f}x)"
+    )
+    # Measures agree exactly between full and lumped chains.
+    measures = methodology.family.measures
+    full = evaluate_measures(ctmc, steady_state(ctmc), measures)
+    reduced = evaluate_measures(quotient, pi_quotient, measures)
+    for name in full:
+        assert reduced[name] == pytest.approx(full[name], rel=1e-8, abs=1e-12)

@@ -1,0 +1,51 @@
+"""Ablation: steady-state solver choice (DESIGN.md decision #4).
+
+Compares the direct sparse solve, Gauss-Seidel and uniformised power
+iteration on the streaming Markovian chain (the largest CTMC in the
+repository) for both speed and agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.casestudies.streaming import family
+from repro.core import IncrementalMethodology
+from repro.ctmc import build_ctmc, steady_state
+
+
+@pytest.fixture(scope="module")
+def streaming_ctmc():
+    methodology = IncrementalMethodology(family())
+    lts = methodology.build_lts("markovian", "dpm", {"awake_period": 100.0})
+    return build_ctmc(lts)
+
+
+@pytest.mark.parametrize("method", ["direct", "power"])
+def test_solver(benchmark, streaming_ctmc, method):
+    pi = benchmark.pedantic(
+        lambda: steady_state(streaming_ctmc, method=method, tolerance=1e-10),
+        rounds=1,
+        iterations=1,
+    )
+    reference = steady_state(streaming_ctmc, method="direct")
+    assert np.abs(pi - reference).max() < 1e-6
+    assert pi.sum() == pytest.approx(1.0)
+
+
+def test_gauss_seidel_on_reduced_chain(benchmark):
+    """Gauss-Seidel in pure Python is slow; benchmark it on the reduced
+    (small-buffer) chain where it still finishes quickly."""
+    methodology = IncrementalMethodology(family())
+    lts = methodology.build_lts(
+        "markovian",
+        "dpm",
+        {"awake_period": 100.0, "ap_capacity": 2, "b_capacity": 2},
+    )
+    ctmc = build_ctmc(lts)
+    pi = benchmark.pedantic(
+        lambda: steady_state(ctmc, method="gauss_seidel", tolerance=1e-12),
+        rounds=1,
+        iterations=1,
+    )
+    reference = steady_state(ctmc, method="direct")
+    assert np.abs(pi - reference).max() < 1e-8

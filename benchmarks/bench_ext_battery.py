@@ -1,0 +1,35 @@
+"""Extension bench: battery lifetime by first-passage analysis.
+
+Not a paper figure — the repository's extension of the paper's
+steady-state energy rates into the quantity they stand for (expected
+battery lifetime), exercising the absorption-time machinery on the
+battery-extended rpc model.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import battery_lifetime, sensitivity
+
+
+def test_ext_battery(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: battery_lifetime(timeouts=(1.0, 5.0, 15.0), capacity=20),
+    )
+    print()
+    print(result.report())
+    # DPM extends the lifetime; the shorter the timeout, the longer.
+    assert result.extension_factor(1.0) > result.extension_factor(5.0)
+    assert result.extension_factor(5.0) > result.extension_factor(15.0)
+    assert result.extension_factor(15.0) > 1.0
+
+
+def test_ext_sensitivity(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: sensitivity("proc_time", values=(3.0, 9.7, 40.0)),
+    )
+    print()
+    print(result.report())
+    savings = [result.savings[v] for v in result.values]
+    assert savings == sorted(savings)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table/figure of the paper (see
+DESIGN.md's per-experiment index), prints the regenerated rows/series, and
+asserts the qualitative shape the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rpc_methodology():
+    from repro.casestudies.rpc import family
+    from repro.core import IncrementalMethodology
+
+    return IncrementalMethodology(family())
+
+
+@pytest.fixture(scope="session")
+def streaming_methodology():
+    from repro.casestudies.streaming import family
+    from repro.core import IncrementalMethodology
+
+    return IncrementalMethodology(family())
+
+
+def run_once(benchmark, fn):
+    """Execute *fn* exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

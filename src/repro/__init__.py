@@ -1,0 +1,38 @@
+"""repro — reproduction of "Assessing the Impact of Dynamic Power Management
+on the Functionality and the Performance of Battery-Powered Appliances"
+(DSN 2004).
+
+The library provides, from scratch:
+
+* :mod:`repro.aemilia` — a stochastic process-algebraic architectural
+  description language with the paper's concrete syntax;
+* :mod:`repro.lts` — labelled transition systems, weak bisimulation
+  equivalence checking and distinguishing-formula generation;
+* :mod:`repro.ctmc` — CTMC construction (vanishing-state elimination),
+  steady-state/transient solvers and the reward-based MEASURE language;
+* :mod:`repro.sim` — a discrete-event (GSMP) simulator for generally
+  timed models with replication/confidence-interval output analysis;
+* :mod:`repro.core` — the paper's three-phase incremental methodology
+  (noninterference → Markovian analysis → validated general simulation);
+* :mod:`repro.casestudies` — the rpc and streaming case studies;
+* :mod:`repro.experiments` — regeneration of every figure of the paper.
+"""
+
+from .core import (
+    IncrementalMethodology,
+    ModelFamily,
+    check_noninterference,
+    cross_validate,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IncrementalMethodology",
+    "ModelFamily",
+    "check_noninterference",
+    "cross_validate",
+    "ReproError",
+    "__version__",
+]

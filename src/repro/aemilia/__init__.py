@@ -1,0 +1,89 @@
+"""The architectural description language (Æmilia-like front-end).
+
+Public surface:
+
+* :func:`parse_architecture` — parse the paper's concrete syntax;
+* :mod:`repro.aemilia.builder` — programmatic constructors;
+* :func:`generate_lts` / :class:`StateSpaceGenerator` — state-space
+  semantics;
+* the AST / rate / expression node classes for advanced manipulation.
+"""
+
+from .architecture import ArchiType, Attachment, ConstParam, Instance
+from .ast import (
+    ActionPrefix,
+    Behavior,
+    Choice,
+    Formal,
+    Guarded,
+    ProcessCall,
+    ProcessDef,
+    Stop,
+)
+from .elemtypes import Direction, ElemType, Interaction, Multiplicity
+from .expressions import (
+    BinaryOp,
+    DataType,
+    Expr,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+    Variable,
+)
+from .parser import parse_architecture
+from .pretty import print_architecture
+from .static_analysis import analyze as lint_architecture
+from .rates import (
+    ExpRate,
+    ExpSpec,
+    GeneralRate,
+    GeneralSpec,
+    ImmediateRate,
+    ImmediateSpec,
+    PassiveRate,
+    PassiveSpec,
+    Rate,
+    RateSpec,
+)
+from .semantics import StateSpaceGenerator, generate_lts
+
+__all__ = [
+    "ArchiType",
+    "Attachment",
+    "ConstParam",
+    "Instance",
+    "ActionPrefix",
+    "Behavior",
+    "Choice",
+    "Formal",
+    "Guarded",
+    "ProcessCall",
+    "ProcessDef",
+    "Stop",
+    "Direction",
+    "ElemType",
+    "Interaction",
+    "Multiplicity",
+    "BinaryOp",
+    "DataType",
+    "Expr",
+    "FunctionCall",
+    "Literal",
+    "UnaryOp",
+    "Variable",
+    "parse_architecture",
+    "print_architecture",
+    "lint_architecture",
+    "ExpRate",
+    "ExpSpec",
+    "GeneralRate",
+    "GeneralSpec",
+    "ImmediateRate",
+    "ImmediateSpec",
+    "PassiveRate",
+    "PassiveSpec",
+    "Rate",
+    "RateSpec",
+    "StateSpaceGenerator",
+    "generate_lts",
+]

@@ -1,0 +1,233 @@
+"""Abstract syntax of behaviour terms.
+
+A behaviour describes the sequential process executed by one architectural
+element instance.  The grammar mirrors the paper's concrete syntax::
+
+    behaviour ::= stop
+                | <action, rate> . behaviour
+                | choice { alternative, ... }
+                | cond(expr) -> behaviour
+                | ProcessName(expr, ...)
+
+Choice alternatives must be *action guarded*: after peeling guards, every
+alternative must begin with an action prefix (this is the usual process
+algebra restriction that makes choice well defined and recursion
+well-founded).
+
+All nodes are immutable and hashable; a pair (behaviour term, data
+environment) identifies the local state of an instance during state-space
+generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import SpecificationError, TypeCheckError
+from .expressions import DataType, Expr
+from .rates import RateSpec
+
+
+class Behavior:
+    """Base class of behaviour terms."""
+
+    def free_variables(self) -> frozenset:
+        """Variable names occurring free in the term."""
+        raise NotImplementedError
+
+    def called_processes(self) -> frozenset:
+        """Names of processes referenced anywhere in the term."""
+        raise NotImplementedError
+
+    def unguarded_calls(self) -> frozenset:
+        """Process names reachable without crossing an action prefix.
+
+        Used to detect unguarded recursion statically: if ``P`` can reach a
+        call to ``P`` through terms whose :meth:`unguarded_calls` contain
+        ``P``, the specification is rejected.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Stop(Behavior):
+    """The inert behaviour: no actions, ever."""
+
+    def free_variables(self) -> frozenset:
+        return frozenset()
+
+    def called_processes(self) -> frozenset:
+        return frozenset()
+
+    def unguarded_calls(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "stop"
+
+
+@dataclass(frozen=True)
+class ActionPrefix(Behavior):
+    """``<action, rate> . continuation``."""
+
+    action: str
+    rate: RateSpec
+    continuation: Behavior
+
+    def __post_init__(self):
+        if not self.action or not self.action.isidentifier():
+            raise SpecificationError(
+                f"invalid action name {self.action!r}"
+            )
+
+    def free_variables(self) -> frozenset:
+        return self.rate.free_variables() | self.continuation.free_variables()
+
+    def called_processes(self) -> frozenset:
+        return self.continuation.called_processes()
+
+    def unguarded_calls(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"<{self.action}, {self.rate}> . {self.continuation}"
+
+
+@dataclass(frozen=True)
+class Choice(Behavior):
+    """``choice { alt_1, ..., alt_n }`` with action-guarded alternatives."""
+
+    alternatives: Tuple[Behavior, ...]
+
+    def __post_init__(self):
+        if len(self.alternatives) < 2:
+            raise SpecificationError(
+                "choice needs at least two alternatives"
+            )
+        for alt in self.alternatives:
+            _check_action_guarded(alt)
+
+    def free_variables(self) -> frozenset:
+        result: frozenset = frozenset()
+        for alt in self.alternatives:
+            result |= alt.free_variables()
+        return result
+
+    def called_processes(self) -> frozenset:
+        result: frozenset = frozenset()
+        for alt in self.alternatives:
+            result |= alt.called_processes()
+        return result
+
+    def unguarded_calls(self) -> frozenset:
+        result: frozenset = frozenset()
+        for alt in self.alternatives:
+            result |= alt.unguarded_calls()
+        return result
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.alternatives)
+        return f"choice {{ {body} }}"
+
+
+@dataclass(frozen=True)
+class Guarded(Behavior):
+    """``cond(expr) -> behaviour``: enabled only when the guard holds."""
+
+    condition: Expr
+    behavior: Behavior
+
+    def free_variables(self) -> frozenset:
+        return self.condition.free_variables() | self.behavior.free_variables()
+
+    def called_processes(self) -> frozenset:
+        return self.behavior.called_processes()
+
+    def unguarded_calls(self) -> frozenset:
+        return self.behavior.unguarded_calls()
+
+    def __str__(self) -> str:
+        return f"cond({self.condition}) -> {self.behavior}"
+
+
+@dataclass(frozen=True)
+class ProcessCall(Behavior):
+    """Invocation of a behaviour equation, possibly with data arguments."""
+
+    name: str
+    args: Tuple[Expr, ...] = ()
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise SpecificationError(f"invalid process name {self.name!r}")
+
+    def free_variables(self) -> frozenset:
+        result: frozenset = frozenset()
+        for arg in self.args:
+            result |= arg.free_variables()
+        return result
+
+    def called_processes(self) -> frozenset:
+        return frozenset({self.name})
+
+    def unguarded_calls(self) -> frozenset:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+def _check_action_guarded(term: Behavior) -> None:
+    """Reject choice alternatives that do not start with an action prefix.
+
+    Guards may wrap the prefix; nested choices are also accepted since their
+    own alternatives are checked recursively on construction.
+    """
+    while isinstance(term, Guarded):
+        term = term.behavior
+    if not isinstance(term, (ActionPrefix, Choice)):
+        raise SpecificationError(
+            f"choice alternative must be action guarded, got {term}"
+        )
+
+
+@dataclass(frozen=True)
+class Formal:
+    """A typed formal data parameter of a behaviour equation."""
+
+    name: str
+    type: DataType
+    default: Expr = None
+
+    def __post_init__(self):
+        if not self.name.isidentifier():
+            raise SpecificationError(f"invalid parameter name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class ProcessDef:
+    """A behaviour equation ``Name(formals; void) = body``."""
+
+    name: str
+    formals: Tuple[Formal, ...]
+    body: Behavior
+
+    def __post_init__(self):
+        if not self.name.isidentifier():
+            raise SpecificationError(f"invalid process name {self.name!r}")
+        names = [formal.name for formal in self.formals]
+        if len(names) != len(set(names)):
+            raise SpecificationError(
+                f"duplicate parameter name in process {self.name!r}"
+            )
+
+    def check_closed(self, constants: frozenset) -> None:
+        """Verify the body only uses formals and architectural constants."""
+        bound = frozenset(f.name for f in self.formals) | constants
+        extra = self.body.free_variables() - bound
+        if extra:
+            names = ", ".join(sorted(extra))
+            raise TypeCheckError(
+                f"unbound variable(s) {names} in process {self.name!r}"
+            )

@@ -1,0 +1,197 @@
+"""Programmatic construction helpers for architectural descriptions.
+
+The textual parser is the primary front-end (it accepts the paper's
+listings verbatim), but tests, examples and generated models are often more
+convenient to build in Python.  This module provides small, composable
+constructors::
+
+    from repro.aemilia import builder as b
+
+    server = b.elem_type(
+        "Server_Type",
+        [
+            b.process(
+                "Idle_Server",
+                b.choice(
+                    b.prefix("serve", b.exp(2.0), b.call("Idle_Server")),
+                    b.prefix("shutdown", b.passive(), b.call("Asleep")),
+                ),
+            ),
+            b.process("Asleep", b.prefix("wake", b.exp(0.5), b.call("Idle_Server"))),
+        ],
+        inputs=["shutdown"],
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .architecture import ArchiType, Attachment, ConstParam, Instance
+from .ast import (
+    ActionPrefix,
+    Behavior,
+    Choice,
+    Formal,
+    Guarded,
+    ProcessCall,
+    ProcessDef,
+    Stop,
+)
+from .elemtypes import Direction, ElemType, Interaction, Multiplicity
+from .expressions import DataType, Expr, Literal, Value
+from .rates import (
+    ExpSpec,
+    GeneralSpec,
+    ImmediateSpec,
+    PassiveSpec,
+    RateSpec,
+)
+
+ExprLike = Union[Expr, Value]
+
+
+def _expr(value: ExprLike) -> Expr:
+    return value if isinstance(value, Expr) else Literal(value)
+
+
+# -- rates -------------------------------------------------------------------
+
+def passive(priority: ExprLike = 0, weight: ExprLike = 1.0) -> PassiveSpec:
+    """Passive rate ``_`` (optionally with priority and weight)."""
+    return PassiveSpec(_expr(priority), _expr(weight))
+
+
+def exp(rate: ExprLike) -> ExpSpec:
+    """Exponential rate ``exp(rate)``."""
+    return ExpSpec(_expr(rate))
+
+
+def imm(priority: ExprLike = 1, weight: ExprLike = 1.0) -> ImmediateSpec:
+    """Immediate rate ``inf(priority, weight)``."""
+    return ImmediateSpec(_expr(priority), _expr(weight))
+
+
+def gen(keyword: str, *args: ExprLike) -> GeneralSpec:
+    """General-distribution rate, e.g. ``gen('normal', 0.8, 0.03)``."""
+    return GeneralSpec(keyword, tuple(_expr(a) for a in args))
+
+
+def det(value: ExprLike) -> GeneralSpec:
+    """Deterministic rate ``det(value)``."""
+    return gen("det", value)
+
+
+# -- behaviours ----------------------------------------------------------------
+
+def stop() -> Stop:
+    """The inert behaviour."""
+    return Stop()
+
+
+def prefix(action: str, rate: RateSpec, continuation: Behavior) -> ActionPrefix:
+    """Action prefix ``<action, rate> . continuation``."""
+    return ActionPrefix(action, rate, continuation)
+
+
+def choice(*alternatives: Behavior) -> Choice:
+    """Alternative composition ``choice { ... }``."""
+    return Choice(tuple(alternatives))
+
+
+def cond(condition: Expr, behavior: Behavior) -> Guarded:
+    """Guarded behaviour ``cond(condition) -> behavior``."""
+    return Guarded(condition, behavior)
+
+
+def call(name: str, *args: ExprLike) -> ProcessCall:
+    """Process call ``Name(args...)``."""
+    return ProcessCall(name, tuple(_expr(a) for a in args))
+
+
+def formal(
+    name: str, type_: DataType = DataType.INT, default: Optional[ExprLike] = None
+) -> Formal:
+    """Typed formal parameter with optional default."""
+    return Formal(
+        name, type_, _expr(default) if default is not None else None
+    )
+
+
+def process(
+    name: str, body: Behavior, formals: Sequence[Formal] = ()
+) -> ProcessDef:
+    """Behaviour equation ``Name(formals; void) = body``."""
+    return ProcessDef(name, tuple(formals), body)
+
+
+# -- element types / architectures ---------------------------------------------
+
+def elem_type(
+    name: str,
+    definitions: Sequence[ProcessDef],
+    inputs: Iterable[str] = (),
+    outputs: Iterable[str] = (),
+    or_outputs: Iterable[str] = (),
+    and_outputs: Iterable[str] = (),
+) -> ElemType:
+    """Element type with UNI inputs/outputs (plus OR/AND outputs)."""
+    interactions: List[Interaction] = []
+    for interaction_name in inputs:
+        interactions.append(Interaction(interaction_name, Direction.INPUT))
+    for interaction_name in outputs:
+        interactions.append(Interaction(interaction_name, Direction.OUTPUT))
+    for interaction_name in or_outputs:
+        interactions.append(
+            Interaction(interaction_name, Direction.OUTPUT, Multiplicity.OR)
+        )
+    for interaction_name in and_outputs:
+        interactions.append(
+            Interaction(interaction_name, Direction.OUTPUT, Multiplicity.AND)
+        )
+    return ElemType(name, tuple(definitions), tuple(interactions))
+
+
+def instance(name: str, type_name: str, *args: ExprLike) -> Instance:
+    """Instance declaration ``name : Type(args...)``."""
+    return Instance(name, type_name, tuple(_expr(a) for a in args))
+
+
+def attach(from_end: str, to_end: str) -> Attachment:
+    """Attachment ``FROM a.x TO b.y`` written as ``attach("a.x", "b.y")``."""
+    from_instance, from_interaction = from_end.split(".", 1)
+    to_instance, to_interaction = to_end.split(".", 1)
+    return Attachment(
+        from_instance, from_interaction, to_instance, to_interaction
+    )
+
+
+def const(
+    name: str, default: ExprLike, type_: Optional[DataType] = None
+) -> ConstParam:
+    """Architectural const parameter (type inferred from default if omitted)."""
+    if type_ is None:
+        if isinstance(default, bool):
+            type_ = DataType.BOOL
+        elif isinstance(default, int):
+            type_ = DataType.INT
+        else:
+            type_ = DataType.REAL
+    return ConstParam(name, type_, _expr(default))
+
+
+def archi(
+    name: str,
+    elem_types: Sequence[ElemType],
+    instances: Sequence[Instance],
+    attachments: Sequence[Attachment] = (),
+    const_params: Sequence[ConstParam] = (),
+) -> ArchiType:
+    """Assemble and statically check a complete architecture."""
+    return ArchiType(
+        name,
+        tuple(elem_types),
+        tuple(instances),
+        tuple(attachments),
+        tuple(const_params),
+    )

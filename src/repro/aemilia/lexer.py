@@ -1,0 +1,219 @@
+"""Tokenizer for the architectural description language.
+
+The concrete syntax follows the paper's listings::
+
+    ARCHI_TYPE RPC_DPM_Untimed(void)
+    ARCHI_ELEM_TYPES
+      ELEM_TYPE Server_Type(void)
+        BEHAVIOR
+          Idle_Server(void; void) = choice { <receive_rpc_packet, _> . ... }
+        INPUT_INTERACTIONS UNI receive_rpc_packet; receive_shutdown
+        OUTPUT_INTERACTIONS UNI send_result_packet
+    ARCHI_TOPOLOGY
+      ARCHI_ELEM_INSTANCES S : Server_Type(); ...
+      ARCHI_ATTACHMENTS FROM C.send_rpc_packet TO RCS.get_packet; ...
+    END
+
+Comments: ``//`` to end of line and ``/* ... */`` blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import LexerError
+
+#: Token kinds with fixed text are identified by that text; the variable
+#: ones use these kind names.
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+EOF = "EOF"
+
+#: Multi-character symbols, longest first so maximal munch works.
+_SYMBOLS = [
+    ":=",
+    "->",
+    "<=",
+    ">=",
+    "!=",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    ";",
+    ".",
+    ":",
+    "_",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "#",
+]
+
+#: Reserved words (case sensitive).  Section keywords are upper case,
+#: language keywords lower case; they are returned as their own token kind.
+KEYWORDS = {
+    "ARCHI_TYPE",
+    "ARCHI_ELEM_TYPES",
+    "ELEM_TYPE",
+    "BEHAVIOR",
+    "INPUT_INTERACTIONS",
+    "OUTPUT_INTERACTIONS",
+    "ARCHI_TOPOLOGY",
+    "ARCHI_ELEM_INSTANCES",
+    "ARCHI_ATTACHMENTS",
+    "FROM",
+    "TO",
+    "END",
+    "UNI",
+    "OR",
+    "AND",
+    "const",
+    "void",
+    "choice",
+    "cond",
+    "stop",
+    "true",
+    "false",
+    "bool",
+    "int",
+    "real",
+    "and",
+    "or",
+    "not",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r}) at {self.line}:{self.column}"
+
+
+class Lexer:
+    """Single-pass tokenizer."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.position < len(self.source):
+                if self.source[self.position] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.position += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _skip_trivia(self) -> None:
+        while self.position < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.position < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.position >= len(self.source):
+                        raise LexerError(
+                            "unterminated block comment", start_line, start_col
+                        )
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.position
+        while self._peek().isdigit():
+            self._advance()
+        is_real = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_real = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_real = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start:self.position]
+        del is_real  # kept in text; the parser decides int vs real
+        return Token(NUMBER, text, line, column)
+
+    def _lex_word(self) -> Token:
+        line, column = self.line, self.column
+        start = self.position
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.position]
+        kind = text if text in KEYWORDS else IDENT
+        return Token(kind, text, line, column)
+
+    def tokens(self) -> List[Token]:
+        """Tokenize the whole source, ending with an EOF token."""
+        result: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.position >= len(self.source):
+                result.append(Token(EOF, "", self.line, self.column))
+                return result
+            char = self._peek()
+            if char.isdigit():
+                result.append(self._lex_number())
+                continue
+            if char.isalpha():
+                result.append(self._lex_word())
+                continue
+            if char == "_" and (self._peek(1).isalnum() or self._peek(1) == "_"):
+                # Identifiers may not start with '_' in this language; a
+                # lone '_' is the passive rate.  Reject to catch typos.
+                raise self._error("identifiers cannot start with '_'")
+            for symbol in _SYMBOLS:
+                if self.source.startswith(symbol, self.position):
+                    token = Token(symbol, symbol, self.line, self.column)
+                    self._advance(len(symbol))
+                    result.append(token)
+                    break
+            else:
+                raise self._error(f"unexpected character {char!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source* (convenience wrapper)."""
+    return Lexer(source).tokens()

@@ -1,0 +1,426 @@
+"""Recursive-descent parser for the architectural description language.
+
+:func:`parse_architecture` turns a textual specification (the syntax used in
+the paper's listings) into an :class:`~repro.aemilia.architecture.ArchiType`,
+running all static checks on the way.  Experiments typically load one
+specification and instantiate it many times with different ``const``
+overrides (DPM operation rates).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from .architecture import ArchiType, Attachment, ConstParam, Instance
+from .ast import (
+    ActionPrefix,
+    Behavior,
+    Choice,
+    Formal,
+    Guarded,
+    ProcessCall,
+    ProcessDef,
+    Stop,
+)
+from .elemtypes import Direction, ElemType, Interaction, Multiplicity
+from .expressions import (
+    BinaryOp,
+    DataType,
+    Expr,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+    Variable,
+)
+from .lexer import EOF, IDENT, NUMBER, Token, tokenize
+from .rates import (
+    ExpSpec,
+    GeneralSpec,
+    ImmediateSpec,
+    PassiveSpec,
+    RateSpec,
+)
+from ..distributions import DISTRIBUTION_KEYWORDS
+
+_MULTIPLICITY_TOKENS = ("UNI", "OR", "AND")
+_TYPE_TOKENS = {"bool": DataType.BOOL, "int": DataType.INT, "real": DataType.REAL}
+_COMPARISON_OPS = ("<", "<=", ">", ">=", "=", "!=")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != EOF:
+            self.position += 1
+        return token
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, context: str = "") -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            suffix = f" while parsing {context}" if context else ""
+            raise ParseError(
+                f"expected {kind!r}, found {token.kind!r} "
+                f"({token.text!r}){suffix}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        expr = self._parse_and()
+        while self.accept("or"):
+            expr = BinaryOp("or", expr, self._parse_and())
+        return expr
+
+    def _parse_and(self) -> Expr:
+        expr = self._parse_not()
+        while self.accept("and"):
+            expr = BinaryOp("and", expr, self._parse_not())
+        return expr
+
+    def _parse_not(self) -> Expr:
+        if self.accept("not"):
+            return UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        expr = self._parse_additive()
+        if self.peek().kind in _COMPARISON_OPS:
+            op = self.advance().kind
+            expr = BinaryOp(op, expr, self._parse_additive())
+        return expr
+
+    def _parse_additive(self) -> Expr:
+        expr = self._parse_multiplicative()
+        while self.peek().kind in ("+", "-"):
+            op = self.advance().kind
+            expr = BinaryOp(op, expr, self._parse_multiplicative())
+        return expr
+
+    def _parse_multiplicative(self) -> Expr:
+        expr = self._parse_unary()
+        while self.peek().kind in ("*", "/", "%"):
+            op = self.advance().kind
+            expr = BinaryOp(op, expr, self._parse_unary())
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        if self.accept("-"):
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == NUMBER:
+            self.advance()
+            if any(c in token.text for c in ".eE"):
+                return Literal(float(token.text))
+            return Literal(int(token.text))
+        if token.kind == "true":
+            self.advance()
+            return Literal(True)
+        if token.kind == "false":
+            self.advance()
+            return Literal(False)
+        if token.kind == IDENT:
+            self.advance()
+            if self.peek().kind == "(":
+                self.advance()
+                args = self._parse_expression_list(")")
+                self.expect(")", "function call")
+                return FunctionCall(token.text, tuple(args))
+            return Variable(token.text)
+        if token.kind == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect(")", "parenthesised expression")
+            return expr
+        raise self.error(
+            f"expected an expression, found {token.kind!r} ({token.text!r})"
+        )
+
+    def _parse_expression_list(self, closing: str) -> List[Expr]:
+        args: List[Expr] = []
+        if self.peek().kind == closing:
+            return args
+        args.append(self.parse_expression())
+        while self.accept(","):
+            args.append(self.parse_expression())
+        return args
+
+    # -- rates ---------------------------------------------------------------
+
+    def parse_rate(self) -> RateSpec:
+        token = self.peek()
+        if token.kind == "_":
+            self.advance()
+            if self.accept("("):
+                priority = self.parse_expression()
+                self.expect(",", "passive rate")
+                weight = self.parse_expression()
+                self.expect(")", "passive rate")
+                return PassiveSpec(priority, weight)
+            return PassiveSpec()
+        if token.kind == IDENT and token.text == "exp":
+            self.advance()
+            self.expect("(", "exponential rate")
+            rate = self.parse_expression()
+            self.expect(")", "exponential rate")
+            return ExpSpec(rate)
+        if token.kind == IDENT and token.text == "inf":
+            self.advance()
+            if self.accept("("):
+                priority = self.parse_expression()
+                self.expect(",", "immediate rate")
+                weight = self.parse_expression()
+                self.expect(")", "immediate rate")
+                return ImmediateSpec(priority, weight)
+            return ImmediateSpec()
+        if token.kind == IDENT and token.text in DISTRIBUTION_KEYWORDS:
+            self.advance()
+            self.expect("(", f"{token.text} rate")
+            args = self._parse_expression_list(")")
+            self.expect(")", f"{token.text} rate")
+            return GeneralSpec(token.text, tuple(args))
+        raise self.error(
+            f"expected a rate (_, exp, inf or a distribution), found "
+            f"{token.kind!r} ({token.text!r})"
+        )
+
+    # -- behaviours ------------------------------------------------------------
+
+    def parse_behavior(self) -> Behavior:
+        token = self.peek()
+        if token.kind == "stop":
+            self.advance()
+            return Stop()
+        if token.kind == "<":
+            self.advance()
+            action = self.expect(IDENT, "action prefix").text
+            self.expect(",", "action prefix")
+            rate = self.parse_rate()
+            self.expect(">", "action prefix")
+            self.expect(".", "action prefix")
+            continuation = self.parse_behavior()
+            return ActionPrefix(action, rate, continuation)
+        if token.kind == "choice":
+            self.advance()
+            self.expect("{", "choice")
+            alternatives = [self.parse_behavior()]
+            while self.accept(","):
+                alternatives.append(self.parse_behavior())
+            self.expect("}", "choice")
+            return Choice(tuple(alternatives))
+        if token.kind == "cond":
+            self.advance()
+            self.expect("(", "cond guard")
+            condition = self.parse_expression()
+            self.expect(")", "cond guard")
+            self.expect("->", "cond guard")
+            return Guarded(condition, self.parse_behavior())
+        if token.kind == IDENT:
+            name = self.advance().text
+            self.expect("(", "process call")
+            args = self._parse_expression_list(")")
+            self.expect(")", "process call")
+            return ProcessCall(name, tuple(args))
+        raise self.error(
+            f"expected a behaviour, found {token.kind!r} ({token.text!r})"
+        )
+
+    # -- process definitions -----------------------------------------------------
+
+    def parse_formals(self) -> Tuple[Formal, ...]:
+        """Parse ``(void; void)`` or ``(int n := 0, ...; void)``."""
+        self.expect("(", "behaviour header")
+        formals: List[Formal] = []
+        if not self.accept("void"):
+            while True:
+                type_token = self.peek()
+                if type_token.kind not in _TYPE_TOKENS:
+                    raise self.error(
+                        f"expected a parameter type (bool/int/real), found "
+                        f"{type_token.kind!r}"
+                    )
+                self.advance()
+                name = self.expect(IDENT, "behaviour parameter").text
+                default: Optional[Expr] = None
+                if self.accept(":="):
+                    default = self.parse_expression()
+                formals.append(
+                    Formal(name, _TYPE_TOKENS[type_token.kind], default)
+                )
+                if not self.accept(","):
+                    break
+        self.expect(";", "behaviour header")
+        self.expect("void", "behaviour header")
+        self.expect(")", "behaviour header")
+        return tuple(formals)
+
+    def parse_process_def(self) -> ProcessDef:
+        name = self.expect(IDENT, "behaviour equation").text
+        formals = self.parse_formals()
+        self.expect("=", "behaviour equation")
+        body = self.parse_behavior()
+        return ProcessDef(name, formals, body)
+
+    # -- element types ---------------------------------------------------------
+
+    def parse_interaction_group(
+        self, direction: Direction
+    ) -> List[Interaction]:
+        """Parse ``void`` or ``UNI a; b; OR c`` style declarations."""
+        if self.accept("void"):
+            return []
+        interactions: List[Interaction] = []
+        while self.peek().kind in _MULTIPLICITY_TOKENS:
+            multiplicity = Multiplicity(self.advance().kind)
+            while True:
+                name = self.expect(IDENT, "interaction declaration").text
+                interactions.append(
+                    Interaction(name, direction, multiplicity)
+                )
+                if self.peek().kind == ";":
+                    following = self.peek(1).kind
+                    if following == IDENT:
+                        self.advance()
+                        continue
+                    if following in _MULTIPLICITY_TOKENS:
+                        self.advance()
+                        break
+                    self.advance()  # trailing semicolon
+                    break
+                break
+        return interactions
+
+    def parse_elem_type(self) -> ElemType:
+        self.expect("ELEM_TYPE")
+        name = self.expect(IDENT, "element type").text
+        self.expect("(", "element type header")
+        self.expect("void", "element type header")
+        self.expect(")", "element type header")
+        self.expect("BEHAVIOR", "element type")
+        definitions = [self.parse_process_def()]
+        while self.accept(";"):
+            if self.peek().kind != IDENT:
+                break
+            definitions.append(self.parse_process_def())
+        self.expect("INPUT_INTERACTIONS", "element type")
+        inputs = self.parse_interaction_group(Direction.INPUT)
+        self.expect("OUTPUT_INTERACTIONS", "element type")
+        outputs = self.parse_interaction_group(Direction.OUTPUT)
+        return ElemType(name, tuple(definitions), tuple(inputs + outputs))
+
+    # -- topology ----------------------------------------------------------------
+
+    def parse_instance(self) -> Instance:
+        name = self.expect(IDENT, "instance declaration").text
+        self.expect(":", "instance declaration")
+        type_name = self.expect(IDENT, "instance declaration").text
+        self.expect("(", "instance declaration")
+        args = self._parse_expression_list(")")
+        self.expect(")", "instance declaration")
+        return Instance(name, type_name, tuple(args))
+
+    def parse_attachment(self) -> Attachment:
+        self.expect("FROM", "attachment")
+        from_instance = self.expect(IDENT, "attachment").text
+        self.expect(".", "attachment")
+        from_interaction = self.expect(IDENT, "attachment").text
+        self.expect("TO", "attachment")
+        to_instance = self.expect(IDENT, "attachment").text
+        self.expect(".", "attachment")
+        to_interaction = self.expect(IDENT, "attachment").text
+        return Attachment(
+            from_instance, from_interaction, to_instance, to_interaction
+        )
+
+    def parse_const_params(self) -> Tuple[ConstParam, ...]:
+        """Parse the ARCHI_TYPE header parameter list."""
+        self.expect("(", "architecture header")
+        params: List[ConstParam] = []
+        if not self.accept("void"):
+            while True:
+                self.expect("const", "const parameter")
+                type_token = self.peek()
+                if type_token.kind not in _TYPE_TOKENS:
+                    raise self.error(
+                        f"expected a const type (bool/int/real), found "
+                        f"{type_token.kind!r}"
+                    )
+                self.advance()
+                name = self.expect(IDENT, "const parameter").text
+                self.expect(":=", "const parameter")
+                default = self.parse_expression()
+                params.append(
+                    ConstParam(name, _TYPE_TOKENS[type_token.kind], default)
+                )
+                if not self.accept(","):
+                    break
+        self.expect(")", "architecture header")
+        return tuple(params)
+
+    # -- top level ------------------------------------------------------------------
+
+    def parse_archi_type(self) -> ArchiType:
+        self.expect("ARCHI_TYPE", "architecture")
+        name = self.expect(IDENT, "architecture").text
+        const_params = self.parse_const_params()
+        self.expect("ARCHI_ELEM_TYPES", "architecture")
+        elem_types = [self.parse_elem_type()]
+        while self.peek().kind == "ELEM_TYPE":
+            elem_types.append(self.parse_elem_type())
+        self.expect("ARCHI_TOPOLOGY", "architecture")
+        self.expect("ARCHI_ELEM_INSTANCES", "architecture")
+        instances = [self.parse_instance()]
+        while self.accept(";"):
+            if self.peek().kind != IDENT:
+                break
+            instances.append(self.parse_instance())
+        attachments: List[Attachment] = []
+        if self.accept("ARCHI_ATTACHMENTS"):
+            attachments.append(self.parse_attachment())
+            while self.accept(";"):
+                if self.peek().kind != "FROM":
+                    break
+                attachments.append(self.parse_attachment())
+        self.expect("END", "architecture")
+        self.expect(EOF, "architecture")
+        return ArchiType(
+            name,
+            tuple(elem_types),
+            tuple(instances),
+            tuple(attachments),
+            const_params,
+        )
+
+
+def parse_architecture(source: str) -> ArchiType:
+    """Parse a textual architectural description into an :class:`ArchiType`."""
+    parser = _Parser(tokenize(source))
+    return parser.parse_archi_type()

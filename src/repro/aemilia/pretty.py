@@ -1,0 +1,189 @@
+"""Pretty-printer: emit the concrete textual syntax of an architecture.
+
+The printer is the inverse of :mod:`repro.aemilia.parser`:
+``parse_architecture(pretty(archi))`` yields an architecture with the same
+semantics (asserted by round-trip tests on every case-study model).  It is
+useful for exporting programmatically built models, for diffing model
+variants, and as a debugging aid.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .architecture import ArchiType
+from .ast import (
+    ActionPrefix,
+    Behavior,
+    Choice,
+    Guarded,
+    ProcessCall,
+    Stop,
+)
+from .elemtypes import Direction, ElemType, Interaction
+from .expressions import (
+    BinaryOp,
+    Expr,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+    Variable,
+)
+from .rates import (
+    ExpSpec,
+    GeneralSpec,
+    ImmediateSpec,
+    PassiveSpec,
+    RateSpec,
+)
+
+
+def print_expression(expr: Expr) -> str:
+    """Render an expression in parseable concrete syntax."""
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        return repr(expr.value)
+    if isinstance(expr, Variable):
+        return expr.name
+    if isinstance(expr, BinaryOp):
+        left = print_expression(expr.left)
+        right = print_expression(expr.right)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            return f"not ({print_expression(expr.operand)})"
+        return f"(-{print_expression(expr.operand)})"
+    if isinstance(expr, FunctionCall):
+        args = ", ".join(print_expression(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def print_rate(rate: RateSpec) -> str:
+    """Render a rate specification in parseable concrete syntax."""
+    if isinstance(rate, PassiveSpec):
+        priority = print_expression(rate.priority)
+        weight = print_expression(rate.weight)
+        if priority == "0" and weight in ("1.0", "1"):
+            return "_"
+        return f"_({priority}, {weight})"
+    if isinstance(rate, ExpSpec):
+        return f"exp({print_expression(rate.rate)})"
+    if isinstance(rate, ImmediateSpec):
+        priority = print_expression(rate.priority)
+        weight = print_expression(rate.weight)
+        return f"inf({priority}, {weight})"
+    if isinstance(rate, GeneralSpec):
+        args = ", ".join(print_expression(a) for a in rate.args)
+        return f"{rate.keyword}({args})"
+    raise TypeError(f"cannot print rate {rate!r}")
+
+
+def print_behavior(term: Behavior, indent: int = 6) -> str:
+    """Render a behaviour term, with choices split over lines."""
+    pad = " " * indent
+    if isinstance(term, Stop):
+        return "stop"
+    if isinstance(term, ActionPrefix):
+        head = f"<{term.action}, {print_rate(term.rate)}>"
+        continuation = print_behavior(term.continuation, indent)
+        return f"{head} . {continuation}"
+    if isinstance(term, Choice):
+        inner_pad = " " * (indent + 2)
+        alternatives = (",\n" + inner_pad).join(
+            print_behavior(alt, indent + 2) for alt in term.alternatives
+        )
+        return f"choice {{\n{inner_pad}{alternatives}\n{pad}}}"
+    if isinstance(term, Guarded):
+        condition = print_expression(term.condition)
+        return f"cond({condition}) -> {print_behavior(term.behavior, indent)}"
+    if isinstance(term, ProcessCall):
+        args = ", ".join(print_expression(a) for a in term.args)
+        return f"{term.name}({args})"
+    raise TypeError(f"cannot print behaviour {term!r}")
+
+
+def print_formals(formals: tuple) -> str:
+    """Render a behaviour header's formal parameter list."""
+    if not formals:
+        return "(void; void)"
+    parts: List[str] = []
+    for formal in formals:
+        text = f"{formal.type.value} {formal.name}"
+        if formal.default is not None:
+            text += f" := {print_expression(formal.default)}"
+        parts.append(text)
+    return f"({', '.join(parts)}; void)"
+
+
+def _print_interactions(
+    interactions: List[Interaction],
+) -> str:
+    if not interactions:
+        return "void"
+    groups: List[str] = []
+    current_multiplicity = None
+    for interaction in interactions:
+        if interaction.multiplicity is not current_multiplicity:
+            groups.append(
+                f"{interaction.multiplicity.value} {interaction.name}"
+            )
+            current_multiplicity = interaction.multiplicity
+        else:
+            groups[-1] += f"; {interaction.name}"
+    return "; ".join(groups)
+
+
+def print_elem_type(elem_type: ElemType) -> str:
+    """Render one ELEM_TYPE block."""
+    lines = [f"ELEM_TYPE {elem_type.name}(void)", "  BEHAVIOR"]
+    bodies = []
+    for definition in elem_type.definitions:
+        header = f"    {definition.name}{print_formals(definition.formals)} ="
+        body = print_behavior(definition.body, indent=6)
+        bodies.append(f"{header}\n      {body}")
+    lines.append(";\n".join(bodies))
+    inputs = [
+        i for i in elem_type.interactions if i.direction is Direction.INPUT
+    ]
+    outputs = [
+        i for i in elem_type.interactions if i.direction is Direction.OUTPUT
+    ]
+    lines.append(f"  INPUT_INTERACTIONS {_print_interactions(inputs)}")
+    lines.append(f"  OUTPUT_INTERACTIONS {_print_interactions(outputs)}")
+    return "\n".join(lines)
+
+
+def print_architecture(archi: ArchiType) -> str:
+    """Render a complete, re-parseable architectural description."""
+    if archi.const_params:
+        params = ",\n    ".join(
+            f"const {p.type.value} {p.name} := "
+            f"{print_expression(p.default)}"
+            for p in archi.const_params
+        )
+        header = f"ARCHI_TYPE {archi.name}(\n    {params})"
+    else:
+        header = f"ARCHI_TYPE {archi.name}(void)"
+    blocks = [header, "", "ARCHI_ELEM_TYPES", ""]
+    for elem_type in archi.elem_types.values():
+        blocks.append(print_elem_type(elem_type))
+        blocks.append("")
+    blocks.append("ARCHI_TOPOLOGY")
+    blocks.append("  ARCHI_ELEM_INSTANCES")
+    instance_lines = []
+    for instance in archi.instances:
+        args = ", ".join(print_expression(a) for a in instance.args)
+        instance_lines.append(f"    {instance.name} : {instance.type_name}({args})")
+    blocks.append(";\n".join(instance_lines))
+    if archi.attachments:
+        blocks.append("  ARCHI_ATTACHMENTS")
+        attachment_lines = [
+            f"    FROM {a.from_instance}.{a.from_interaction} "
+            f"TO {a.to_instance}.{a.to_interaction}"
+            for a in archi.attachments
+        ]
+        blocks.append(";\n".join(attachment_lines))
+    blocks.append("END")
+    return "\n".join(blocks)

@@ -1,0 +1,188 @@
+"""Static diagnostics for architectural descriptions.
+
+The parser enforces hard well-formedness; this module adds the *lint*
+layer a production front-end needs — findings that are legal but usually
+wrong:
+
+* unreachable behaviour equations (never called from the initial one);
+* unattached interactions (legal open ends, but typically oversights in a
+  closed system model);
+* guards that are constant under the declared ``const`` defaults (dead
+  alternatives or tautologies);
+* unsynchronisable attachments — an output whose partner input never
+  appears in a reachable behaviour of the target instance;
+* components that can never move (no actions at all).
+
+Each finding carries a severity and a location string; `analyze` returns
+them all, and `report` renders a human-readable summary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Set
+
+from .architecture import ArchiType
+from .ast import (
+    ActionPrefix,
+    Behavior,
+    Choice,
+    Guarded,
+    Stop,
+)
+from .elemtypes import ElemType
+
+
+class Severity(enum.Enum):
+    """How suspicious a finding is."""
+
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic result."""
+
+    severity: Severity
+    code: str
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code} at {self.location}: {self.message}"
+
+
+def _reachable_definitions(elem_type: ElemType) -> Set[str]:
+    reached = {elem_type.initial_definition.name}
+    frontier = [elem_type.initial_definition.name]
+    while frontier:
+        name = frontier.pop()
+        for called in elem_type.definition(name).body.called_processes():
+            if called not in reached:
+                reached.add(called)
+                frontier.append(called)
+    return reached
+
+
+def _constant_guards(
+    term: Behavior, env: Mapping[str, object], where: str, out: List[Finding]
+) -> None:
+    if isinstance(term, Guarded):
+        if not term.condition.free_variables() - set(env):
+            try:
+                value = term.condition.evaluate(env)
+            except Exception:
+                value = None
+            if value is True:
+                out.append(
+                    Finding(
+                        Severity.INFO,
+                        "constant-guard",
+                        where,
+                        f"guard {term.condition} is always true under the "
+                        f"const defaults",
+                    )
+                )
+            elif value is False:
+                out.append(
+                    Finding(
+                        Severity.WARNING,
+                        "dead-guard",
+                        where,
+                        f"guard {term.condition} is always false under the "
+                        f"const defaults: the alternative is dead",
+                    )
+                )
+        _constant_guards(term.behavior, env, where, out)
+    elif isinstance(term, ActionPrefix):
+        _constant_guards(term.continuation, env, where, out)
+    elif isinstance(term, Choice):
+        for alternative in term.alternatives:
+            _constant_guards(alternative, env, where, out)
+
+
+def analyze(
+    archi: ArchiType,
+    const_overrides: Optional[Mapping[str, object]] = None,
+) -> List[Finding]:
+    """Run every diagnostic on *archi*."""
+    findings: List[Finding] = []
+    env = archi.bind_constants(const_overrides)
+
+    used_types = {instance.type_name for instance in archi.instances}
+    for elem_type in archi.elem_types.values():
+        if elem_type.name not in used_types:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "unused-elem-type",
+                    elem_type.name,
+                    "element type is never instantiated",
+                )
+            )
+
+    for elem_type in archi.elem_types.values():
+        reachable = _reachable_definitions(elem_type)
+        for definition in elem_type.definitions:
+            where = f"{elem_type.name}.{definition.name}"
+            if definition.name not in reachable:
+                findings.append(
+                    Finding(
+                        Severity.WARNING,
+                        "unreachable-behaviour",
+                        where,
+                        "behaviour equation is never reached from the "
+                        "initial one",
+                    )
+                )
+            # Guard analysis only for parameterless definitions (data
+            # parameters make guards genuinely dynamic).
+            if not definition.formals:
+                _constant_guards(definition.body, env, where, findings)
+            if isinstance(definition.body, Stop):
+                findings.append(
+                    Finding(
+                        Severity.INFO,
+                        "inert-behaviour",
+                        where,
+                        "behaviour is 'stop': instances entering it "
+                        "deadlock",
+                    )
+                )
+
+    # Interaction wiring diagnostics.
+    attached_ends = set()
+    for attachment in archi.attachments:
+        attached_ends.add((attachment.from_instance, attachment.from_interaction))
+        attached_ends.add((attachment.to_instance, attachment.to_interaction))
+    for instance in archi.instances:
+        elem_type = archi.elem_types[instance.type_name]
+        for interaction in elem_type.interactions:
+            end = (instance.name, interaction.name)
+            if end not in attached_ends:
+                findings.append(
+                    Finding(
+                        Severity.WARNING,
+                        "open-interaction",
+                        f"{instance.name}.{interaction.name}",
+                        f"{interaction.direction.value} interaction is not "
+                        f"attached: it stays an open end of the "
+                        f"architecture",
+                    )
+                )
+    return findings
+
+
+def report(
+    archi: ArchiType,
+    const_overrides: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Human-readable diagnostics summary."""
+    findings = analyze(archi, const_overrides)
+    if not findings:
+        return f"{archi.name}: no findings"
+    lines = [f"{archi.name}: {len(findings)} finding(s)"]
+    lines.extend(f"  {finding}" for finding in findings)
+    return "\n".join(lines)

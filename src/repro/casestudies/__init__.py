@@ -1,0 +1,5 @@
+"""The paper's two case studies: rpc (Sect. 2.1) and streaming (Sect. 2.2)."""
+
+from . import rpc, streaming
+
+__all__ = ["rpc", "streaming"]

@@ -1,0 +1,40 @@
+"""The rpc case study: a power-manageable server called by a blocking client.
+
+See Fig. 2.a of the paper.  :func:`family` packages the six models for the
+:class:`~repro.core.methodology.IncrementalMethodology`.
+"""
+
+
+from ...core.methodology import ModelFamily
+from . import functional, general, markovian
+from .parameters import (
+    DEFAULT_PARAMETERS,
+    SHUTDOWN_TIMEOUT_SWEEP,
+    RpcParameters,
+)
+
+
+def family() -> ModelFamily:
+    """The revised rpc model family (functional + Markovian + general)."""
+    return ModelFamily(
+        name="rpc",
+        functional_dpm=functional.revised_architecture(),
+        markovian_dpm=markovian.dpm_architecture(),
+        markovian_nodpm=markovian.nodpm_architecture(),
+        general_dpm=general.dpm_architecture(),
+        general_nodpm=general.nodpm_architecture(),
+        high_patterns=functional.HIGH_PATTERNS,
+        low_patterns=functional.LOW_PATTERNS,
+        measures=markovian.measures(),
+    )
+
+
+__all__ = [
+    "family",
+    "functional",
+    "markovian",
+    "general",
+    "DEFAULT_PARAMETERS",
+    "SHUTDOWN_TIMEOUT_SWEEP",
+    "RpcParameters",
+]

@@ -1,0 +1,218 @@
+"""Battery-lifetime extension of the rpc case study.
+
+The paper's evaluation reports steady-state energy *rates*; for a
+battery-powered appliance the quantity a designer ultimately cares about
+is the **battery lifetime**.  This module extends the Markovian rpc model
+with an explicit battery:
+
+* the server emits ``drain_tick`` pulses whose rate is proportional to its
+  current power draw (idle 2, busy 3, awaking 2, sleeping 0 — the paper's
+  reward structure turned into a phase-type energy quantisation);
+* a ``Battery_Type`` component holds an integer charge and consumes one
+  unit per pulse; at charge 0 it stops accepting pulses and exposes a
+  ``monitor_battery_empty`` marker.
+
+Expected lifetime is then a first-passage problem —
+:func:`repro.ctmc.rewards.mean_time_to_absorption` to the empty-battery
+states — and the DPM-vs-NO-DPM lifetime ratio quantifies what the paper's
+energy-rate savings buy in operating time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+from ...aemilia.architecture import ArchiType
+from ...aemilia.parser import parse_architecture
+from ...aemilia.semantics import generate_lts
+from ...ctmc.build import build_ctmc
+from ...ctmc.chain import CTMC
+from ...ctmc.rewards import mean_time_to_absorption
+from ...errors import AnalysisError
+from ...lts.labels import matches
+from .markovian import _CHANNEL, _CLIENT, _DPM
+
+_BATTERY_CONST_HEADER = """(
+    const real service_time := 0.2,
+    const real awake_time := 3.0,
+    const real prop_time := 0.8,
+    const real loss_prob := 0.02,
+    const real proc_time := 9.7,
+    const real timeout_time := 2.0,
+    const real shutdown_timeout := 5.0,
+    const real monitor_rate := 1.0,
+    const int battery_capacity := 25,
+    const real drain_scale := 0.05)
+"""
+
+_SERVER_BATTERY_DPM = """
+ELEM_TYPE Server_Type(void)
+  BEHAVIOR
+    Idle_Server(void; void) =
+      choice {
+        <receive_rpc_packet, _> . <notify_busy, inf(1, 1)> . Busy_Server(),
+        <receive_shutdown, _> . Sleeping_Server(),
+        <drain_tick, exp(2 * drain_scale)> . Idle_Server(),
+        <monitor_idle_server, exp(monitor_rate)> . Idle_Server()
+      };
+    Busy_Server(void; void) =
+      choice {
+        <prepare_result_packet, exp(1 / service_time)> . Responding_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, inf(1, 1)> . Busy_Server(),
+        <drain_tick, exp(3 * drain_scale)> . Busy_Server(),
+        <monitor_busy_server, exp(monitor_rate)> . Busy_Server()
+      };
+    Responding_Server(void; void) =
+      choice {
+        <send_result_packet, inf(1, 1)> . <notify_idle, inf(1, 1)> . Idle_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, inf(1, 1)> . Responding_Server(),
+        <drain_tick, exp(3 * drain_scale)> . Responding_Server(),
+        <monitor_busy_server, exp(monitor_rate)> . Responding_Server()
+      };
+    Sleeping_Server(void; void) =
+      <receive_rpc_packet, _> . Awaking_Server();
+    Awaking_Server(void; void) =
+      choice {
+        <awake, exp(1 / awake_time)> . Busy_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, inf(1, 1)> . Awaking_Server(),
+        <drain_tick, exp(2 * drain_scale)> . Awaking_Server(),
+        <monitor_awaking_server, exp(monitor_rate)> . Awaking_Server()
+      }
+  INPUT_INTERACTIONS UNI receive_rpc_packet; receive_shutdown
+  OUTPUT_INTERACTIONS UNI send_result_packet; notify_busy; notify_idle; drain_tick
+"""
+
+_SERVER_BATTERY_NODPM = """
+ELEM_TYPE Server_Type(void)
+  BEHAVIOR
+    Idle_Server(void; void) =
+      choice {
+        <receive_rpc_packet, _> . Busy_Server(),
+        <drain_tick, exp(2 * drain_scale)> . Idle_Server(),
+        <monitor_idle_server, exp(monitor_rate)> . Idle_Server()
+      };
+    Busy_Server(void; void) =
+      choice {
+        <prepare_result_packet, exp(1 / service_time)> . Responding_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, inf(1, 1)> . Busy_Server(),
+        <drain_tick, exp(3 * drain_scale)> . Busy_Server(),
+        <monitor_busy_server, exp(monitor_rate)> . Busy_Server()
+      };
+    Responding_Server(void; void) =
+      choice {
+        <send_result_packet, inf(1, 1)> . Idle_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, inf(1, 1)> . Responding_Server(),
+        <drain_tick, exp(3 * drain_scale)> . Responding_Server(),
+        <monitor_busy_server, exp(monitor_rate)> . Responding_Server()
+      }
+  INPUT_INTERACTIONS UNI receive_rpc_packet
+  OUTPUT_INTERACTIONS UNI send_result_packet; drain_tick
+"""
+
+_BATTERY = """
+ELEM_TYPE Battery_Type(void)
+  BEHAVIOR
+    Battery(int charge := 25; void) =
+      choice {
+        cond(charge > 0) -> <consume_unit, _> . Battery(charge - 1),
+        cond(charge = 0) -> <monitor_battery_empty, exp(monitor_rate)> . Battery(0)
+      }
+  INPUT_INTERACTIONS UNI consume_unit
+  OUTPUT_INTERACTIONS void
+"""
+
+_TOPOLOGY_BATTERY_DPM = """
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    S : Server_Type();
+    RCS : Radio_Channel_Type();
+    RSC : Radio_Channel_Type();
+    C : Sync_Client_Type();
+    DPM : DPM_Type();
+    BAT : Battery_Type(battery_capacity)
+  ARCHI_ATTACHMENTS
+    FROM C.send_rpc_packet TO RCS.get_packet;
+    FROM RCS.deliver_packet TO S.receive_rpc_packet;
+    FROM S.send_result_packet TO RSC.get_packet;
+    FROM RSC.deliver_packet TO C.receive_result_packet;
+    FROM DPM.send_shutdown TO S.receive_shutdown;
+    FROM S.notify_busy TO DPM.receive_busy_notice;
+    FROM S.notify_idle TO DPM.receive_idle_notice;
+    FROM S.drain_tick TO BAT.consume_unit
+END
+"""
+
+_TOPOLOGY_BATTERY_NODPM = """
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    S : Server_Type();
+    RCS : Radio_Channel_Type();
+    RSC : Radio_Channel_Type();
+    C : Sync_Client_Type();
+    BAT : Battery_Type(battery_capacity)
+  ARCHI_ATTACHMENTS
+    FROM C.send_rpc_packet TO RCS.get_packet;
+    FROM RCS.deliver_packet TO S.receive_rpc_packet;
+    FROM S.send_result_packet TO RSC.get_packet;
+    FROM RSC.deliver_packet TO C.receive_result_packet;
+    FROM S.drain_tick TO BAT.consume_unit
+END
+"""
+
+BATTERY_DPM_SPEC = (
+    "ARCHI_TYPE Rpc_Battery_Dpm" + _BATTERY_CONST_HEADER
+    + "ARCHI_ELEM_TYPES"
+    + _SERVER_BATTERY_DPM + _CHANNEL + _CLIENT + _DPM + _BATTERY
+    + _TOPOLOGY_BATTERY_DPM
+)
+
+BATTERY_NODPM_SPEC = (
+    "ARCHI_TYPE Rpc_Battery_Nodpm" + _BATTERY_CONST_HEADER
+    + "ARCHI_ELEM_TYPES"
+    + _SERVER_BATTERY_NODPM + _CHANNEL + _CLIENT + _BATTERY
+    + _TOPOLOGY_BATTERY_NODPM
+)
+
+#: Marker label of the empty-battery states.
+EMPTY_MARKER = "BAT.monitor_battery_empty"
+
+
+def dpm_architecture() -> ArchiType:
+    """Battery-extended Markovian rpc model with the DPM."""
+    return parse_architecture(BATTERY_DPM_SPEC)
+
+
+def nodpm_architecture() -> ArchiType:
+    """Battery-extended Markovian rpc model without the DPM."""
+    return parse_architecture(BATTERY_NODPM_SPEC)
+
+
+def empty_battery_states(ctmc: CTMC) -> List[int]:
+    """CTMC states in which the battery is empty."""
+    return [
+        state
+        for state in range(ctmc.num_states)
+        if any(
+            matches(EMPTY_MARKER, label)
+            for label in ctmc.enabled_labels(state)
+        )
+    ]
+
+
+def expected_lifetime(
+    archi: ArchiType,
+    const_overrides: Optional[dict] = None,
+    max_states: int = 200_000,
+) -> float:
+    """Expected time (ms) until the battery is drained."""
+    lts = generate_lts(archi, const_overrides, max_states)
+    ctmc = build_ctmc(lts)
+    empty = empty_battery_states(ctmc)
+    if not empty:
+        raise AnalysisError(
+            "no empty-battery states are reachable; "
+            "is the battery capacity too large for the state budget?"
+        )
+    times = mean_time_to_absorption(ctmc, empty)
+    return float(ctmc.initial_distribution @ times)

@@ -1,0 +1,212 @@
+"""Functional (untimed) models of the rpc case study (Sect. 2.3 and 3.1).
+
+Two specifications are provided:
+
+* :data:`SIMPLIFIED_SPEC` — the paper's Sect. 2.3 model: ideal radio
+  channels, a trivial DPM that shuts the server down regardless of its
+  state, and a blocking client without timeouts.  This model **fails** the
+  noninterference check; the equivalence checker's distinguishing formula
+  (reproduced by our checker) shows a computation where the client waits
+  forever after issuing an rpc.
+* :data:`REVISED_SPEC` — the paper's Sect. 3.1 repaired model: lossy
+  channels, a client with a timeout/resend mechanism that discards stale
+  results, a server that ignores duplicate requests and notifies the DPM of
+  its state, and a DPM that only shuts the server down when it is idle.
+  This model **passes** the check.
+"""
+
+from __future__ import annotations
+
+from ...aemilia.architecture import ArchiType
+from ...aemilia.parser import parse_architecture
+
+#: High (DPM) action patterns for noninterference analysis.
+HIGH_PATTERNS = ["DPM.send_shutdown"]
+
+#: Low (client-observable) action patterns.
+LOW_PATTERNS = [
+    "C.send_rpc_packet",
+    "C.receive_result_packet",
+    "C.process_result_packet",
+]
+
+SIMPLIFIED_SPEC = """
+ARCHI_TYPE Rpc_Dpm_Untimed_Simplified(void)
+
+ARCHI_ELEM_TYPES
+
+ELEM_TYPE Server_Type(void)
+  BEHAVIOR
+    Idle_Server(void; void) =
+      choice {
+        <receive_rpc_packet, _> . Busy_Server(),
+        <receive_shutdown, _> . Sleeping_Server()
+      };
+    Busy_Server(void; void) =
+      choice {
+        <prepare_result_packet, _> . Responding_Server(),
+        <receive_shutdown, _> . Sleeping_Server()
+      };
+    Responding_Server(void; void) =
+      choice {
+        <send_result_packet, _> . Idle_Server(),
+        <receive_shutdown, _> . Sleeping_Server()
+      };
+    Sleeping_Server(void; void) =
+      <receive_rpc_packet, _> . Awaking_Server();
+    Awaking_Server(void; void) =
+      <awake, _> . Busy_Server()
+  INPUT_INTERACTIONS UNI receive_rpc_packet; receive_shutdown
+  OUTPUT_INTERACTIONS UNI send_result_packet
+
+ELEM_TYPE Radio_Channel_Type(void)
+  BEHAVIOR
+    Radio_Channel(void; void) =
+      <get_packet, _> .
+      <propagate_packet, _> .
+      <deliver_packet, _> .
+      Radio_Channel()
+  INPUT_INTERACTIONS UNI get_packet
+  OUTPUT_INTERACTIONS UNI deliver_packet
+
+ELEM_TYPE Sync_Client_Type(void)
+  BEHAVIOR
+    Sync_Client(void; void) =
+      <send_rpc_packet, _> .
+      <receive_result_packet, _> .
+      <process_result_packet, _> .
+      Sync_Client()
+  INPUT_INTERACTIONS UNI receive_result_packet
+  OUTPUT_INTERACTIONS UNI send_rpc_packet
+
+ELEM_TYPE DPM_Type(void)
+  BEHAVIOR
+    DPM_Beh(void; void) =
+      <send_shutdown, _> . DPM_Beh()
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS UNI send_shutdown
+
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    S : Server_Type();
+    RCS : Radio_Channel_Type();
+    RSC : Radio_Channel_Type();
+    C : Sync_Client_Type();
+    DPM : DPM_Type()
+  ARCHI_ATTACHMENTS
+    FROM C.send_rpc_packet TO RCS.get_packet;
+    FROM RCS.deliver_packet TO S.receive_rpc_packet;
+    FROM S.send_result_packet TO RSC.get_packet;
+    FROM RSC.deliver_packet TO C.receive_result_packet;
+    FROM DPM.send_shutdown TO S.receive_shutdown
+END
+"""
+
+REVISED_SPEC = """
+ARCHI_TYPE Rpc_Dpm_Untimed_Revised(void)
+
+ARCHI_ELEM_TYPES
+
+ELEM_TYPE Server_Type(void)
+  BEHAVIOR
+    Idle_Server(void; void) =
+      choice {
+        <receive_rpc_packet, _> . <notify_busy, _> . Busy_Server(),
+        <receive_shutdown, _> . Sleeping_Server()
+      };
+    Busy_Server(void; void) =
+      choice {
+        <prepare_result_packet, _> . Responding_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, _> . Busy_Server()
+      };
+    Responding_Server(void; void) =
+      choice {
+        <send_result_packet, _> . <notify_idle, _> . Idle_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, _> . Responding_Server()
+      };
+    Sleeping_Server(void; void) =
+      <receive_rpc_packet, _> . Awaking_Server();
+    Awaking_Server(void; void) =
+      choice {
+        <awake, _> . Busy_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, _> . Awaking_Server()
+      }
+  INPUT_INTERACTIONS UNI receive_rpc_packet; receive_shutdown
+  OUTPUT_INTERACTIONS UNI send_result_packet; notify_busy; notify_idle
+
+ELEM_TYPE Radio_Channel_Type(void)
+  BEHAVIOR
+    Radio_Channel(void; void) =
+      <get_packet, _> .
+      <propagate_packet, _> .
+      choice {
+        <keep_packet, _> . <deliver_packet, _> . Radio_Channel(),
+        <lose_packet, _> . Radio_Channel()
+      }
+  INPUT_INTERACTIONS UNI get_packet
+  OUTPUT_INTERACTIONS UNI deliver_packet
+
+ELEM_TYPE Sync_Client_Type(void)
+  BEHAVIOR
+    Requesting_Client(void; void) =
+      choice {
+        <send_rpc_packet, _> . Waiting_Client(),
+        <receive_result_packet, _> . <ignore_result_packet, _> . Requesting_Client()
+      };
+    Waiting_Client(void; void) =
+      choice {
+        <receive_result_packet, _> . Processing_Client(),
+        <expire_timeout, _> . Resending_Client()
+      };
+    Processing_Client(void; void) =
+      choice {
+        <process_result_packet, _> . Requesting_Client(),
+        <receive_result_packet, _> . <ignore_result_packet, _> . Processing_Client()
+      };
+    Resending_Client(void; void) =
+      choice {
+        <send_rpc_packet, _> . Waiting_Client(),
+        <receive_result_packet, _> . Processing_Client()
+      }
+  INPUT_INTERACTIONS UNI receive_result_packet
+  OUTPUT_INTERACTIONS UNI send_rpc_packet
+
+ELEM_TYPE DPM_Type(void)
+  BEHAVIOR
+    Enabled_DPM(void; void) =
+      choice {
+        <send_shutdown, _> . Disabled_DPM(),
+        <receive_busy_notice, _> . Disabled_DPM()
+      };
+    Disabled_DPM(void; void) =
+      <receive_idle_notice, _> . Enabled_DPM()
+  INPUT_INTERACTIONS UNI receive_busy_notice; receive_idle_notice
+  OUTPUT_INTERACTIONS UNI send_shutdown
+
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    S : Server_Type();
+    RCS : Radio_Channel_Type();
+    RSC : Radio_Channel_Type();
+    C : Sync_Client_Type();
+    DPM : DPM_Type()
+  ARCHI_ATTACHMENTS
+    FROM C.send_rpc_packet TO RCS.get_packet;
+    FROM RCS.deliver_packet TO S.receive_rpc_packet;
+    FROM S.send_result_packet TO RSC.get_packet;
+    FROM RSC.deliver_packet TO C.receive_result_packet;
+    FROM DPM.send_shutdown TO S.receive_shutdown;
+    FROM S.notify_busy TO DPM.receive_busy_notice;
+    FROM S.notify_idle TO DPM.receive_idle_notice
+END
+"""
+
+
+def simplified_architecture() -> ArchiType:
+    """Parse the Sect. 2.3 simplified model (fails noninterference)."""
+    return parse_architecture(SIMPLIFIED_SPEC)
+
+
+def revised_architecture() -> ArchiType:
+    """Parse the Sect. 3.1 revised model (passes noninterference)."""
+    return parse_architecture(REVISED_SPEC)

@@ -1,0 +1,91 @@
+"""General (realistically timed) models of the rpc case study (Sect. 5.2).
+
+Relative to the Markovian models, the general models make
+
+* the server service time, server awaking time, client processing time,
+  client timeout and DPM shutdown period **deterministic**, and
+* the packet propagation time **normally distributed** (mean 0.8 ms,
+  standard deviation 0.0345 ms — the paper's Gaussian channel),
+
+while the loss probability stays an immediate probabilistic choice.  The
+model is analysed by discrete-event simulation; plugging exponential
+distributions back in (mean-preserving) must reproduce the Markovian
+results — that is the Sect. 5.1 validation, automated by
+:func:`repro.core.validation.cross_validate`.
+
+The interesting phenomenon (Fig. 3, right): the three indices depend
+bimodally on the (deterministic) shutdown timeout, with the knee at the
+mean idle period 0.8 + 9.7 + 0.8 = 11.3 ms, and the DPM is
+counterproductive for timeouts just below the idle period.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...aemilia.architecture import ArchiType
+from ...aemilia.parser import parse_architecture
+from ...ctmc.measures import Measure
+from .markovian import (
+    MEASURE_SPEC,
+    _CHANNEL,
+    _CLIENT,
+    _CONST_HEADER,
+    _DPM,
+    _SERVER_DPM,
+    _SERVER_NODPM,
+    _TOPOLOGY_DPM,
+    _TOPOLOGY_NODPM,
+)
+from ...ctmc.measure_lang import parse_measures
+
+_GENERAL_CONST_HEADER = _CONST_HEADER.replace(
+    "const real monitor_rate := 1.0)",
+    "const real monitor_rate := 1.0,\n    const real prop_sigma := 0.0345)",
+)
+
+
+def _generalize(spec: str) -> str:
+    """Rewrite the Markovian rates into the general ones."""
+    replacements = [
+        # Deterministic activity durations.
+        ("exp(1 / service_time)", "det(service_time)"),
+        ("exp(1 / awake_time)", "det(awake_time)"),
+        ("exp(1 / proc_time)", "det(proc_time)"),
+        ("exp(1 / timeout_time)", "det(timeout_time)"),
+        ("exp(1 / shutdown_timeout)", "det(shutdown_timeout)"),
+        # Gaussian channel.
+        ("exp(1 / prop_time)", "normal(prop_time, prop_sigma)"),
+    ]
+    for old, new in replacements:
+        spec = spec.replace(old, new)
+    return spec
+
+
+GENERAL_DPM_SPEC = _generalize(
+    "ARCHI_TYPE Rpc_General_Dpm" + _GENERAL_CONST_HEADER
+    + "ARCHI_ELEM_TYPES"
+    + _SERVER_DPM + _CHANNEL + _CLIENT + _DPM + _TOPOLOGY_DPM
+)
+
+GENERAL_NODPM_SPEC = _generalize(
+    "ARCHI_TYPE Rpc_General_Nodpm" + _GENERAL_CONST_HEADER
+    + "ARCHI_ELEM_TYPES"
+    + _SERVER_NODPM + _CHANNEL + _CLIENT + _TOPOLOGY_NODPM
+)
+
+
+def dpm_architecture() -> ArchiType:
+    """General rpc model with the DPM."""
+    return parse_architecture(GENERAL_DPM_SPEC)
+
+
+def nodpm_architecture() -> ArchiType:
+    """General rpc model without the DPM."""
+    return parse_architecture(GENERAL_NODPM_SPEC)
+
+
+def measures() -> List[Measure]:
+    """Same reward structures as the Markovian phase (required for
+    validation to be like-for-like)."""
+    return parse_measures(MEASURE_SPEC)

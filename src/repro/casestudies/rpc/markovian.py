@@ -1,0 +1,234 @@
+"""Markovian models of the rpc case study (the paper's Sect. 4.1).
+
+The functional (revised) model is enriched with exponentially distributed
+durations plus monitoring self-loops used by the reward measures:
+
+* transport/notification/bookkeeping actions are immediate (``inf``);
+* the lossy channel resolves keep/lose with immediate weights
+  ``1 - loss_prob`` / ``loss_prob``;
+* the DPM issues a shutdown an exponentially distributed time (mean
+  ``shutdown_timeout``) after the server became idle, unless the server
+  becomes busy first (the paper's *timeout policy*);
+* ``monitor_*`` self-loops mark the states whose residence the measures
+  observe, exactly as the paper describes ("further exponentially timed
+  actions resulting in self-loops ... to monitor the residence in certain
+  states").
+
+Measures (from the paper, verbatim):
+
+* ``throughput`` — rate of ``process_result_packet`` completions;
+* ``waiting_time`` — probability mass of the client waiting for a result
+  (``monitor_waiting_client``);
+* ``energy`` — average power: idle 2, busy 3, awaking 2 (sleeping 0).
+
+``energy / throughput`` gives the paper's *energy per request* and
+``waiting_time / throughput`` the *average waiting time* via Little's law;
+the experiment harness derives both.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...aemilia.architecture import ArchiType
+from ...aemilia.parser import parse_architecture
+from ...ctmc.measure_lang import parse_measures
+from ...ctmc.measures import Measure
+
+_CONST_HEADER = """(
+    const real service_time := 0.2,
+    const real awake_time := 3.0,
+    const real prop_time := 0.8,
+    const real loss_prob := 0.02,
+    const real proc_time := 9.7,
+    const real timeout_time := 2.0,
+    const real shutdown_timeout := 5.0,
+    const real monitor_rate := 1.0)
+"""
+
+_SERVER_DPM = """
+ELEM_TYPE Server_Type(void)
+  BEHAVIOR
+    Idle_Server(void; void) =
+      choice {
+        <receive_rpc_packet, _> . <notify_busy, inf(1, 1)> . Busy_Server(),
+        <receive_shutdown, _> . Sleeping_Server(),
+        <monitor_idle_server, exp(monitor_rate)> . Idle_Server()
+      };
+    Busy_Server(void; void) =
+      choice {
+        <prepare_result_packet, exp(1 / service_time)> . Responding_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, inf(1, 1)> . Busy_Server(),
+        <monitor_busy_server, exp(monitor_rate)> . Busy_Server()
+      };
+    Responding_Server(void; void) =
+      choice {
+        <send_result_packet, inf(1, 1)> . <notify_idle, inf(1, 1)> . Idle_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, inf(1, 1)> . Responding_Server(),
+        <monitor_busy_server, exp(monitor_rate)> . Responding_Server()
+      };
+    Sleeping_Server(void; void) =
+      <receive_rpc_packet, _> . Awaking_Server();
+    Awaking_Server(void; void) =
+      choice {
+        <awake, exp(1 / awake_time)> . Busy_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, inf(1, 1)> . Awaking_Server(),
+        <monitor_awaking_server, exp(monitor_rate)> . Awaking_Server()
+      }
+  INPUT_INTERACTIONS UNI receive_rpc_packet; receive_shutdown
+  OUTPUT_INTERACTIONS UNI send_result_packet; notify_busy; notify_idle
+"""
+
+_SERVER_NODPM = """
+ELEM_TYPE Server_Type(void)
+  BEHAVIOR
+    Idle_Server(void; void) =
+      choice {
+        <receive_rpc_packet, _> . Busy_Server(),
+        <monitor_idle_server, exp(monitor_rate)> . Idle_Server()
+      };
+    Busy_Server(void; void) =
+      choice {
+        <prepare_result_packet, exp(1 / service_time)> . Responding_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, inf(1, 1)> . Busy_Server(),
+        <monitor_busy_server, exp(monitor_rate)> . Busy_Server()
+      };
+    Responding_Server(void; void) =
+      choice {
+        <send_result_packet, inf(1, 1)> . Idle_Server(),
+        <receive_rpc_packet, _> . <ignore_rpc_packet, inf(1, 1)> . Responding_Server(),
+        <monitor_busy_server, exp(monitor_rate)> . Responding_Server()
+      }
+  INPUT_INTERACTIONS UNI receive_rpc_packet
+  OUTPUT_INTERACTIONS UNI send_result_packet
+"""
+
+_CHANNEL = """
+ELEM_TYPE Radio_Channel_Type(void)
+  BEHAVIOR
+    Radio_Channel(void; void) =
+      <get_packet, _> .
+      <propagate_packet, exp(1 / prop_time)> .
+      choice {
+        <keep_packet, inf(1, 1 - loss_prob)> . <deliver_packet, inf(1, 1)> . Radio_Channel(),
+        <lose_packet, inf(1, loss_prob)> . Radio_Channel()
+      }
+  INPUT_INTERACTIONS UNI get_packet
+  OUTPUT_INTERACTIONS UNI deliver_packet
+"""
+
+_CLIENT = """
+ELEM_TYPE Sync_Client_Type(void)
+  BEHAVIOR
+    Requesting_Client(void; void) =
+      choice {
+        <send_rpc_packet, inf(1, 1)> . Waiting_Client(),
+        <receive_result_packet, _> . <ignore_result_packet, inf(1, 1)> . Requesting_Client()
+      };
+    Waiting_Client(void; void) =
+      choice {
+        <receive_result_packet, _> . Processing_Client(),
+        <expire_timeout, exp(1 / timeout_time)> . Resending_Client(),
+        <monitor_waiting_client, exp(monitor_rate)> . Waiting_Client()
+      };
+    Processing_Client(void; void) =
+      choice {
+        <process_result_packet, exp(1 / proc_time)> . Requesting_Client(),
+        <receive_result_packet, _> . <ignore_result_packet, inf(1, 1)> . Processing_Client()
+      };
+    Resending_Client(void; void) =
+      choice {
+        <send_rpc_packet, inf(1, 1)> . Waiting_Client(),
+        <receive_result_packet, _> . Processing_Client(),
+        <monitor_waiting_client, exp(monitor_rate)> . Resending_Client()
+      }
+  INPUT_INTERACTIONS UNI receive_result_packet
+  OUTPUT_INTERACTIONS UNI send_rpc_packet
+"""
+
+_DPM = """
+ELEM_TYPE DPM_Type(void)
+  BEHAVIOR
+    Enabled_DPM(void; void) =
+      choice {
+        <send_shutdown, exp(1 / shutdown_timeout)> . Disabled_DPM(),
+        <receive_busy_notice, _> . Disabled_DPM()
+      };
+    Disabled_DPM(void; void) =
+      <receive_idle_notice, _> . Enabled_DPM()
+  INPUT_INTERACTIONS UNI receive_busy_notice; receive_idle_notice
+  OUTPUT_INTERACTIONS UNI send_shutdown
+"""
+
+_TOPOLOGY_DPM = """
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    S : Server_Type();
+    RCS : Radio_Channel_Type();
+    RSC : Radio_Channel_Type();
+    C : Sync_Client_Type();
+    DPM : DPM_Type()
+  ARCHI_ATTACHMENTS
+    FROM C.send_rpc_packet TO RCS.get_packet;
+    FROM RCS.deliver_packet TO S.receive_rpc_packet;
+    FROM S.send_result_packet TO RSC.get_packet;
+    FROM RSC.deliver_packet TO C.receive_result_packet;
+    FROM DPM.send_shutdown TO S.receive_shutdown;
+    FROM S.notify_busy TO DPM.receive_busy_notice;
+    FROM S.notify_idle TO DPM.receive_idle_notice
+END
+"""
+
+_TOPOLOGY_NODPM = """
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    S : Server_Type();
+    RCS : Radio_Channel_Type();
+    RSC : Radio_Channel_Type();
+    C : Sync_Client_Type()
+  ARCHI_ATTACHMENTS
+    FROM C.send_rpc_packet TO RCS.get_packet;
+    FROM RCS.deliver_packet TO S.receive_rpc_packet;
+    FROM S.send_result_packet TO RSC.get_packet;
+    FROM RSC.deliver_packet TO C.receive_result_packet
+END
+"""
+
+MARKOVIAN_DPM_SPEC = (
+    "ARCHI_TYPE Rpc_Markov_Dpm" + _CONST_HEADER
+    + "ARCHI_ELEM_TYPES"
+    + _SERVER_DPM + _CHANNEL + _CLIENT + _DPM + _TOPOLOGY_DPM
+)
+
+MARKOVIAN_NODPM_SPEC = (
+    "ARCHI_TYPE Rpc_Markov_Nodpm" + _CONST_HEADER
+    + "ARCHI_ELEM_TYPES"
+    + _SERVER_NODPM + _CHANNEL + _CLIENT + _TOPOLOGY_NODPM
+)
+
+#: The paper's measure definitions (Sect. 4.1), verbatim syntax.
+MEASURE_SPEC = """
+MEASURE throughput IS
+  ENABLED(C.process_result_packet) -> TRANS_REWARD(1);
+MEASURE waiting_time IS
+  ENABLED(C.monitor_waiting_client) -> STATE_REWARD(1);
+MEASURE energy IS
+  ENABLED(S.monitor_idle_server) -> STATE_REWARD(2)
+  ENABLED(S.monitor_busy_server) -> STATE_REWARD(3)
+  ENABLED(S.monitor_awaking_server) -> STATE_REWARD(2);
+"""
+
+
+def dpm_architecture() -> ArchiType:
+    """Markovian rpc model with the DPM."""
+    return parse_architecture(MARKOVIAN_DPM_SPEC)
+
+
+def nodpm_architecture() -> ArchiType:
+    """Markovian rpc model without the DPM."""
+    return parse_architecture(MARKOVIAN_NODPM_SPEC)
+
+
+def measures() -> List[Measure]:
+    """The throughput / waiting-time / energy reward structures."""
+    return parse_measures(MEASURE_SPEC)

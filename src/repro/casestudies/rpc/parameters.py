@@ -1,0 +1,76 @@
+"""Parameters of the rpc case study (the paper's Sect. 4.1 and 5.2).
+
+All times are in milliseconds, matching the paper:
+
+* average server service time 0.2 ms,
+* average server awaking time 3 ms,
+* average packet propagation time 0.8 ms (std-dev 0.0345 ms in the
+  general model's Gaussian channel),
+* packet loss probability 0.02,
+* average client processing time 9.7 ms,
+* average client timeout 2 ms,
+* DPM shutdown period swept between 0 and 25 ms.
+
+Power levels follow the paper's energy reward structure: idle 2, busy 3,
+awaking 2, sleeping 0 (arbitrary power units).
+
+The mean idle period of the server — result propagation + client
+processing + request propagation = 0.8 + 9.7 + 0.8 = 11.3 ms — is where
+the general model's bimodal knee falls (Sect. 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class RpcParameters:
+    """Parameter set of the rpc benchmark (times in ms)."""
+
+    service_time: float = 0.2
+    awake_time: float = 3.0
+    propagation_time: float = 0.8
+    propagation_sigma: float = 0.0345
+    loss_probability: float = 0.02
+    processing_time: float = 9.7
+    timeout_time: float = 2.0
+    shutdown_timeout: float = 5.0
+    power_idle: float = 2.0
+    power_busy: float = 3.0
+    power_awaking: float = 2.0
+    monitor_rate: float = 1.0
+
+    @property
+    def mean_idle_period(self) -> float:
+        """Expected server idle period (the fig3-right knee location)."""
+        return (
+            self.propagation_time
+            + self.processing_time
+            + self.propagation_time
+        )
+
+    def const_overrides(self) -> Dict[str, float]:
+        """Override map for the architectures' const parameters."""
+        return {
+            "service_time": self.service_time,
+            "awake_time": self.awake_time,
+            "prop_time": self.propagation_time,
+            "prop_sigma": self.propagation_sigma,
+            "loss_prob": self.loss_probability,
+            "proc_time": self.processing_time,
+            "timeout_time": self.timeout_time,
+            "shutdown_timeout": self.shutdown_timeout,
+        }
+
+
+#: Default parameter set (the paper's values).
+DEFAULT_PARAMETERS = RpcParameters()
+
+#: Shutdown timeouts swept in Fig. 3 (ms).  The paper sweeps 0-25 ms; an
+#: exact zero would be an infinite exponential rate, so the sweep starts
+#: just above zero.
+SHUTDOWN_TIMEOUT_SWEEP: List[float] = [
+    0.5, 1.0, 2.0, 3.0, 5.0, 7.5, 10.0, 12.5, 15.0, 20.0, 25.0,
+]

@@ -1,0 +1,38 @@
+"""The streaming case study: a video server, a PSP-managed 802.11b NIC,
+and a rendering client (Fig. 2.b of the paper)."""
+
+from ...core.methodology import ModelFamily
+from . import functional, general, markovian
+from .parameters import (
+    AIRONET_AWAKE_PERIODS,
+    AWAKE_PERIOD_SWEEP,
+    DEFAULT_PARAMETERS,
+    StreamingParameters,
+)
+
+
+def family() -> ModelFamily:
+    """The streaming model family (functional + Markovian + general)."""
+    return ModelFamily(
+        name="streaming",
+        functional_dpm=functional.functional_architecture(),
+        markovian_dpm=markovian.dpm_architecture(),
+        markovian_nodpm=markovian.nodpm_architecture(),
+        general_dpm=general.dpm_architecture(),
+        general_nodpm=general.nodpm_architecture(),
+        high_patterns=functional.HIGH_PATTERNS,
+        low_patterns=functional.LOW_PATTERNS,
+        measures=markovian.measures(),
+    )
+
+
+__all__ = [
+    "family",
+    "functional",
+    "markovian",
+    "general",
+    "DEFAULT_PARAMETERS",
+    "AWAKE_PERIOD_SWEEP",
+    "AIRONET_AWAKE_PERIODS",
+    "StreamingParameters",
+]

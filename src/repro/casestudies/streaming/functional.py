@@ -1,0 +1,51 @@
+"""Functional (untimed) model of the streaming case study (Sect. 3.2).
+
+Obtained from the Markovian description by erasing all timing: every rate
+becomes passive (``_``).  The paper reports (Sect. 3.2) that the streaming
+system *satisfies* noninterference: hiding the MAC-level DPM's shutdown and
+wake-up commands is weakly bisimilar, from the client's standpoint, to
+removing them — intuitively because a dozing NIC only *delays* frames,
+which the untimed observation cannot distinguish from slow channels, and
+every frame outcome (``get_ok`` / ``get_miss``) remains reachable either
+way.
+
+For the equivalence check the buffer capacities are reduced (defaults 2/2
+here) — the functional verdict does not depend on the buffer depth, and
+weak-bisimulation saturation on the full 10/10 space would be needlessly
+expensive.  The capacities stay ``const`` parameters, so the claim can be
+checked at any size.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ...aemilia.architecture import ArchiType
+from ...aemilia.parser import parse_architecture
+from .markovian import MARKOVIAN_DPM_SPEC
+
+#: High (DPM) action patterns for noninterference analysis.
+HIGH_PATTERNS = ["DPM.send_shutdown", "DPM.send_wakeup"]
+
+#: Low (client-observable) action patterns.
+LOW_PATTERNS = ["C.get_ok", "C.get_miss"]
+
+#: Buffer capacities used for the (exponentially harder) functional check.
+FUNCTIONAL_CAPACITIES = {"ap_capacity": 2, "b_capacity": 2}
+
+
+def _untimed(spec: str) -> str:
+    """Erase all timing information: every rate becomes passive."""
+    spec = re.sub(r"\b(exp|inf)\([^)]*\)", "_", spec)
+    return spec.replace(
+        "ARCHI_TYPE Streaming_Markov_Dpm",
+        "ARCHI_TYPE Streaming_Untimed_Dpm",
+    )
+
+
+FUNCTIONAL_SPEC = _untimed(MARKOVIAN_DPM_SPEC)
+
+
+def functional_architecture() -> ArchiType:
+    """Parse the untimed streaming model (with DPM)."""
+    return parse_architecture(FUNCTIONAL_SPEC)

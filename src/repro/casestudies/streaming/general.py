@@ -1,0 +1,94 @@
+"""General (realistically timed) streaming models (the paper's Sect. 5.3).
+
+Relative to the Markovian models:
+
+* the video stream is constant bit rate — frame generation and rendering
+  periods are **deterministic** (67 ms);
+* the initial client delay, the NIC awaking and checking times, the DPM
+  shutdown delay and the PSP awake period (beacon listen interval) are
+  **deterministic**;
+* the packet propagation time follows the same **Gaussian** channel model
+  as the rpc benchmark (scaled to the 4 ms mean).
+
+The paper parameterised these values from measurements on an HP iPAQ 3600
+handheld with a CISCO Aironet 350 NIC and a CISCO 350 access point; the
+published scalar values are used here (see
+:mod:`repro.casestudies.streaming.parameters` and DESIGN.md for the
+substitution note).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...aemilia.architecture import ArchiType
+from ...aemilia.parser import parse_architecture
+from ...ctmc.measure_lang import parse_measures
+from ...ctmc.measures import Measure
+from .markovian import (
+    MEASURE_SPEC,
+    _AP_DPM,
+    _AP_NODPM,
+    _CHANNEL,
+    _CLIENT,
+    _CLIENT_BUFFER,
+    _CONST_HEADER,
+    _DPM,
+    _NIC_DPM,
+    _NIC_NODPM,
+    _SERVER,
+    _TOPOLOGY_DPM,
+    _TOPOLOGY_NODPM,
+)
+
+_GENERAL_CONST_HEADER = _CONST_HEADER.replace(
+    "const real monitor_rate := 1.0)",
+    "const real monitor_rate := 1.0,\n    const real prop_sigma := 0.1725)",
+)
+
+
+def _generalize(spec: str) -> str:
+    """Rewrite the Markovian rates into the general ones."""
+    replacements = [
+        ("exp(1 / frame_period)", "det(frame_period)"),
+        ("exp(1 / render_period)", "det(render_period)"),
+        ("exp(1 / init_delay)", "det(init_delay)"),
+        ("exp(1 / nic_awake_time)", "det(nic_awake_time)"),
+        ("exp(1 / check_time)", "det(check_time)"),
+        ("exp(1 / shutdown_period)", "det(shutdown_period)"),
+        ("exp(1 / awake_period)", "det(awake_period)"),
+        ("exp(1 / prop_time)", "normal(prop_time, prop_sigma)"),
+    ]
+    for old, new in replacements:
+        spec = spec.replace(old, new)
+    return spec
+
+
+GENERAL_DPM_SPEC = _generalize(
+    "ARCHI_TYPE Streaming_General_Dpm" + _GENERAL_CONST_HEADER
+    + "ARCHI_ELEM_TYPES"
+    + _SERVER + _AP_DPM + _CHANNEL + _NIC_DPM + _CLIENT_BUFFER + _CLIENT
+    + _DPM + _TOPOLOGY_DPM
+)
+
+GENERAL_NODPM_SPEC = _generalize(
+    "ARCHI_TYPE Streaming_General_Nodpm" + _GENERAL_CONST_HEADER
+    + "ARCHI_ELEM_TYPES"
+    + _SERVER + _AP_NODPM + _CHANNEL + _NIC_NODPM + _CLIENT_BUFFER + _CLIENT
+    + _TOPOLOGY_NODPM
+)
+
+
+def dpm_architecture() -> ArchiType:
+    """General streaming model with the PSP DPM."""
+    return parse_architecture(GENERAL_DPM_SPEC)
+
+
+def nodpm_architecture() -> ArchiType:
+    """General streaming model with an always-awake NIC."""
+    return parse_architecture(GENERAL_NODPM_SPEC)
+
+
+def measures() -> List[Measure]:
+    """Same base reward structures as the Markovian phase."""
+    return parse_measures(MEASURE_SPEC)

@@ -1,0 +1,76 @@
+"""Parameters of the streaming case study (the paper's Sect. 4.2 and 5.3).
+
+All times in milliseconds, following the paper:
+
+* access-point buffer size 10, client buffer size 10,
+* average server service (frame generation) time 67 ms (≈15 fps video),
+* average packet propagation time 4 ms, packet loss probability 0.02,
+* average NIC checking time 5 ms, average NIC awaking time 15 ms,
+* average initial client delay 684 ms, average client rendering time 67 ms,
+* average DPM shutdown period 5 ms (delay between the AP buffer becoming
+  empty and the shutdown command),
+* DPM awake period swept between 0 and 800 ms (the PSP protocol's
+  periodic wake-up; the CISCO Aironet 350 exposes 100 ms and 200 ms).
+
+The paper parameterised its general model from measurements on an HP iPAQ
+3600 with a CISCO Aironet 350 NIC; we use Aironet-350-class power levels
+(in watts): receive/awake ≈ 1.4 W, wake-up transient ≈ 1.6 W, doze
+≈ 0.075 W.  Energy per frame is then reported in mJ (W × ms / frame).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class StreamingParameters:
+    """Parameter set of the streaming benchmark (times in ms, power in W)."""
+
+    ap_capacity: int = 10
+    b_capacity: int = 10
+    frame_period: float = 67.0
+    propagation_time: float = 4.0
+    propagation_sigma: float = 0.1725
+    loss_probability: float = 0.02
+    check_time: float = 5.0
+    nic_awake_time: float = 15.0
+    initial_delay: float = 684.0
+    render_period: float = 67.0
+    shutdown_period: float = 5.0
+    awake_period: float = 100.0
+    power_awake: float = 1.4
+    power_awaking: float = 1.6
+    power_doze: float = 0.075
+    monitor_rate: float = 1.0
+
+    def const_overrides(self) -> Dict[str, float]:
+        """Override map for the architectures' const parameters."""
+        return {
+            "ap_capacity": self.ap_capacity,
+            "b_capacity": self.b_capacity,
+            "frame_period": self.frame_period,
+            "prop_time": self.propagation_time,
+            "prop_sigma": self.propagation_sigma,
+            "loss_prob": self.loss_probability,
+            "check_time": self.check_time,
+            "nic_awake_time": self.nic_awake_time,
+            "init_delay": self.initial_delay,
+            "render_period": self.render_period,
+            "shutdown_period": self.shutdown_period,
+            "awake_period": self.awake_period,
+        }
+
+
+#: Default parameter set (the paper's values).
+DEFAULT_PARAMETERS = StreamingParameters()
+
+#: Awake periods swept in Figs. 4 and 6 (ms).  An exact zero would be an
+#: infinite wake-up rate; the sweep starts just above zero.
+AWAKE_PERIOD_SWEEP: List[float] = [
+    10.0, 25.0, 50.0, 100.0, 200.0, 400.0, 600.0, 800.0,
+]
+
+#: The two awake periods the CISCO Aironet 350 exposes (Sect. 5.3).
+AIRONET_AWAKE_PERIODS: List[float] = [100.0, 200.0]

@@ -1,0 +1,64 @@
+"""The paper's contribution: the incremental DPM assessment methodology."""
+
+from .methodology import (
+    AssessmentReport,
+    IncrementalMethodology,
+    ModelFamily,
+    solve_markovian_architecture,
+)
+from .noninterference import (
+    NoninterferenceResult,
+    check_noninterference,
+    high_patterns_for_instances,
+    low_observation,
+)
+from .policies import (
+    Policy,
+    compare_policies,
+    idle_timeout_policy,
+    n_idle_policy,
+    never_policy,
+    probabilistic_policy,
+    splice_policy,
+    trivial_policy,
+)
+from .reporting import ascii_chart, format_comparison, format_number, format_table
+from .tradeoff import TradeoffCurve, TradeoffPoint, compare_curves
+from .validation import (
+    MeasureValidation,
+    ValidationReport,
+    cross_validate,
+    exponential_plugin,
+    require_valid,
+)
+
+__all__ = [
+    "AssessmentReport",
+    "IncrementalMethodology",
+    "ModelFamily",
+    "solve_markovian_architecture",
+    "NoninterferenceResult",
+    "check_noninterference",
+    "high_patterns_for_instances",
+    "low_observation",
+    "Policy",
+    "compare_policies",
+    "idle_timeout_policy",
+    "n_idle_policy",
+    "never_policy",
+    "probabilistic_policy",
+    "splice_policy",
+    "trivial_policy",
+    "ascii_chart",
+    "format_comparison",
+    "format_number",
+    "format_table",
+    "TradeoffCurve",
+    "TradeoffPoint",
+    "compare_curves",
+    "MeasureValidation",
+    "ValidationReport",
+    "cross_validate",
+    "exponential_plugin",
+    "require_valid",
+]

@@ -1,0 +1,370 @@
+"""The incremental assessment methodology (the paper's Fig. 1).
+
+A :class:`ModelFamily` bundles the six models the methodology relates —
+functional, Markovian and general descriptions, each with and without the
+DPM — together with the high/low action sets and the performance measures.
+:class:`IncrementalMethodology` then drives the three phases:
+
+1. :meth:`~IncrementalMethodology.assess_functionality` — noninterference
+   check on the functional model (correct-by-construction for the Markovian
+   one, which only adds rates);
+2. :meth:`~IncrementalMethodology.solve_markovian` /
+   :meth:`~IncrementalMethodology.sweep_markovian` — analytic comparison of
+   the reward measures with and without DPM while sweeping DPM operation
+   rates;
+3. :meth:`~IncrementalMethodology.validate` then
+   :meth:`~IncrementalMethodology.simulate_general` /
+   :meth:`~IncrementalMethodology.sweep_general` — cross-validated
+   simulation of the realistic (generally timed) models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..aemilia.architecture import ArchiType
+from ..aemilia.semantics import generate_lts
+from ..ctmc.build import build_ctmc
+from ..ctmc.measures import Measure, evaluate_measures
+from ..ctmc.steady_state import steady_state
+from ..errors import AnalysisError
+from ..lts.lts import LTS
+from ..sim.output import ReplicationResult, replicate
+from .noninterference import NoninterferenceResult, check_noninterference
+from .validation import ValidationReport, cross_validate
+
+#: The two variants every phase compares.
+VARIANTS = ("dpm", "nodpm")
+
+
+@dataclass
+class ModelFamily:
+    """The six models of one case study plus analysis metadata."""
+
+    name: str
+    functional_dpm: ArchiType
+    markovian_dpm: ArchiType
+    markovian_nodpm: ArchiType
+    general_dpm: ArchiType
+    general_nodpm: ArchiType
+    high_patterns: Sequence[str]
+    low_patterns: Sequence[str]
+    measures: Sequence[Measure]
+    #: Optional separate functional NO-DPM model; when absent, phase 1
+    #: derives it by preventing the high actions (the standard check).
+    functional_nodpm: Optional[ArchiType] = None
+
+    def measure_names(self) -> List[str]:
+        """Names of the declared measures, in order."""
+        return [m.name for m in self.measures]
+
+
+def solve_markovian_architecture(
+    archi: ArchiType,
+    measures: Sequence[Measure],
+    const_overrides: Optional[Mapping[str, object]] = None,
+    max_states: int = 200_000,
+    method: str = "direct",
+) -> Dict[str, float]:
+    """Generate, build the CTMC, solve, and evaluate the measures."""
+    lts = generate_lts(archi, const_overrides, max_states)
+    ctmc = build_ctmc(lts)
+    pi = steady_state(ctmc, method=method)
+    return evaluate_measures(ctmc, pi, measures)
+
+
+class IncrementalMethodology:
+    """Drives the paper's three assessment phases over a model family."""
+
+    def __init__(self, family: ModelFamily, max_states: int = 200_000):
+        self.family = family
+        self.max_states = max_states
+        self._lts_cache: Dict[Tuple, LTS] = {}
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _variant_archi(self, kind: str, variant: str) -> ArchiType:
+        if variant not in VARIANTS:
+            raise AnalysisError(
+                f"unknown variant {variant!r} (use 'dpm' or 'nodpm')"
+            )
+        attribute = f"{kind}_{variant}"
+        archi = getattr(self.family, attribute, None)
+        if archi is None:
+            raise AnalysisError(
+                f"model family {self.family.name!r} has no {attribute} model"
+            )
+        return archi
+
+    def build_lts(
+        self,
+        kind: str,
+        variant: str,
+        const_overrides: Optional[Mapping[str, object]] = None,
+    ) -> LTS:
+        """Generate (and cache) the state space of one model variant."""
+        key = (
+            kind,
+            variant,
+            tuple(sorted((const_overrides or {}).items())),
+        )
+        cached = self._lts_cache.get(key)
+        if cached is None:
+            archi = self._variant_archi(kind, variant)
+            cached = generate_lts(archi, const_overrides, self.max_states)
+            self._lts_cache[key] = cached
+        return cached
+
+    # -- phase 1: functional -------------------------------------------------
+
+    def assess_functionality(
+        self,
+        const_overrides: Optional[Mapping[str, object]] = None,
+    ) -> NoninterferenceResult:
+        """Noninterference check on the functional model (Sect. 3)."""
+        return check_noninterference(
+            self.family.functional_dpm,
+            self.family.high_patterns,
+            self.family.low_patterns,
+            const_overrides,
+            self.max_states,
+        )
+
+    # -- phase 2: Markovian -----------------------------------------------------
+
+    def solve_markovian(
+        self,
+        variant: str = "dpm",
+        const_overrides: Optional[Mapping[str, object]] = None,
+        method: str = "direct",
+    ) -> Dict[str, float]:
+        """Analytic steady-state measure values for one variant."""
+        lts = self.build_lts("markovian", variant, const_overrides)
+        ctmc = build_ctmc(lts)
+        pi = steady_state(ctmc, method=method)
+        return evaluate_measures(ctmc, pi, self.family.measures)
+
+    def sweep_markovian(
+        self,
+        parameter: str,
+        values: Sequence[float],
+        variant: str = "dpm",
+        const_overrides: Optional[Mapping[str, object]] = None,
+        method: str = "direct",
+    ) -> Dict[str, List[float]]:
+        """Sweep a const parameter; returns series keyed by measure name."""
+        series: Dict[str, List[float]] = {
+            name: [] for name in self.family.measure_names()
+        }
+        for value in values:
+            overrides = dict(const_overrides or {})
+            overrides[parameter] = value
+            results = self.solve_markovian(variant, overrides, method)
+            for name in series:
+                series[name].append(results[name])
+        return series
+
+    # -- phase 3: general ----------------------------------------------------------
+
+    def validate(
+        self,
+        const_overrides: Optional[Mapping[str, object]] = None,
+        run_length: float = 20_000.0,
+        runs: int = 30,
+        warmup: float = 0.0,
+        seed: int = 20040628,
+        variant: str = "dpm",
+        relative_tolerance: float = 0.10,
+    ) -> ValidationReport:
+        """Cross-validate the general model per Sect. 5.1."""
+        lts = self.build_lts("general", variant, const_overrides)
+        return cross_validate(
+            lts,
+            self.family.measures,
+            run_length,
+            runs=runs,
+            warmup=warmup,
+            seed=seed,
+            relative_tolerance=relative_tolerance,
+        )
+
+    def simulate_general(
+        self,
+        variant: str = "dpm",
+        const_overrides: Optional[Mapping[str, object]] = None,
+        run_length: float = 20_000.0,
+        runs: int = 30,
+        warmup: float = 0.0,
+        seed: int = 20040628,
+        confidence: float = 0.90,
+    ) -> ReplicationResult:
+        """Estimate the measures on the general model by simulation."""
+        lts = self.build_lts("general", variant, const_overrides)
+        return replicate(
+            lts,
+            self.family.measures,
+            run_length,
+            runs=runs,
+            warmup=warmup,
+            seed=seed,
+            confidence=confidence,
+        )
+
+    def sweep_general(
+        self,
+        parameter: str,
+        values: Sequence[float],
+        variant: str = "dpm",
+        const_overrides: Optional[Mapping[str, object]] = None,
+        run_length: float = 20_000.0,
+        runs: int = 10,
+        warmup: float = 0.0,
+        seed: int = 20040628,
+    ) -> Dict[str, List[float]]:
+        """Simulation sweep; returns mean series keyed by measure name."""
+        series: Dict[str, List[float]] = {
+            name: [] for name in self.family.measure_names()
+        }
+        for value in values:
+            overrides = dict(const_overrides or {})
+            overrides[parameter] = value
+            replication = self.simulate_general(
+                variant,
+                overrides,
+                run_length,
+                runs=runs,
+                warmup=warmup,
+                seed=seed,
+            )
+            for name in series:
+                series[name].append(replication[name].mean)
+        return series
+
+    # -- one-call driver ------------------------------------------------------
+
+    def full_assessment(
+        self,
+        const_overrides: Optional[Mapping[str, object]] = None,
+        run_length: float = 10_000.0,
+        runs: int = 8,
+        warmup: float = 300.0,
+        seed: int = 20040628,
+    ) -> "AssessmentReport":
+        """Run all three phases at one operating point and bundle the
+        results (the whole Fig. 1 workflow in one call)."""
+        # Each model only sees the overrides it declares (the functional
+        # model typically has no rate parameters).
+        def filtered(archi):
+            declared = {p.name for p in archi.const_params}
+            return {
+                k: v
+                for k, v in (const_overrides or {}).items()
+                if k in declared
+            }
+
+        functional = self.assess_functionality(
+            filtered(self.family.functional_dpm)
+        )
+        markovian_dpm: Optional[Dict[str, float]] = None
+        markovian_nodpm: Optional[Dict[str, float]] = None
+        validation: Optional[ValidationReport] = None
+        general_dpm: Optional[ReplicationResult] = None
+        general_nodpm: Optional[ReplicationResult] = None
+        if functional.holds:
+            markovian_dpm = self.solve_markovian("dpm", const_overrides)
+            markovian_nodpm = self.solve_markovian("nodpm")
+            validation = self.validate(
+                const_overrides,
+                run_length=run_length,
+                runs=runs,
+                warmup=warmup,
+                seed=seed,
+            )
+            if validation.passed:
+                general_dpm = self.simulate_general(
+                    "dpm",
+                    const_overrides,
+                    run_length,
+                    runs=runs,
+                    warmup=warmup,
+                    seed=seed,
+                )
+                general_nodpm = self.simulate_general(
+                    "nodpm",
+                    None,
+                    run_length,
+                    runs=runs,
+                    warmup=warmup,
+                    seed=seed,
+                )
+        return AssessmentReport(
+            family_name=self.family.name,
+            functional=functional,
+            markovian_dpm=markovian_dpm,
+            markovian_nodpm=markovian_nodpm,
+            validation=validation,
+            general_dpm=general_dpm,
+            general_nodpm=general_nodpm,
+        )
+
+
+@dataclass
+class AssessmentReport:
+    """Bundle of all three phases at one DPM operating point.
+
+    The phases short-circuit exactly as the methodology prescribes: a
+    failed functional check leaves the performance phases empty (fix the
+    DPM first), and a failed validation leaves the general phase empty
+    (fix the general model first).
+    """
+
+    family_name: str
+    functional: "NoninterferenceResult"
+    markovian_dpm: Optional[Dict[str, float]]
+    markovian_nodpm: Optional[Dict[str, float]]
+    validation: Optional["ValidationReport"]
+    general_dpm: Optional[ReplicationResult]
+    general_nodpm: Optional[ReplicationResult]
+
+    @property
+    def completed(self) -> bool:
+        """True when every phase ran and passed its gate."""
+        return (
+            self.functional.holds
+            and self.validation is not None
+            and self.validation.passed
+            and self.general_dpm is not None
+        )
+
+    def report(self) -> str:
+        """Render the full assessment as plain text."""
+        lines = [f"=== incremental DPM assessment: {self.family_name} ==="]
+        lines.append("-- phase 1 (functional):")
+        lines.append(self.functional.diagnostic())
+        if self.markovian_dpm is None:
+            lines.append(
+                "phases 2-3 skipped: repair the DPM/system first "
+                "(use the formula above as the diagnostic)"
+            )
+            return "\n".join(lines)
+        lines.append("-- phase 2 (Markovian steady state):")
+        for name, value in self.markovian_dpm.items():
+            baseline = self.markovian_nodpm[name]
+            lines.append(
+                f"  {name}: DPM={value:.6g}  NO-DPM={baseline:.6g}"
+            )
+        lines.append("-- phase 3a (validation):")
+        lines.append(str(self.validation))
+        if self.general_dpm is None:
+            lines.append(
+                "phase 3b skipped: the general model failed validation"
+            )
+            return "\n".join(lines)
+        lines.append("-- phase 3b (general model, simulated):")
+        for name, estimate in self.general_dpm.estimates.items():
+            baseline = self.general_nodpm[name]
+            lines.append(
+                f"  {name}: DPM={estimate}  NO-DPM={baseline}"
+            )
+        return "\n".join(lines)

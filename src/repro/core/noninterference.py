@@ -1,0 +1,148 @@
+"""Noninterference analysis of DPM transparency (the paper's Sect. 3).
+
+The check casts DPM transparency as a language-based security property
+(Goguen–Meseguer noninterference, in the process-algebraic formulation of
+Focardi–Gorrieri): the DPM's actions are *high*, the client-observable
+actions are *low*, and the DPM does not interfere with the client iff
+
+    hide_everything_but_low(system)  ~weak~  hide_everything_but_low(
+                                                 system with high prevented)
+
+i.e. the system with the DPM *hidden* is weakly bisimilar to the system
+with the DPM *removed*.  On failure, a modal-logic distinguishing formula
+is produced as the diagnostic the paper's workflow relies on (Sect. 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Union
+
+from ..aemilia.architecture import ArchiType
+from ..aemilia.semantics import generate_lts
+from ..errors import AnalysisError
+from ..lts.distinguish import distinguishing_formula, verify_distinguishing
+from ..lts.hml import Formula
+from ..lts.labels import matches_any
+from ..lts.lts import LTS
+from ..lts.ops import hide, restrict
+from ..lts.weak import WeakEquivalenceCheck, check_weak_equivalence
+
+
+@dataclass
+class NoninterferenceResult:
+    """Outcome of a noninterference check.
+
+    Attributes
+    ----------
+    holds:
+        True when the DPM is transparent to the low observer.
+    formula:
+        On failure, a weak-HML formula satisfied by the hidden-DPM system
+        and violated by the no-DPM system (or vice versa; see
+        ``formula_side``).  ``None`` when the check holds.
+    formula_side:
+        ``"with_dpm"`` when the formula is satisfied by the system with
+        the (hidden) DPM, ``"without_dpm"`` otherwise.
+    hidden / restricted:
+        The two compared low-observation systems.
+    """
+
+    holds: bool
+    formula: Optional[Formula]
+    formula_side: Optional[str]
+    hidden: LTS
+    restricted: LTS
+    check: WeakEquivalenceCheck
+
+    def diagnostic(self) -> str:
+        """Human-readable verdict, including the formula on failure."""
+        if self.holds:
+            return (
+                "noninterference HOLDS: hiding the high (DPM) actions is "
+                "weakly bisimilar to preventing them"
+            )
+        lines = [
+            "noninterference FAILS: the two low observations are not "
+            "weakly bisimilar.",
+            f"Distinguishing formula (satisfied by the system "
+            f"{'WITH' if self.formula_side == 'with_dpm' else 'WITHOUT'} "
+            f"the DPM):",
+            self.formula.render(indent=2),
+        ]
+        return "\n".join(lines)
+
+
+def low_observation(
+    lts: LTS, low_patterns: Sequence[str]
+) -> LTS:
+    """Hide every label that is not low-observable."""
+    patterns = list(low_patterns)
+    return hide(lts, lambda label: not matches_any(patterns, label))
+
+
+def check_noninterference(
+    system: Union[ArchiType, LTS],
+    high_patterns: Sequence[str],
+    low_patterns: Sequence[str],
+    const_overrides: Optional[Mapping[str, object]] = None,
+    max_states: int = 200_000,
+) -> NoninterferenceResult:
+    """Run the hide-vs-restrict weak bisimulation check.
+
+    Parameters
+    ----------
+    system:
+        An architecture (its functional state space is generated here) or a
+        ready-made LTS.
+    high_patterns:
+        Label patterns of the DPM actions (e.g. ``["DPM.*"]`` or the
+        individual interactions).
+    low_patterns:
+        Label patterns the observer sees (client actions).
+    """
+    high = list(high_patterns)
+    low = list(low_patterns)
+    overlap = [p for p in high if p in low]
+    if overlap:
+        raise AnalysisError(
+            f"patterns {overlap} are both high and low; the two sets must "
+            f"be disjoint"
+        )
+    if isinstance(system, ArchiType):
+        lts = generate_lts(
+            system, const_overrides, max_states, apply_preemption=True
+        )
+    else:
+        lts = system
+    hidden = low_observation(lts, low)
+    restricted = low_observation(restrict(lts, high), low)
+    check = check_weak_equivalence(hidden, restricted)
+    formula: Optional[Formula] = None
+    side: Optional[str] = None
+    if not check.equivalent:
+        formula = distinguishing_formula(
+            check.result, check.initial_first, check.initial_second
+        )
+        side = "with_dpm"
+        if formula is None:  # pragma: no cover - defensive
+            raise AnalysisError(
+                "states reported non-equivalent but no formula was found"
+            )
+        if not verify_distinguishing(
+            check.result, formula, check.initial_first, check.initial_second
+        ):  # pragma: no cover - the construction guarantees this
+            raise AnalysisError("distinguishing formula failed verification")
+    return NoninterferenceResult(
+        holds=check.equivalent,
+        formula=formula,
+        formula_side=side,
+        hidden=hidden,
+        restricted=restricted,
+        check=check,
+    )
+
+
+def high_patterns_for_instances(instances: Sequence[str]) -> List[str]:
+    """Wildcard patterns covering every action of the given instances."""
+    return [f"{name}.*" for name in instances]

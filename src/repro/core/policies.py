@@ -1,0 +1,311 @@
+"""A library of DPM policies as pluggable architectural element types.
+
+The paper classifies DPM techniques into deterministic, predictive and
+stochastic schemes (Sect. 1) and evaluates two of them (the trivial and
+the timeout policy).  This module generalises that into a policy library:
+each factory returns a ``DPM_Type`` element type with the *standard power
+-management interface* —
+
+* inputs  ``receive_busy_notice`` / ``receive_idle_notice`` (device state
+  edges),
+* output ``send_shutdown``
+
+— so any policy drops into a topology wired like the rpc case study.
+:func:`splice_policy` rewrites an architecture's DPM element type in
+place, and :func:`compare_policies` runs the Markovian phase for a set of
+candidates.
+
+Policies provided:
+
+* :func:`trivial_policy` — shut down whenever a timer fires, regardless of
+  the device state (the paper's Sect. 2.3 policy; fails noninterference
+  for blocking clients);
+* :func:`idle_timeout_policy` — arm a timer on each idle edge, cancel it
+  on a busy edge (the paper's Sect. 3.1 *timeout policy*);
+* :func:`n_idle_policy` — predictive flavour: shut down after the device
+  has gone idle ``n`` times without the timer ever being beaten (a simple
+  history-based predictor);
+* :func:`probabilistic_policy` — stochastic flavour: at each idle edge,
+  shut down immediately with probability ``p``;
+* :func:`never_policy` — the NO-DPM baseline expressed as a policy (its
+  timer never fires), useful for like-for-like state spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..aemilia import builder as b
+from ..aemilia.architecture import ArchiType
+from ..aemilia.elemtypes import ElemType
+from ..aemilia.expressions import (
+    DataType,
+    FunctionCall,
+    Literal,
+    Variable,
+    binop,
+)
+from ..ctmc.measures import Measure
+from ..errors import SpecificationError
+from .methodology import solve_markovian_architecture
+
+#: The standard DPM interface expected by :func:`splice_policy`.
+DPM_INPUTS = ("receive_busy_notice", "receive_idle_notice")
+DPM_OUTPUT = "send_shutdown"
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A named, parameterised DPM policy."""
+
+    name: str
+    description: str
+    elem_type: ElemType
+
+
+def _interface(definitions) -> ElemType:
+    return b.elem_type(
+        "DPM_Type",
+        definitions,
+        inputs=list(DPM_INPUTS),
+        outputs=[DPM_OUTPUT],
+    )
+
+
+def trivial_policy(rate: float) -> Policy:
+    """Periodic shutdowns regardless of the device state (Sect. 2.3).
+
+    State notices are consumed and ignored so the standard topology still
+    type-checks; the shutdown timer never pauses.
+    """
+    definitions = [
+        b.process(
+            "Trivial_DPM",
+            b.choice(
+                b.prefix(DPM_OUTPUT, b.exp(rate), b.call("Trivial_DPM")),
+                b.prefix(
+                    "receive_busy_notice", b.passive(), b.call("Trivial_DPM")
+                ),
+                b.prefix(
+                    "receive_idle_notice", b.passive(), b.call("Trivial_DPM")
+                ),
+            ),
+        )
+    ]
+    return Policy(
+        "trivial",
+        f"periodic shutdown at rate {rate}/ms, state-oblivious",
+        _interface(definitions),
+    )
+
+
+def idle_timeout_policy(rate: float) -> Policy:
+    """The paper's timeout policy: armed while idle, disarmed while busy."""
+    definitions = [
+        b.process(
+            "Enabled_DPM",
+            b.choice(
+                b.prefix(DPM_OUTPUT, b.exp(rate), b.call("Disabled_DPM")),
+                b.prefix(
+                    "receive_busy_notice", b.passive(), b.call("Disabled_DPM")
+                ),
+                b.prefix(
+                    "receive_idle_notice", b.passive(), b.call("Enabled_DPM")
+                ),
+            ),
+        ),
+        b.process(
+            "Disabled_DPM",
+            b.choice(
+                b.prefix(
+                    "receive_idle_notice", b.passive(), b.call("Enabled_DPM")
+                ),
+                b.prefix(
+                    "receive_busy_notice",
+                    b.passive(),
+                    b.call("Disabled_DPM"),
+                ),
+            ),
+        ),
+    ]
+    return Policy(
+        "idle-timeout",
+        f"shutdown an exp({rate}) delay after each idle edge, cancelled "
+        f"by busy edges (the paper's timeout policy)",
+        _interface(definitions),
+    )
+
+
+def n_idle_policy(n: int, rate: float) -> Policy:
+    """Shut down once the device has gone idle *n* times in a row.
+
+    A crude history-based predictor: each idle edge increments a counter,
+    a busy edge arriving before the timer fires resets it, and the
+    shutdown timer only arms once the counter reaches ``n``.
+    """
+    if n < 1:
+        raise SpecificationError(f"n_idle_policy needs n >= 1, got {n}")
+    count = Variable("k")
+    definitions = [
+        b.process(
+            "Counting_DPM",
+            b.choice(
+                b.cond(
+                    binop(">=", count, n),
+                    b.prefix(
+                        DPM_OUTPUT, b.exp(rate), b.call("Counting_DPM", 0)
+                    ),
+                ),
+                b.prefix(
+                    "receive_idle_notice",
+                    b.passive(),
+                    # Saturating increment keeps the state space finite.
+                    b.call(
+                        "Counting_DPM",
+                        FunctionCall(
+                            "min",
+                            (binop("+", count, 1), Literal(n)),
+                        ),
+                    ),
+                ),
+                b.prefix(
+                    "receive_busy_notice",
+                    b.passive(),
+                    b.call("Counting_DPM", 0),
+                ),
+            ),
+            formals=[b.formal("k", DataType.INT, 0)],
+        )
+    ]
+    return Policy(
+        f"{n}-idle",
+        f"shutdown (exp({rate}) delay) after {n} consecutive idle edges",
+        _interface(definitions),
+    )
+
+
+def probabilistic_policy(probability: float, rate: float) -> Policy:
+    """At each idle edge, arm the shutdown timer with probability *p*.
+
+    The Bernoulli choice is resolved with immediate weights, the stochastic
+    control flavour of the paper's classification.
+    """
+    if not 0.0 < probability < 1.0:
+        raise SpecificationError(
+            f"probability must be in (0, 1), got {probability}"
+        )
+    definitions = [
+        b.process(
+            "Deciding_DPM",
+            b.choice(
+                b.prefix(
+                    "receive_idle_notice", b.passive(), b.call("Tossing_DPM")
+                ),
+                b.prefix(
+                    "receive_busy_notice",
+                    b.passive(),
+                    b.call("Deciding_DPM"),
+                ),
+            ),
+        ),
+        b.process(
+            "Tossing_DPM",
+            b.choice(
+                b.prefix(
+                    "arm", b.imm(1, probability), b.call("Armed_DPM")
+                ),
+                b.prefix(
+                    "skip", b.imm(1, 1.0 - probability), b.call("Deciding_DPM")
+                ),
+            ),
+        ),
+        b.process(
+            "Armed_DPM",
+            b.choice(
+                b.prefix(DPM_OUTPUT, b.exp(rate), b.call("Deciding_DPM")),
+                b.prefix(
+                    "receive_busy_notice",
+                    b.passive(),
+                    b.call("Deciding_DPM"),
+                ),
+                b.prefix(
+                    "receive_idle_notice", b.passive(), b.call("Armed_DPM")
+                ),
+            ),
+        ),
+    ]
+    return Policy(
+        f"bernoulli-{probability:g}",
+        f"arm the shutdown timer with probability {probability:g} at each "
+        f"idle edge",
+        _interface(definitions),
+    )
+
+
+def never_policy() -> Policy:
+    """A policy that never shuts the device down (NO-DPM baseline)."""
+    definitions = [
+        b.process(
+            "Inert_DPM",
+            b.choice(
+                b.prefix(DPM_OUTPUT, b.exp(1e-12), b.call("Inert_DPM")),
+                b.prefix(
+                    "receive_busy_notice", b.passive(), b.call("Inert_DPM")
+                ),
+                b.prefix(
+                    "receive_idle_notice", b.passive(), b.call("Inert_DPM")
+                ),
+            ),
+        )
+    ]
+    return Policy(
+        "never",
+        "no power management (vanishing shutdown rate)",
+        _interface(definitions),
+    )
+
+
+def splice_policy(archi: ArchiType, policy: Policy) -> ArchiType:
+    """Replace the architecture's ``DPM_Type`` with the policy's element.
+
+    The architecture must declare a ``DPM_Type`` element (wired with the
+    standard interface); everything else is kept as is.
+    """
+    if "DPM_Type" not in archi.elem_types:
+        raise SpecificationError(
+            f"architecture {archi.name!r} has no DPM_Type to replace"
+        )
+    for name in DPM_INPUTS:
+        if not policy.elem_type.has_interaction(name):
+            raise SpecificationError(
+                f"policy {policy.name!r} misses interaction {name!r}"
+            )
+    elem_types = [
+        policy.elem_type if et.name == "DPM_Type" else et
+        for et in archi.elem_types.values()
+    ]
+    return ArchiType(
+        archi.name,
+        tuple(elem_types),
+        archi.instances,
+        archi.attachments,
+        archi.const_params,
+    )
+
+
+def compare_policies(
+    base_archi: ArchiType,
+    policies: Sequence[Policy],
+    measures: Sequence[Measure],
+    const_overrides: Optional[Mapping[str, object]] = None,
+    max_states: int = 200_000,
+) -> Dict[str, Dict[str, float]]:
+    """Run the Markovian phase for each policy; results keyed by name."""
+    results: Dict[str, Dict[str, float]] = {}
+    for policy in policies:
+        spliced = splice_policy(base_archi, policy)
+        results[policy.name] = solve_markovian_architecture(
+            spliced, measures, const_overrides, max_states
+        )
+    return results

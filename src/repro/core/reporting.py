@@ -1,0 +1,150 @@
+"""Plain-text reporting: tables and ASCII charts for the experiment harness.
+
+The benchmark harness regenerates every figure of the paper as (a) a table
+of the plotted series and (b) an ASCII chart that makes the qualitative
+shape — who wins, where the knee falls — visible in a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+_MARKERS = "*o+x#@%&"
+
+
+def format_number(value: float, width: int = 10) -> str:
+    """Fixed-width human-friendly number formatting."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-".rjust(width)
+    if value == 0:
+        return "0".rjust(width)
+    magnitude = abs(value)
+    if 1e-3 <= magnitude < 1e6:
+        text = f"{value:.4g}"
+    else:
+        text = f"{value:.3e}"
+    return text.rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    columns = len(headers)
+    cells: List[List[str]] = []
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+        rendered = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(format_number(value).strip())
+            else:
+                rendered.append(str(value))
+        cells.append(rendered)
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells))
+        if cells
+        else len(str(headers[i]))
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 68,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Scatter the series on a character grid (one marker per series)."""
+    if not xs:
+        raise ValueError("nothing to plot")
+    finite_values = [
+        v
+        for values in series.values()
+        for v in values
+        if v is not None and math.isfinite(v)
+    ]
+    if not finite_values:
+        raise ValueError("all series values are non-finite")
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(finite_values), max(finite_values)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    legend = []
+    for position, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[position % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(xs, values):
+            if y is None or not math.isfinite(y):
+                continue
+            place(x, y, marker)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top {format_number(y_high).strip()}, "
+                 f"bottom {format_number(y_low).strip()})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {format_number(x_low).strip()} .. "
+        f"{format_number(x_high).strip()}    {'; '.join(legend)}"
+    )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    parameter_name: str,
+    parameters: Sequence[float],
+    with_dpm: Dict[str, Sequence[float]],
+    without_dpm: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+) -> str:
+    """Side-by-side DPM vs NO-DPM table for a swept parameter."""
+    measure_names = list(with_dpm)
+    headers = [parameter_name]
+    for name in measure_names:
+        headers.append(f"{name} (DPM)")
+        headers.append(f"{name} (NO-DPM)")
+    rows = []
+    for position, parameter in enumerate(parameters):
+        row: List[object] = [parameter]
+        for name in measure_names:
+            row.append(with_dpm[name][position])
+            nodpm_values = without_dpm.get(name)
+            row.append(
+                nodpm_values[position] if nodpm_values is not None else "-"
+            )
+        rows.append(row)
+    return format_table(headers, rows, title)

@@ -1,0 +1,133 @@
+"""Energy/quality trade-off analysis (the paper's Figs. 7 and 8).
+
+The final step of the methodology plots, for every DPM operation rate, the
+energy cost against a performance penalty (waiting time for rpc, miss rate
+for streaming).  The paper observes that several points of the general rpc
+curve are *beyond the Pareto curve* — dominated by other operating points
+both in energy and in performance — which identifies counterproductive DPM
+timeouts.  This module provides the curve container and Pareto analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One DPM operating point on a trade-off curve.
+
+    ``parameter`` is the swept DPM operation rate (shutdown timeout / awake
+    period); ``performance`` and ``energy`` are the two objectives, both to
+    be minimised (callers pass e.g. waiting time, not throughput).
+    """
+
+    parameter: float
+    performance: float
+    energy: float
+
+    def dominates(self, other: "TradeoffPoint", tolerance: float = 0.0) -> bool:
+        """Strict Pareto dominance (both objectives minimised)."""
+        not_worse = (
+            self.performance <= other.performance + tolerance
+            and self.energy <= other.energy + tolerance
+        )
+        strictly_better = (
+            self.performance < other.performance - tolerance
+            or self.energy < other.energy - tolerance
+        )
+        return not_worse and strictly_better
+
+
+@dataclass
+class TradeoffCurve:
+    """A named trade-off curve (one per model family/phase)."""
+
+    name: str
+    points: List[TradeoffPoint]
+
+    @classmethod
+    def from_sweep(
+        cls,
+        name: str,
+        parameters: Sequence[float],
+        performance: Sequence[float],
+        energy: Sequence[float],
+    ) -> "TradeoffCurve":
+        """Assemble a curve from parallel sweep result arrays."""
+        if not (len(parameters) == len(performance) == len(energy)):
+            raise ValueError("sweep arrays must have equal length")
+        points = [
+            TradeoffPoint(p, x, y)
+            for p, x, y in zip(parameters, performance, energy)
+        ]
+        return cls(name, points)
+
+    def pareto_front(self, tolerance: float = 0.0) -> List[TradeoffPoint]:
+        """Non-dominated points, sorted by performance."""
+        front = [
+            point
+            for point in self.points
+            if not any(
+                other.dominates(point, tolerance)
+                for other in self.points
+                if other is not point
+            )
+        ]
+        return sorted(front, key=lambda p: (p.performance, p.energy))
+
+    def dominated_points(self, tolerance: float = 0.0) -> List[TradeoffPoint]:
+        """Operating points beyond the Pareto curve (counterproductive)."""
+        front = set(id(p) for p in self.pareto_front(tolerance))
+        return [p for p in self.points if id(p) not in front]
+
+    def knee_point(self) -> Optional[TradeoffPoint]:
+        """Heuristic knee: closest front point to the normalised ideal."""
+        front = self.pareto_front()
+        if not front:
+            return None
+        performances = [p.performance for p in front]
+        energies = [p.energy for p in front]
+        performance_span = max(performances) - min(performances) or 1.0
+        energy_span = max(energies) - min(energies) or 1.0
+
+        def distance(point: TradeoffPoint) -> float:
+            dx = (point.performance - min(performances)) / performance_span
+            dy = (point.energy - min(energies)) / energy_span
+            return dx * dx + dy * dy
+
+        return min(front, key=distance)
+
+    def describe(self) -> str:
+        """Short textual summary (front size, dominated share, knee)."""
+        front = self.pareto_front()
+        dominated = self.dominated_points()
+        knee = self.knee_point()
+        lines = [
+            f"trade-off curve {self.name!r}: {len(self.points)} points, "
+            f"{len(front)} on the Pareto front, {len(dominated)} dominated"
+        ]
+        if knee is not None:
+            lines.append(
+                f"  knee at parameter={knee.parameter:g} "
+                f"(performance={knee.performance:.6g}, "
+                f"energy={knee.energy:.6g})"
+            )
+        for point in dominated:
+            lines.append(
+                f"  dominated: parameter={point.parameter:g} "
+                f"(performance={point.performance:.6g}, "
+                f"energy={point.energy:.6g})"
+            )
+        return "\n".join(lines)
+
+
+def compare_curves(
+    curves: Sequence[TradeoffCurve],
+) -> Dict[str, Tuple[int, int]]:
+    """Per-curve (front size, dominated count) summary table data."""
+    return {
+        curve.name: (len(curve.pareto_front()), len(curve.dominated_points()))
+        for curve in curves
+    }

@@ -1,0 +1,49 @@
+"""Continuous-time Markov chain machinery (the paper's Sect. 4 phase)."""
+
+from .build import build_ctmc, classify_states
+from .chain import CTMC, CTMCTransition
+from .lumping import lump, lumping_partition
+from .measure_lang import parse_measures
+from .measures import (
+    Measure,
+    RewardClause,
+    RewardKind,
+    evaluate_measure,
+    evaluate_measures,
+    measure,
+    state_clause,
+    state_reward_vector,
+    trans_clause,
+)
+from .rewards import (
+    absorption_probability,
+    accumulated_state_reward,
+    mean_time_to_absorption,
+)
+from .steady_state import steady_state
+from .transient import expected_state_reward_at, transient_distribution
+
+__all__ = [
+    "build_ctmc",
+    "classify_states",
+    "CTMC",
+    "CTMCTransition",
+    "lump",
+    "lumping_partition",
+    "parse_measures",
+    "Measure",
+    "RewardClause",
+    "RewardKind",
+    "evaluate_measure",
+    "evaluate_measures",
+    "measure",
+    "state_clause",
+    "state_reward_vector",
+    "trans_clause",
+    "absorption_probability",
+    "accumulated_state_reward",
+    "mean_time_to_absorption",
+    "steady_state",
+    "expected_state_reward_at",
+    "transient_distribution",
+]

@@ -1,0 +1,240 @@
+"""Continuous-time Markov chain representation.
+
+A :class:`CTMC` holds the *tangible* states of a Markovian model after
+vanishing-state elimination.  Each transition carries, besides its rate, the
+expected number of times every original action label is crossed when the
+transition fires (immediate actions traversed inside an eliminated vanishing
+path contribute fractional expected counts).  This keeps throughput-style
+measures of immediate actions exactly computable:
+
+    throughput(a) = sum over transitions  pi(source) * rate * counts[a]
+
+State-level information records which labels are *enabled* in each state,
+supporting the measure language's ``ENABLED(pattern) -> STATE_REWARD(r)``
+conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import MarkovianError
+
+
+@dataclass
+class CTMCTransition:
+    """One rate transition between tangible states."""
+
+    source: int
+    target: int
+    rate: float
+    label_counts: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise MarkovianError(
+                f"CTMC transition rate must be positive, got {self.rate}"
+            )
+
+
+class CTMC:
+    """A finite CTMC with label bookkeeping for reward measures."""
+
+    def __init__(self, num_states: int, initial_distribution=None):
+        if num_states <= 0:
+            raise MarkovianError("a CTMC needs at least one state")
+        self.num_states = num_states
+        if initial_distribution is None:
+            initial_distribution = np.zeros(num_states)
+            initial_distribution[0] = 1.0
+        self.initial_distribution = np.asarray(initial_distribution, float)
+        if self.initial_distribution.shape != (num_states,):
+            raise MarkovianError("initial distribution has wrong length")
+        if not np.isclose(self.initial_distribution.sum(), 1.0):
+            raise MarkovianError("initial distribution must sum to one")
+        self.transitions: List[CTMCTransition] = []
+        self._outgoing: Dict[int, List[CTMCTransition]] = {}
+        self._enabled_labels: Dict[int, FrozenSet[str]] = {}
+        self._state_info: Dict[int, str] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_transition(
+        self,
+        source: int,
+        target: int,
+        rate: float,
+        label_counts: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        """Add (or merge into) a transition between tangible states.
+
+        Parallel transitions between the same pair of states are merged:
+        rates add, and label counts merge weighted by rate so that
+        ``rate * counts`` (the throughput contribution) is preserved.
+        """
+        for state in (source, target):
+            if not 0 <= state < self.num_states:
+                raise MarkovianError(f"state {state} out of range")
+        counts = dict(label_counts or {})
+        for existing in self._outgoing.get(source, ()):
+            if existing.target == target:
+                merged_rate = existing.rate + rate
+                merged_counts: Dict[str, float] = {}
+                for label, count in existing.label_counts.items():
+                    merged_counts[label] = count * existing.rate / merged_rate
+                for label, count in counts.items():
+                    merged_counts[label] = (
+                        merged_counts.get(label, 0.0)
+                        + count * rate / merged_rate
+                    )
+                existing.rate = merged_rate
+                existing.label_counts = merged_counts
+                return
+        transition = CTMCTransition(source, target, rate, counts)
+        self.transitions.append(transition)
+        self._outgoing.setdefault(source, []).append(transition)
+
+    def set_enabled_labels(self, state: int, labels: FrozenSet[str]) -> None:
+        """Record which original labels are enabled in *state*."""
+        self._enabled_labels[state] = labels
+
+    def set_state_info(self, state: int, info: str) -> None:
+        """Attach a human-readable description to *state*."""
+        self._state_info[state] = info
+
+    # -- accessors -----------------------------------------------------------
+
+    def outgoing(self, state: int) -> List[CTMCTransition]:
+        """Transitions leaving *state*."""
+        return self._outgoing.get(state, [])
+
+    def enabled_labels(self, state: int) -> FrozenSet[str]:
+        """Original labels enabled in *state*."""
+        return self._enabled_labels.get(state, frozenset())
+
+    def state_info(self, state: int) -> str:
+        """Human-readable description of *state*."""
+        return self._state_info.get(state, f"state {state}")
+
+    def exit_rate(self, state: int) -> float:
+        """Total rate leaving *state* (self-loops excluded)."""
+        return sum(
+            t.rate for t in self.outgoing(state) if t.target != state
+        )
+
+    def max_exit_rate(self) -> float:
+        """Largest exit rate over all states (uniformisation constant)."""
+        return max(
+            (self.exit_rate(state) for state in range(self.num_states)),
+            default=0.0,
+        )
+
+    # -- matrices -------------------------------------------------------------
+
+    def generator_matrix(self) -> sparse.csr_matrix:
+        """The infinitesimal generator ``Q`` (self-loops cancel out)."""
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        diagonal = np.zeros(self.num_states)
+        for transition in self.transitions:
+            if transition.source == transition.target:
+                continue
+            rows.append(transition.source)
+            cols.append(transition.target)
+            data.append(transition.rate)
+            diagonal[transition.source] -= transition.rate
+        for state in range(self.num_states):
+            rows.append(state)
+            cols.append(state)
+            data.append(diagonal[state])
+        return sparse.csr_matrix(
+            (data, (rows, cols)), shape=(self.num_states, self.num_states)
+        )
+
+    def uniformized_matrix(
+        self, uniformization_rate: Optional[float] = None
+    ) -> Tuple[sparse.csr_matrix, float]:
+        """The DTMC ``P = I + Q / Lambda`` used by uniformisation."""
+        rate = uniformization_rate
+        if rate is None:
+            rate = self.max_exit_rate() * 1.02
+        if rate <= 0:
+            raise MarkovianError(
+                "cannot uniformise a chain with no positive exit rate"
+            )
+        identity = sparse.identity(self.num_states, format="csr")
+        return identity + self.generator_matrix() / rate, rate
+
+    # -- structure ---------------------------------------------------------------
+
+    def bottom_strongly_connected_components(self) -> List[Set[int]]:
+        """BSCCs of the transition graph (Tarjan, iterative)."""
+        successors: Dict[int, List[int]] = {
+            s: [t.target for t in self.outgoing(s) if t.target != s]
+            for s in range(self.num_states)
+        }
+        index_counter = [0]
+        stack: List[int] = []
+        lowlink: Dict[int, int] = {}
+        index: Dict[int, int] = {}
+        on_stack: Dict[int, bool] = {}
+        components: List[Set[int]] = []
+
+        for root in range(self.num_states):
+            if root in index:
+                continue
+            work = [(root, iter(successors[root]))]
+            index[root] = lowlink[root] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(root)
+            on_stack[root] = True
+            while work:
+                node, successor_iter = work[-1]
+                advanced = False
+                for successor in successor_iter:
+                    if successor not in index:
+                        index[successor] = lowlink[successor] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(successor)
+                        on_stack[successor] = True
+                        work.append((successor, iter(successors[successor])))
+                        advanced = True
+                        break
+                    if on_stack.get(successor):
+                        lowlink[node] = min(lowlink[node], index[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: Set[int] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        bottom: List[Set[int]] = []
+        for component in components:
+            is_bottom = all(
+                target in component
+                for state in component
+                for target in successors[state]
+            )
+            if is_bottom:
+                bottom.append(component)
+        return bottom
+
+    def __str__(self) -> str:
+        return (
+            f"CTMC({self.num_states} states, {len(self.transitions)} "
+            f"transitions)"
+        )

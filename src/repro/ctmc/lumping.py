@@ -1,0 +1,118 @@
+"""Ordinary lumping of CTMCs.
+
+Large models often contain symmetric structure; *ordinary lumpability*
+collapses states whose aggregate behaviour is indistinguishable, yielding
+an exactly equivalent smaller chain.  The partition is computed by rate-
+aware signature refinement (as in :func:`repro.lts.bisimulation` but on the
+chain itself), with the initial partition separating states by their
+enabled-label sets so that every ``ENABLED``-based measure keeps its exact
+value on the quotient — asserted in tests against the case-study models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from ..errors import MarkovianError
+from .chain import CTMC
+
+
+def lumping_partition(ctmc: CTMC) -> List[int]:
+    """Block id per state of the coarsest measure-preserving lumping."""
+    # Initial partition: states with the same enabled labels (so that
+    # STATE_REWARD conditions stay constant within blocks).
+    block_of: List[int] = [0] * ctmc.num_states
+    signatures: Dict[FrozenSet[str], int] = {}
+    for state in range(ctmc.num_states):
+        key = ctmc.enabled_labels(state)
+        if key not in signatures:
+            signatures[key] = len(signatures)
+        block_of[state] = signatures[key]
+
+    while True:
+        new_keys: Dict[Tuple, int] = {}
+        new_block_of: List[int] = [0] * ctmc.num_states
+        for state in range(ctmc.num_states):
+            totals: Dict[Tuple[int, str], float] = {}
+            for transition in ctmc.outgoing(state):
+                if transition.target == state:
+                    continue  # self-loops do not affect the dynamics
+                target_block = block_of[transition.target]
+                for label, count in transition.label_counts.items():
+                    key = (target_block, label)
+                    totals[key] = totals.get(key, 0.0) + (
+                        transition.rate * count
+                    )
+                totals[(target_block, "")] = totals.get(
+                    (target_block, ""), 0.0
+                ) + transition.rate
+            signature = (
+                block_of[state],
+                frozenset(
+                    (block, label, round(total, 12))
+                    for (block, label), total in totals.items()
+                ),
+            )
+            if signature not in new_keys:
+                new_keys[signature] = len(new_keys)
+            new_block_of[state] = new_keys[signature]
+        if len(new_keys) == len(set(block_of)):
+            return block_of
+        block_of = new_block_of
+
+
+def lump(ctmc: CTMC) -> Tuple[CTMC, List[int]]:
+    """Return the lumped quotient chain and the state->block map.
+
+    The quotient preserves the steady-state value of every measure whose
+    conditions the initial partition respects (all ``ENABLED``-based
+    measures) — rates between blocks aggregate, label counts aggregate
+    rate-weighted, and the initial distribution sums per block.
+    """
+    block_of = lumping_partition(ctmc)
+    num_blocks = len(set(block_of))
+    blocks: Dict[int, List[int]] = {}
+    for state, block in enumerate(block_of):
+        blocks.setdefault(block, []).append(state)
+
+    initial = np.zeros(num_blocks)
+    for state, block in enumerate(block_of):
+        initial[block] += ctmc.initial_distribution[state]
+    quotient = CTMC(num_blocks, initial)
+    for block, members in blocks.items():
+        representative = members[0]
+        quotient.set_enabled_labels(
+            block, ctmc.enabled_labels(representative)
+        )
+        quotient.set_state_info(
+            block,
+            "{" + "; ".join(
+                ctmc.state_info(member) for member in members[:2]
+            ) + ("; ...}" if len(members) > 2 else "}"),
+        )
+        for transition in ctmc.outgoing(representative):
+            if transition.target == representative and len(members) == 1:
+                # True self-loop on a singleton block: keep it (it may
+                # carry TRANS_REWARD label counts).
+                quotient.add_transition(
+                    block, block, transition.rate, transition.label_counts
+                )
+                continue
+            quotient.add_transition(
+                block,
+                block_of[transition.target],
+                transition.rate,
+                transition.label_counts,
+            )
+    return quotient, block_of
+
+
+def lift_distribution(
+    pi_quotient: np.ndarray, block_of: List[int]
+) -> np.ndarray:
+    """Aggregate check helper: block masses from a quotient solution."""
+    if len(pi_quotient) != len(set(block_of)):
+        raise MarkovianError("quotient distribution has wrong length")
+    return np.asarray(pi_quotient, float)

@@ -1,0 +1,135 @@
+"""Parser for the MEASURE companion language.
+
+Grammar::
+
+    spec     := measure+
+    measure  := 'MEASURE' IDENT 'IS' clause+ ';'?
+    clause   := 'ENABLED' '(' pattern ')' '->' kind '(' number ')'
+    kind     := 'STATE_REWARD' | 'TRANS_REWARD'
+    pattern  := anything up to the matching ')' (label pattern, may contain
+                dots and '#')
+
+Comments starting with ``//`` run to the end of the line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..errors import ParseError
+from .measures import Measure, RewardClause, RewardKind
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*)
+  | (?P<measure>\bMEASURE\b)
+  | (?P<is>\bIS\b)
+  | (?P<enabled>\bENABLED\b)
+  | (?P<kind>\bSTATE_REWARD\b|\bTRANS_REWARD\b)
+  | (?P<arrow>->)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<semi>;)
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.#*]*)
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Tokens:
+    def __init__(self, source: str):
+        self.items: List[tuple] = []
+        line = 1
+        for match in _TOKEN_RE.finditer(source):
+            kind = match.lastgroup
+            text = match.group()
+            line += text.count("\n")
+            if kind in ("ws", "comment"):
+                continue
+            if kind == "bad":
+                raise ParseError(
+                    f"unexpected character {text!r} in measure spec", line
+                )
+            self.items.append((kind, text, line))
+        self.items.append(("eof", "", line))
+        self.position = 0
+
+    def peek(self):
+        return self.items[self.position]
+
+    def next(self):
+        item = self.items[self.position]
+        if item[0] != "eof":
+            self.position += 1
+        return item
+
+    def expect(self, kind: str):
+        item = self.peek()
+        if item[0] != kind:
+            raise ParseError(
+                f"expected {kind!r} in measure spec, found {item[1]!r}",
+                item[2],
+            )
+        return self.next()
+
+
+def _parse_pattern(tokens: _Tokens) -> str:
+    """Collect the raw label pattern inside ``ENABLED( ... )``."""
+    tokens.expect("lparen")
+    parts: List[str] = []
+    depth = 1
+    while True:
+        kind, text, line = tokens.peek()
+        if kind == "eof":
+            raise ParseError("unterminated ENABLED(...) pattern", line)
+        if kind == "lparen":
+            depth += 1
+        elif kind == "rparen":
+            depth -= 1
+            if depth == 0:
+                tokens.next()
+                break
+        parts.append(text)
+        tokens.next()
+    pattern = "".join(parts)
+    if not pattern:
+        raise ParseError("empty ENABLED(...) pattern")
+    return pattern
+
+
+def parse_measures(source: str) -> List[Measure]:
+    """Parse a measure specification into :class:`Measure` objects."""
+    tokens = _Tokens(source)
+    measures: List[Measure] = []
+    while tokens.peek()[0] != "eof":
+        tokens.expect("measure")
+        name = tokens.expect("ident")[1]
+        tokens.expect("is")
+        clauses: List[RewardClause] = []
+        while tokens.peek()[0] == "enabled":
+            tokens.next()
+            pattern = _parse_pattern(tokens)
+            tokens.expect("arrow")
+            kind_text = tokens.expect("kind")[1]
+            tokens.expect("lparen")
+            number = tokens.expect("number")[1]
+            tokens.expect("rparen")
+            clauses.append(
+                RewardClause(pattern, RewardKind(kind_text), float(number))
+            )
+        if tokens.peek()[0] == "semi":
+            tokens.next()
+        if not clauses:
+            kind, text, line = tokens.peek()
+            raise ParseError(
+                f"measure {name!r} has no clauses (next token {text!r})",
+                line,
+            )
+        measures.append(Measure(name, tuple(clauses)))
+    if not measures:
+        raise ParseError("no MEASURE definitions found")
+    return measures

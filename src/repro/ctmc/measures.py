@@ -1,0 +1,157 @@
+"""Reward-based performance measures.
+
+The paper expresses its performance indices in a companion language of
+reward structures (Sect. 4), e.g.::
+
+    MEASURE throughput IS
+      ENABLED(C.process_result_packet) -> TRANS_REWARD(1);
+    MEASURE energy IS
+      ENABLED(S.monitor_idle_server)    -> STATE_REWARD(2)
+      ENABLED(S.monitor_busy_server)    -> STATE_REWARD(3)
+      ENABLED(S.monitor_awaking_server) -> STATE_REWARD(2)
+
+Semantics (steady state ``pi``):
+
+* ``STATE_REWARD(r)`` under ``ENABLED(pattern)`` adds ``r`` to the reward of
+  every state in which a transition whose label matches ``pattern`` is
+  enabled; the measure accumulates ``sum_s pi(s) * reward(s)``;
+* ``TRANS_REWARD(r)`` adds an impulse ``r`` to every firing of a matching
+  transition; at steady state this contributes
+  ``sum pi(source) * rate * expected_label_count * r`` — a frequency.
+
+The same :class:`Measure` objects are consumed by the discrete-event
+simulator (time averages and firing rates), which is what makes the
+general-vs-Markovian validation of Sect. 5.1 a like-for-like comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from ..errors import SpecificationError
+from ..lts.labels import matches
+from .chain import CTMC
+
+
+class RewardKind(enum.Enum):
+    """State (rate) reward or transition (impulse) reward."""
+
+    STATE = "STATE_REWARD"
+    TRANS = "TRANS_REWARD"
+
+
+@dataclass(frozen=True)
+class RewardClause:
+    """``ENABLED(pattern) -> KIND(value)``."""
+
+    pattern: str
+    kind: RewardKind
+    value: float
+
+    def __str__(self) -> str:
+        return f"ENABLED({self.pattern}) -> {self.kind.value}({self.value:g})"
+
+
+@dataclass(frozen=True)
+class Measure:
+    """A named performance measure: an accumulation of reward clauses."""
+
+    name: str
+    clauses: Tuple[RewardClause, ...]
+
+    def __post_init__(self):
+        if not self.name.isidentifier():
+            raise SpecificationError(f"invalid measure name {self.name!r}")
+        if not self.clauses:
+            raise SpecificationError(
+                f"measure {self.name!r} has no reward clauses"
+            )
+
+    def state_reward(self, enabled_labels: Iterable[str]) -> float:
+        """Instantaneous reward of a state with the given enabled labels."""
+        labels = list(enabled_labels)
+        reward = 0.0
+        for clause in self.clauses:
+            if clause.kind is not RewardKind.STATE:
+                continue
+            if any(matches(clause.pattern, label) for label in labels):
+                reward += clause.value
+        return reward
+
+    def trans_reward(self, label: str) -> float:
+        """Impulse reward collected when a *label* transition fires."""
+        reward = 0.0
+        for clause in self.clauses:
+            if clause.kind is RewardKind.TRANS and matches(
+                clause.pattern, label
+            ):
+                reward += clause.value
+        return reward
+
+    def has_state_clauses(self) -> bool:
+        """True when any clause is a STATE_REWARD."""
+        return any(c.kind is RewardKind.STATE for c in self.clauses)
+
+    def has_trans_clauses(self) -> bool:
+        """True when any clause is a TRANS_REWARD."""
+        return any(c.kind is RewardKind.TRANS for c in self.clauses)
+
+    def __str__(self) -> str:
+        body = "\n  ".join(str(c) for c in self.clauses)
+        return f"MEASURE {self.name} IS\n  {body}"
+
+
+def state_reward_vector(ctmc: CTMC, measure: Measure) -> np.ndarray:
+    """Per-state instantaneous rewards of *measure* over *ctmc*."""
+    rewards = np.zeros(ctmc.num_states)
+    for state in range(ctmc.num_states):
+        rewards[state] = measure.state_reward(ctmc.enabled_labels(state))
+    return rewards
+
+
+def evaluate_measure(
+    ctmc: CTMC, pi: np.ndarray, measure: Measure
+) -> float:
+    """Steady-state value of *measure* under distribution *pi*."""
+    pi = np.asarray(pi, float)
+    if pi.shape != (ctmc.num_states,):
+        raise SpecificationError("pi has wrong length for this chain")
+    value = 0.0
+    if measure.has_state_clauses():
+        value += float(pi @ state_reward_vector(ctmc, measure))
+    if measure.has_trans_clauses():
+        for transition in ctmc.transitions:
+            weight = pi[transition.source] * transition.rate
+            if weight == 0.0:
+                continue
+            for label, count in transition.label_counts.items():
+                reward = measure.trans_reward(label)
+                if reward:
+                    value += weight * count * reward
+    return value
+
+
+def evaluate_measures(
+    ctmc: CTMC, pi: np.ndarray, measures: Iterable[Measure]
+) -> Dict[str, float]:
+    """Evaluate several measures at once."""
+    return {m.name: evaluate_measure(ctmc, pi, m) for m in measures}
+
+
+def measure(name: str, *clauses: RewardClause) -> Measure:
+    """Convenience constructor."""
+    return Measure(name, tuple(clauses))
+
+
+def state_clause(pattern: str, value: float) -> RewardClause:
+    """``ENABLED(pattern) -> STATE_REWARD(value)``."""
+    return RewardClause(pattern, RewardKind.STATE, float(value))
+
+
+def trans_clause(pattern: str, value: float = 1.0) -> RewardClause:
+    """``ENABLED(pattern) -> TRANS_REWARD(value)``."""
+    return RewardClause(pattern, RewardKind.TRANS, float(value))

@@ -1,0 +1,216 @@
+"""Accumulated rewards and absorption analysis.
+
+Two natural extensions of the paper's steady-state measures, both useful
+for battery-powered devices:
+
+* :func:`accumulated_state_reward` — the expected reward accumulated over
+  a finite horizon ``[0, t]`` (e.g. *energy drawn in the first second*),
+  computed by integrating the uniformised transient series:
+
+  .. math::
+     E[Y(t)] = \\int_0^t \\pi(u) r \\, du
+             = \\frac{1}{\\Lambda} \\sum_{k \\ge 0}
+               \\bigl(1 - F_{\\Lambda t}(k)\\bigr) \\, \\pi_0 P^k r
+
+  where ``F`` is the Poisson CDF — Jensen's method applied to the
+  integral.
+
+* :func:`mean_time_to_absorption` — for chains with absorbing states
+  (e.g. *battery empty*), the expected time to reach them from each
+  transient state, via the linear system ``Q_TT m = -1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from ..errors import SolverError
+from .chain import CTMC
+
+
+def accumulated_state_reward(
+    ctmc: CTMC,
+    time: float,
+    rewards: Sequence[float],
+    initial: Optional[np.ndarray] = None,
+    epsilon: float = 1e-10,
+    max_terms: int = 1_000_000,
+) -> float:
+    """Expected state reward accumulated over ``[0, time]``."""
+    if time < 0:
+        raise SolverError(f"time must be non-negative, got {time}")
+    rewards = np.asarray(rewards, float)
+    if rewards.shape != (ctmc.num_states,):
+        raise SolverError("reward vector has wrong length")
+    pi0 = (
+        np.asarray(initial, float)
+        if initial is not None
+        else ctmc.initial_distribution.copy()
+    )
+    if pi0.shape != (ctmc.num_states,):
+        raise SolverError("initial distribution has wrong length")
+    if time == 0:
+        return 0.0
+    max_exit = ctmc.max_exit_rate()
+    if max_exit == 0:
+        # The chain never moves: reward accrues in the initial state.
+        return float(pi0 @ rewards) * time
+    probability_matrix, uniformization_rate = ctmc.uniformized_matrix()
+    poisson_rate = uniformization_rate * time
+
+    # Poisson CDF terms computed incrementally in log space.
+    log_pmf = -poisson_rate  # log pmf(0)
+    cdf = math.exp(log_pmf)
+    term = pi0.copy()
+    total = float(term @ rewards) * (1.0 - cdf)
+    k = 0
+    # Accumulate until the Poisson tail (and hence every remaining
+    # contribution) is negligible.
+    while 1.0 - cdf > epsilon:
+        k += 1
+        if k > max_terms:
+            raise SolverError(
+                f"accumulated-reward series did not converge within "
+                f"{max_terms} terms (Lambda*t = {poisson_rate:.3g})"
+            )
+        term = term @ probability_matrix
+        log_pmf += math.log(poisson_rate) - math.log(k)
+        cdf += math.exp(log_pmf)
+        total += float(term @ rewards) * max(0.0, 1.0 - cdf)
+    return total / uniformization_rate
+
+
+def mean_time_to_absorption(
+    ctmc: CTMC,
+    absorbing: Iterable[int],
+) -> np.ndarray:
+    """Expected time to hit the *absorbing* set from every state.
+
+    Absorbing states get 0.  Raises :class:`SolverError` when some
+    transient state cannot reach the absorbing set (its expectation would
+    be infinite).
+    """
+    absorbing_set = set(absorbing)
+    for state in absorbing_set:
+        if not 0 <= state < ctmc.num_states:
+            raise SolverError(f"absorbing state {state} out of range")
+    if not absorbing_set:
+        raise SolverError("need at least one absorbing state")
+    transient = [
+        s for s in range(ctmc.num_states) if s not in absorbing_set
+    ]
+    if not transient:
+        return np.zeros(ctmc.num_states)
+    index = {state: i for i, state in enumerate(transient)}
+
+    # Check reachability of the absorbing set from every transient state.
+    reaches = set(absorbing_set)
+    changed = True
+    while changed:
+        changed = False
+        for state in transient:
+            if state in reaches:
+                continue
+            if any(
+                t.target in reaches and t.target != state
+                for t in ctmc.outgoing(state)
+            ):
+                reaches.add(state)
+                changed = True
+    unreachable = [s for s in transient if s not in reaches]
+    if unreachable:
+        names = ", ".join(ctmc.state_info(s) for s in unreachable[:3])
+        raise SolverError(
+            f"state(s) {names} cannot reach the absorbing set; "
+            f"mean absorption time is infinite"
+        )
+
+    size = len(transient)
+    rows, cols, data = [], [], []
+    diagonal = np.zeros(size)
+    for state in transient:
+        for transition in ctmc.outgoing(state):
+            if transition.target == state:
+                continue
+            diagonal[index[state]] -= transition.rate
+            if transition.target in index:
+                rows.append(index[state])
+                cols.append(index[transition.target])
+                data.append(transition.rate)
+    for position in range(size):
+        rows.append(position)
+        cols.append(position)
+        data.append(diagonal[position])
+    q_tt = sparse.csr_matrix((data, (rows, cols)), shape=(size, size))
+    rhs = -np.ones(size)
+    try:
+        times = sparse_linalg.spsolve(q_tt, rhs)
+    except Exception as error:
+        raise SolverError(f"absorption solve failed: {error}") from error
+    if np.any(~np.isfinite(times)) or np.any(times < -1e-9):
+        raise SolverError("absorption solve produced invalid times")
+    result = np.zeros(ctmc.num_states)
+    for state, position in index.items():
+        result[state] = max(times[position], 0.0)
+    return result
+
+
+def absorption_probability(
+    ctmc: CTMC,
+    target: Iterable[int],
+    avoid: Iterable[int] = (),
+) -> np.ndarray:
+    """Probability of hitting *target* before *avoid*, from every state.
+
+    Target states get 1, avoid states 0; the rest solve the standard
+    first-passage linear system.
+    """
+    target_set = set(target)
+    avoid_set = set(avoid)
+    if target_set & avoid_set:
+        raise SolverError("target and avoid sets overlap")
+    if not target_set:
+        raise SolverError("need at least one target state")
+    boundary = target_set | avoid_set
+    transient = [
+        s for s in range(ctmc.num_states) if s not in boundary
+    ]
+    index = {state: i for i, state in enumerate(transient)}
+    size = len(transient)
+    result = np.zeros(ctmc.num_states)
+    for state in target_set:
+        result[state] = 1.0
+    if size == 0:
+        return result
+    rows, cols, data = [], [], []
+    rhs = np.zeros(size)
+    diagonal = np.zeros(size)
+    for state in transient:
+        for transition in ctmc.outgoing(state):
+            if transition.target == state:
+                continue
+            diagonal[index[state]] -= transition.rate
+            if transition.target in index:
+                rows.append(index[state])
+                cols.append(index[transition.target])
+                data.append(transition.rate)
+            elif transition.target in target_set:
+                rhs[index[state]] -= transition.rate
+    for position in range(size):
+        rows.append(position)
+        cols.append(position)
+        data.append(diagonal[position])
+    q_tt = sparse.csr_matrix((data, (rows, cols)), shape=(size, size))
+    try:
+        probabilities = sparse_linalg.spsolve(q_tt, rhs)
+    except Exception as error:
+        raise SolverError(f"first-passage solve failed: {error}") from error
+    probabilities = np.clip(probabilities, 0.0, 1.0)
+    for state, position in index.items():
+        result[state] = probabilities[position]
+    return result

@@ -1,0 +1,177 @@
+"""Steady-state solution of CTMCs.
+
+Three solvers are provided (benchmarked against each other in the ablation
+benches):
+
+* ``direct`` — sparse LU factorisation of the normalised balance equations;
+  exact up to floating point, the default for the case-study chains;
+* ``gauss_seidel`` — classic iterative sweep, low memory;
+* ``power`` — power iteration on the uniformised DTMC.
+
+All solvers operate on the recurrent class of the chain: the steady-state
+distribution assigns probability zero to transient states.  Chains with
+several bottom strongly connected components have no unique steady state
+and are rejected with a descriptive error.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from ..errors import SolverError
+from .chain import CTMC
+
+
+def steady_state(
+    ctmc: CTMC,
+    method: str = "direct",
+    tolerance: float = 1e-12,
+    max_iterations: int = 200_000,
+) -> np.ndarray:
+    """Compute the steady-state distribution of *ctmc*.
+
+    Returns a probability vector over all states; transient states get
+    probability zero.
+    """
+    bsccs = ctmc.bottom_strongly_connected_components()
+    if len(bsccs) == 0:
+        raise SolverError("chain has no bottom strongly connected component")
+    if len(bsccs) > 1:
+        sizes = ", ".join(str(len(b)) for b in bsccs)
+        raise SolverError(
+            f"chain has {len(bsccs)} bottom strongly connected components "
+            f"(sizes {sizes}); the steady state depends on the initial "
+            f"distribution and is not unique"
+        )
+    recurrent = sorted(bsccs[0])
+    if len(recurrent) == 1:
+        pi = np.zeros(ctmc.num_states)
+        pi[recurrent[0]] = 1.0
+        return pi
+    index = {state: i for i, state in enumerate(recurrent)}
+    sub_q = _submatrix(ctmc, recurrent, index)
+    if method == "direct":
+        sub_pi = _solve_direct(sub_q)
+    elif method == "gauss_seidel":
+        sub_pi = _solve_gauss_seidel(sub_q, tolerance, max_iterations)
+    elif method == "power":
+        sub_pi = _solve_power(ctmc, recurrent, index, tolerance, max_iterations)
+    else:
+        raise SolverError(
+            f"unknown steady-state method {method!r} "
+            f"(use direct, gauss_seidel or power)"
+        )
+    pi = np.zeros(ctmc.num_states)
+    for state, position in index.items():
+        pi[state] = sub_pi[position]
+    return pi
+
+
+def _submatrix(ctmc: CTMC, recurrent, index) -> sparse.csr_matrix:
+    size = len(recurrent)
+    rows, cols, data = [], [], []
+    diagonal = np.zeros(size)
+    for state in recurrent:
+        for transition in ctmc.outgoing(state):
+            if transition.target == state:
+                continue
+            rows.append(index[state])
+            cols.append(index[transition.target])
+            data.append(transition.rate)
+            diagonal[index[state]] -= transition.rate
+    for position in range(size):
+        rows.append(position)
+        cols.append(position)
+        data.append(diagonal[position])
+    return sparse.csr_matrix((data, (rows, cols)), shape=(size, size))
+
+
+def _solve_direct(q: sparse.csr_matrix) -> np.ndarray:
+    """Solve ``pi Q = 0, sum(pi) = 1`` by replacing one balance equation."""
+    size = q.shape[0]
+    system = q.transpose().tolil()
+    system[size - 1, :] = np.ones(size)
+    rhs = np.zeros(size)
+    rhs[size - 1] = 1.0
+    try:
+        solution = sparse_linalg.spsolve(system.tocsr(), rhs)
+    except Exception as error:  # scipy raises various internal types
+        raise SolverError(f"direct steady-state solve failed: {error}") from error
+    if np.any(~np.isfinite(solution)):
+        raise SolverError("direct steady-state solve produced non-finite values")
+    solution = np.maximum(solution, 0.0)
+    total = solution.sum()
+    if total <= 0:
+        raise SolverError("direct steady-state solve produced a zero vector")
+    return solution / total
+
+
+def _solve_gauss_seidel(
+    q: sparse.csr_matrix, tolerance: float, max_iterations: int
+) -> np.ndarray:
+    """Gauss-Seidel sweeps on ``Q^T pi^T = 0`` with renormalisation."""
+    size = q.shape[0]
+    qt = q.transpose().tocsr()
+    diag = qt.diagonal()
+    if np.any(diag == 0):
+        raise SolverError(
+            "Gauss-Seidel needs non-zero diagonal entries (absorbing state?)"
+        )
+    pi = np.full(size, 1.0 / size)
+    indptr, indices, data = qt.indptr, qt.indices, qt.data
+    for iteration in range(max_iterations):
+        old = pi.copy()
+        for row in range(size):
+            acc = 0.0
+            for position in range(indptr[row], indptr[row + 1]):
+                column = indices[position]
+                if column != row:
+                    acc += data[position] * pi[column]
+            pi[row] = -acc / diag[row]
+        total = pi.sum()
+        if total <= 0:
+            raise SolverError("Gauss-Seidel diverged to a non-positive vector")
+        pi /= total
+        if np.max(np.abs(pi - old)) < tolerance:
+            return pi
+    raise SolverError(
+        f"Gauss-Seidel did not converge within {max_iterations} iterations"
+    )
+
+
+def _solve_power(
+    ctmc: CTMC, recurrent, index, tolerance: float, max_iterations: int
+) -> np.ndarray:
+    """Power iteration on the uniformised DTMC restricted to the BSCC."""
+    size = len(recurrent)
+    exit_rates = np.zeros(size)
+    rows, cols, data = [], [], []
+    for state in recurrent:
+        for transition in ctmc.outgoing(state):
+            if transition.target == state:
+                continue
+            exit_rates[index[state]] += transition.rate
+            rows.append(index[state])
+            cols.append(index[transition.target])
+            data.append(transition.rate)
+    uniformization_rate = float(exit_rates.max()) * 1.02
+    if uniformization_rate <= 0:
+        raise SolverError("power iteration needs a positive exit rate")
+    probability_matrix = sparse.csr_matrix(
+        ([d / uniformization_rate for d in data], (rows, cols)),
+        shape=(size, size),
+    )
+    stay = 1.0 - exit_rates / uniformization_rate
+    pi = np.full(size, 1.0 / size)
+    for iteration in range(max_iterations):
+        updated = pi @ probability_matrix + pi * stay
+        updated /= updated.sum()
+        if np.max(np.abs(updated - pi)) < tolerance:
+            return updated
+        pi = updated
+    raise SolverError(
+        f"power iteration did not converge within {max_iterations} iterations"
+    )

@@ -1,0 +1,81 @@
+"""Transient solution of CTMCs by uniformisation (Jensen's method).
+
+``pi(t) = sum_k PoissonPMF(Lambda t; k) * pi(0) P^k`` where ``P`` is the
+uniformised DTMC.  The series is truncated adaptively once the accumulated
+Poisson mass reaches ``1 - epsilon``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SolverError
+from .chain import CTMC
+
+
+def transient_distribution(
+    ctmc: CTMC,
+    time: float,
+    initial: Optional[np.ndarray] = None,
+    epsilon: float = 1e-10,
+    max_terms: int = 1_000_000,
+) -> np.ndarray:
+    """Distribution over states at the given *time*."""
+    if time < 0:
+        raise SolverError(f"time must be non-negative, got {time}")
+    pi0 = (
+        np.asarray(initial, float)
+        if initial is not None
+        else ctmc.initial_distribution.copy()
+    )
+    if pi0.shape != (ctmc.num_states,):
+        raise SolverError("initial distribution has wrong length")
+    if time == 0:
+        return pi0
+    max_exit = ctmc.max_exit_rate()
+    if max_exit == 0:
+        return pi0  # no activity: the chain never moves
+    probability_matrix, uniformization_rate = ctmc.uniformized_matrix()
+    poisson_rate = uniformization_rate * time
+
+    # Accumulate the series with scaled Poisson weights to avoid overflow.
+    log_weight = -poisson_rate  # log PoissonPMF(k=0)
+    accumulated_mass = math.exp(log_weight)
+    result = pi0 * accumulated_mass if accumulated_mass > 0 else pi0 * 0.0
+    term = pi0.copy()
+    k = 0
+    while accumulated_mass < 1.0 - epsilon:
+        k += 1
+        if k > max_terms:
+            raise SolverError(
+                f"uniformisation did not converge within {max_terms} terms "
+                f"(Lambda*t = {poisson_rate:.3g})"
+            )
+        term = term @ probability_matrix
+        log_weight += math.log(poisson_rate) - math.log(k)
+        weight = math.exp(log_weight)
+        accumulated_mass += weight
+        if weight > 0:
+            result = result + term * weight
+    # Normalise away the truncated tail.
+    total = result.sum()
+    if total <= 0:
+        raise SolverError("transient solution lost all probability mass")
+    return result / total
+
+
+def expected_state_reward_at(
+    ctmc: CTMC,
+    time: float,
+    rewards: np.ndarray,
+    initial: Optional[np.ndarray] = None,
+) -> float:
+    """Expected instantaneous state reward at *time*."""
+    distribution = transient_distribution(ctmc, time, initial)
+    rewards = np.asarray(rewards, float)
+    if rewards.shape != (ctmc.num_states,):
+        raise SolverError("reward vector has wrong length")
+    return float(distribution @ rewards)

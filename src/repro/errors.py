@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one type to handle any library failure.  The
+sub-hierarchy mirrors the main subsystems: the Æmilia-like specification
+language, the state-space semantics, the Markovian (CTMC) machinery and the
+discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SpecificationError(ReproError):
+    """A specification (text or programmatic) is malformed."""
+
+
+class LexerError(SpecificationError):
+    """The tokenizer met a character sequence it cannot tokenize."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(SpecificationError):
+    """The parser met an unexpected token."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class TypeCheckError(SpecificationError):
+    """An expression or behaviour fails static type checking."""
+
+
+class EvaluationError(ReproError):
+    """An expression could not be evaluated (unbound name, bad operands)."""
+
+
+class SemanticsError(ReproError):
+    """State-space generation failed (e.g. unguarded recursion)."""
+
+
+class UnguardedRecursionError(SemanticsError):
+    """A process unfolds to itself without performing an action."""
+
+
+class StateSpaceLimitError(SemanticsError):
+    """State-space generation exceeded the configured state budget."""
+
+
+class AnalysisError(ReproError):
+    """An LTS analysis (bisimulation, model checking) failed."""
+
+
+class MarkovianError(ReproError):
+    """The Markovian model is not well formed (passive/general rates left)."""
+
+
+class ImmediateCycleError(MarkovianError):
+    """Vanishing-state elimination found a cycle of immediate transitions."""
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to produce a solution."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator met an inconsistent model."""
+
+
+class ValidationError(ReproError):
+    """Cross-validation between general and Markovian models failed."""

@@ -1,0 +1,90 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig3-markov
+    python -m repro.experiments all --quick
+    repro-experiments fig6            # console script
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from ..core.reporting import format_table
+from .registry import all_experiments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Assessing the Impact "
+            "of Dynamic Power Management...' (DSN 2004)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id, 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sweeps / simulation effort (CI mode)",
+    )
+    parser.add_argument(
+        "--no-charts",
+        action="store_true",
+        help="omit ASCII charts from figure reports",
+    )
+    return parser
+
+
+def _list_report() -> str:
+    experiments = all_experiments()
+    rows = [[e.id, e.paper_artifact] for e in experiments.values()]
+    return format_table(["id", "paper artifact"], rows, "available experiments")
+
+
+def run_experiment(identifier: str, quick: bool, charts: bool = True) -> str:
+    """Run one experiment and return its rendered report."""
+    experiments = all_experiments()
+    if identifier not in experiments:
+        known = ", ".join(experiments)
+        raise SystemExit(
+            f"unknown experiment {identifier!r}; known: {known}"
+        )
+    result = experiments[identifier].run(quick)
+    if hasattr(result, "report"):
+        try:
+            return result.report(charts=charts)
+        except TypeError:
+            return result.report()
+    return str(result)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print(_list_report())
+        return 0
+    targets = (
+        list(all_experiments())
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for target in targets:
+        started = time.time()
+        print(run_experiment(target, args.quick, charts=not args.no_charts))
+        print(f"[{target} done in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""Registry mapping experiment ids to their regeneration functions.
+
+The ids follow DESIGN.md's per-experiment index.  Every entry returns an
+object with a ``report()`` method; ``quick`` selects a reduced sweep /
+simulation effort suitable for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..casestudies import rpc, streaming
+from ..core.reporting import format_table
+from . import extensions, rpc_figures, streaming_figures
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable artifact of the paper."""
+
+    id: str
+    paper_artifact: str
+    run: Callable[[bool], object]  # quick -> result with .report()
+
+
+class _ParamsTable:
+    """The in-text parameter 'tables' of Sect. 4.1/4.2."""
+
+    def report(self) -> str:
+        rpc_params = rpc.DEFAULT_PARAMETERS
+        streaming_params = streaming.DEFAULT_PARAMETERS
+        lines = ["=== tab-params: case-study parameters (paper Sect. 4) ==="]
+        lines.append(
+            format_table(
+                ["rpc parameter", "value [ms]"],
+                [
+                    ["service time", rpc_params.service_time],
+                    ["awaking time", rpc_params.awake_time],
+                    ["propagation time", rpc_params.propagation_time],
+                    ["loss probability", rpc_params.loss_probability],
+                    ["client processing time", rpc_params.processing_time],
+                    ["client timeout", rpc_params.timeout_time],
+                    ["mean idle period", rpc_params.mean_idle_period],
+                ],
+            )
+        )
+        lines.append("")
+        lines.append(
+            format_table(
+                ["streaming parameter", "value"],
+                [
+                    ["AP buffer size", streaming_params.ap_capacity],
+                    ["client buffer size", streaming_params.b_capacity],
+                    ["frame period [ms]", streaming_params.frame_period],
+                    ["propagation time [ms]", streaming_params.propagation_time],
+                    ["loss probability", streaming_params.loss_probability],
+                    ["NIC checking time [ms]", streaming_params.check_time],
+                    ["NIC awaking time [ms]", streaming_params.nic_awake_time],
+                    ["initial client delay [ms]", streaming_params.initial_delay],
+                    ["rendering time [ms]", streaming_params.render_period],
+                    ["shutdown period [ms]", streaming_params.shutdown_period],
+                ],
+            )
+        )
+        return "\n".join(lines)
+
+
+def _experiments() -> List[Experiment]:
+    return [
+        Experiment(
+            "sec3-rpc",
+            "Sect. 3.1 noninterference check + distinguishing formula",
+            lambda quick: rpc_figures.sec3_noninterference(),
+        ),
+        Experiment(
+            "sec3-streaming",
+            "Sect. 3.2 noninterference check (streaming)",
+            lambda quick: streaming_figures.sec3_noninterference(),
+        ),
+        Experiment(
+            "fig3-markov",
+            "Fig. 3 left: rpc Markovian sweep",
+            lambda quick: rpc_figures.fig3_markov(
+                rpc_figures.QUICK_TIMEOUTS if quick else None
+            ),
+        ),
+        Experiment(
+            "fig3-general",
+            "Fig. 3 right: rpc general-model sweep",
+            lambda quick: rpc_figures.fig3_general(
+                rpc_figures.QUICK_TIMEOUTS if quick else None,
+                runs=4 if quick else 8,
+                run_length=10_000.0 if quick else 20_000.0,
+            ),
+        ),
+        Experiment(
+            "fig4",
+            "Fig. 4: streaming Markovian sweep",
+            lambda quick: streaming_figures.fig4_markov(
+                streaming_figures.QUICK_AWAKE_PERIODS if quick else None
+            ),
+        ),
+        Experiment(
+            "fig5",
+            "Fig. 5: validation of the rpc general model",
+            lambda quick: rpc_figures.fig5_validation(
+                [5.0, 15.0] if quick else None,
+                runs=8 if quick else 30,
+                run_length=10_000.0 if quick else 20_000.0,
+            ),
+        ),
+        Experiment(
+            "fig6",
+            "Fig. 6: streaming general-model sweep",
+            lambda quick: streaming_figures.fig6_general(
+                streaming_figures.QUICK_AWAKE_PERIODS if quick else None,
+                runs=3 if quick else 6,
+                run_length=30_000.0 if quick else 60_000.0,
+            ),
+        ),
+        Experiment(
+            "fig7",
+            "Fig. 7: rpc energy/waiting trade-off",
+            lambda quick: rpc_figures.fig7_tradeoff(
+                runs=4 if quick else 8,
+                run_length=10_000.0 if quick else 20_000.0,
+            ),
+        ),
+        Experiment(
+            "fig8",
+            "Fig. 8: streaming energy/miss trade-off",
+            lambda quick: streaming_figures.fig8_tradeoff(
+                runs=3 if quick else 6,
+                run_length=30_000.0 if quick else 60_000.0,
+            ),
+        ),
+        Experiment(
+            "streaming-validation",
+            "Sect. 5.1 protocol applied to the streaming model",
+            lambda quick: streaming_figures.streaming_validation(
+                [50.0] if quick else None,
+                runs=6 if quick else 10,
+                run_length=20_000.0 if quick else 30_000.0,
+            ),
+        ),
+        Experiment(
+            "tab-params",
+            "Sect. 4.1/4.2 parameter sets",
+            lambda quick: _ParamsTable(),
+        ),
+        Experiment(
+            "ext-battery",
+            "extension: battery lifetime by first-passage analysis",
+            lambda quick: extensions.battery_lifetime(
+                timeouts=(1.0, 5.0) if quick else (1.0, 5.0, 15.0),
+                capacity=15 if quick else 25,
+            ),
+        ),
+        Experiment(
+            "ext-survival",
+            "extension: battery survival curves by transient analysis",
+            lambda quick: extensions.battery_survival(
+                times=(
+                    (50.0, 150.0, 300.0)
+                    if quick
+                    else (50.0, 100.0, 200.0, 300.0, 450.0, 600.0)
+                ),
+                capacity=8 if quick else 12,
+            ),
+        ),
+        Experiment(
+            "ext-sensitivity",
+            "extension: DPM benefit vs workload parameters",
+            lambda quick: extensions.sensitivity(
+                values=(6.0, 9.7, 20.0) if quick else (3.0, 6.0, 9.7, 20.0, 40.0),
+            ),
+        ),
+    ]
+
+
+def all_experiments() -> Dict[str, Experiment]:
+    """Registry keyed by experiment id."""
+    return {experiment.id: experiment for experiment in _experiments()}

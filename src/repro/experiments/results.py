@@ -1,0 +1,84 @@
+"""Result containers for the experiment harness.
+
+Every figure of the paper is regenerated as a :class:`FigureResult`: the
+swept parameter, the per-measure series with and without DPM, and a
+rendered plain-text report (tables + ASCII charts).  Benchmarks print the
+report; tests assert on the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..core.reporting import ascii_chart, format_table
+
+
+@dataclass
+class FigureResult:
+    """Data regenerating one figure of the paper."""
+
+    figure_id: str
+    title: str
+    parameter_name: str
+    parameter_values: List[float]
+    dpm_series: Dict[str, List[float]]
+    nodpm_series: Dict[str, List[float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def series(self, measure: str, variant: str = "dpm") -> List[float]:
+        """One plotted series."""
+        source = self.dpm_series if variant == "dpm" else self.nodpm_series
+        return source[measure]
+
+    def report(self, charts: bool = True) -> str:
+        """Render tables (and optionally ASCII charts) for the figure."""
+        lines = [f"=== {self.figure_id}: {self.title} ==="]
+        headers = [self.parameter_name]
+        columns: List[List[float]] = []
+        for name, values in self.dpm_series.items():
+            headers.append(f"{name} (DPM)")
+            columns.append(values)
+            if name in self.nodpm_series:
+                headers.append(f"{name} (NO-DPM)")
+                columns.append(self.nodpm_series[name])
+        rows = []
+        for position, value in enumerate(self.parameter_values):
+            row: List[object] = [value]
+            row.extend(column[position] for column in columns)
+            rows.append(row)
+        lines.append(format_table(headers, rows))
+        if charts:
+            for name, values in self.dpm_series.items():
+                series = {f"{name} DPM": values}
+                if name in self.nodpm_series:
+                    series[f"{name} NO-DPM"] = self.nodpm_series[name]
+                lines.append("")
+                lines.append(
+                    ascii_chart(
+                        self.parameter_values,
+                        series,
+                        title=f"{self.figure_id} — {name}",
+                        x_label=self.parameter_name,
+                        y_label=name,
+                    )
+                )
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def constant_series(value: float, length: int) -> List[float]:
+    """Replicate a parameter-independent baseline across a sweep."""
+    return [value] * length
+
+
+def ratio_series(
+    numerators: Sequence[float], denominators: Sequence[float]
+) -> List[float]:
+    """Element-wise ratio with 0/0 treated as 0."""
+    result = []
+    for numerator, denominator in zip(numerators, denominators):
+        result.append(numerator / denominator if denominator else 0.0)
+    return result

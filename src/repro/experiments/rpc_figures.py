@@ -1,0 +1,274 @@
+"""Regeneration of the paper's rpc artifacts (Sect. 3.1, Figs. 3, 5, 7).
+
+Each function returns a :class:`~repro.experiments.results.FigureResult`
+(or a richer object) whose ``report()`` prints the same rows/series the
+paper plots.  ``quick=True`` shrinks simulation effort for test/benchmark
+runs; the shapes are stable either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..casestudies import rpc
+from ..core.methodology import IncrementalMethodology
+from ..core.noninterference import NoninterferenceResult, check_noninterference
+from ..core.tradeoff import TradeoffCurve
+from ..core.validation import ValidationReport
+from .results import FigureResult, constant_series, ratio_series
+
+#: Paper sweep: DPM shutdown timeout in ms (0..25 in the paper; exactly 0
+#: would be an infinite exponential rate).
+DEFAULT_TIMEOUTS = rpc.SHUTDOWN_TIMEOUT_SWEEP
+QUICK_TIMEOUTS = [0.5, 2.0, 5.0, 9.0, 11.0, 12.5, 15.0, 25.0]
+
+
+@dataclass
+class NoninterferenceFigure:
+    """The Sect. 3.1 experiment: simplified fails, revised passes."""
+
+    simplified: NoninterferenceResult
+    revised: NoninterferenceResult
+
+    def report(self) -> str:
+        lines = ["=== sec3-rpc: noninterference analysis of rpc ==="]
+        lines.append("-- simplified model (Sect. 2.3, trivial DPM):")
+        lines.append(self.simplified.diagnostic())
+        lines.append("")
+        lines.append("-- revised model (Sect. 3.1, state-aware DPM + timeout):")
+        lines.append(self.revised.diagnostic())
+        return "\n".join(lines)
+
+
+def sec3_noninterference() -> NoninterferenceFigure:
+    """Run the two functional checks of Sect. 3.1."""
+    simplified = check_noninterference(
+        rpc.functional.simplified_architecture(),
+        rpc.functional.HIGH_PATTERNS,
+        rpc.functional.LOW_PATTERNS,
+    )
+    revised = check_noninterference(
+        rpc.functional.revised_architecture(),
+        rpc.functional.HIGH_PATTERNS,
+        rpc.functional.LOW_PATTERNS,
+    )
+    return NoninterferenceFigure(simplified, revised)
+
+
+def _derive_rpc(series: Dict[str, List[float]]) -> Dict[str, List[float]]:
+    """Add the paper's derived indices to raw measure series."""
+    derived = dict(series)
+    derived["energy_per_request"] = ratio_series(
+        series["energy"], series["throughput"]
+    )
+    # Little's law: average waiting time = P(waiting) / throughput.
+    derived["avg_waiting_time"] = ratio_series(
+        series["waiting_time"], series["throughput"]
+    )
+    return derived
+
+
+def fig3_markov(
+    timeouts: Optional[Sequence[float]] = None,
+    methodology: Optional[IncrementalMethodology] = None,
+) -> FigureResult:
+    """Fig. 3 (left): rpc Markovian comparison, DPM vs NO-DPM."""
+    timeouts = list(timeouts if timeouts is not None else DEFAULT_TIMEOUTS)
+    methodology = methodology or IncrementalMethodology(rpc.family())
+    dpm = methodology.sweep_markovian("shutdown_timeout", timeouts, "dpm")
+    nodpm_point = methodology.solve_markovian("nodpm")
+    dpm = _derive_rpc(dpm)
+    nodpm = _derive_rpc(
+        {name: [value] for name, value in nodpm_point.items()}
+    )
+    nodpm = {
+        name: constant_series(values[0], len(timeouts))
+        for name, values in nodpm.items()
+    }
+    return FigureResult(
+        figure_id="fig3-left",
+        title="rpc Markovian model: throughput / waiting time / energy "
+        "per request vs DPM shutdown timeout",
+        parameter_name="shutdown timeout [ms]",
+        parameter_values=timeouts,
+        dpm_series={
+            "throughput": dpm["throughput"],
+            "waiting_time": dpm["waiting_time"],
+            "energy_per_request": dpm["energy_per_request"],
+        },
+        nodpm_series={
+            "throughput": nodpm["throughput"],
+            "waiting_time": nodpm["waiting_time"],
+            "energy_per_request": nodpm["energy_per_request"],
+        },
+        notes=[
+            "expected shape: the shorter the timeout, the larger the DPM "
+            "impact; energy/request below NO-DPM everywhere (the DPM is "
+            "never counterproductive in the Markovian model); all curves "
+            "converge to NO-DPM as the timeout grows",
+        ],
+    )
+
+
+def fig3_general(
+    timeouts: Optional[Sequence[float]] = None,
+    methodology: Optional[IncrementalMethodology] = None,
+    run_length: float = 20_000.0,
+    runs: int = 8,
+    warmup: float = 500.0,
+    seed: int = 20040628,
+) -> FigureResult:
+    """Fig. 3 (right): rpc general model (deterministic + Gaussian delays)."""
+    timeouts = list(timeouts if timeouts is not None else DEFAULT_TIMEOUTS)
+    methodology = methodology or IncrementalMethodology(rpc.family())
+    dpm = methodology.sweep_general(
+        "shutdown_timeout",
+        timeouts,
+        "dpm",
+        run_length=run_length,
+        runs=runs,
+        warmup=warmup,
+        seed=seed,
+    )
+    nodpm_rep = methodology.simulate_general(
+        "nodpm",
+        run_length=run_length,
+        runs=runs,
+        warmup=warmup,
+        seed=seed,
+    )
+    nodpm_point = {
+        name: nodpm_rep[name].mean for name in nodpm_rep.estimates
+    }
+    dpm = _derive_rpc(dpm)
+    nodpm_derived = _derive_rpc(
+        {name: [value] for name, value in nodpm_point.items()}
+    )
+    nodpm = {
+        name: constant_series(values[0], len(timeouts))
+        for name, values in nodpm_derived.items()
+    }
+    mean_idle = rpc.DEFAULT_PARAMETERS.mean_idle_period
+    return FigureResult(
+        figure_id="fig3-right",
+        title="rpc general model: deterministic timings, Gaussian channel",
+        parameter_name="shutdown timeout [ms]",
+        parameter_values=timeouts,
+        dpm_series={
+            "throughput": dpm["throughput"],
+            "waiting_time": dpm["waiting_time"],
+            "energy_per_request": dpm["energy_per_request"],
+        },
+        nodpm_series={
+            "throughput": nodpm["throughput"],
+            "waiting_time": nodpm["waiting_time"],
+            "energy_per_request": nodpm["energy_per_request"],
+        },
+        notes=[
+            f"expected shape: bimodal with the knee at the mean idle "
+            f"period ({mean_idle:.1f} ms); below it energy grows linearly "
+            f"with the timeout while throughput/waiting stay flat; above "
+            f"it the DPM has no effect; the DPM is counterproductive "
+            f"(energy/request above NO-DPM) for timeouts just below the "
+            f"idle period",
+        ],
+    )
+
+
+@dataclass
+class ValidationFigure:
+    """Fig. 5: general(exp) simulation vs Markovian analytic solution."""
+
+    timeouts: List[float]
+    reports: Dict[float, ValidationReport]
+
+    @property
+    def passed(self) -> bool:
+        return all(report.passed for report in self.reports.values())
+
+    def report(self) -> str:
+        lines = [
+            "=== fig5: validation of the rpc general model "
+            "(exponential plug-in vs Markovian analytic) ==="
+        ]
+        for timeout in self.timeouts:
+            lines.append(f"-- shutdown timeout {timeout} ms:")
+            lines.append(str(self.reports[timeout]))
+        lines.append(
+            "overall: " + ("PASSED" if self.passed else "FAILED")
+        )
+        return "\n".join(lines)
+
+
+def fig5_validation(
+    timeouts: Optional[Sequence[float]] = None,
+    methodology: Optional[IncrementalMethodology] = None,
+    run_length: float = 20_000.0,
+    runs: int = 30,
+    warmup: float = 500.0,
+    seed: int = 20040628,
+) -> ValidationFigure:
+    """Fig. 5: cross-validation at several shutdown timeouts (30 runs,
+    90% confidence intervals, as in the paper)."""
+    timeouts = list(timeouts if timeouts is not None else [5.0, 15.0, 25.0])
+    methodology = methodology or IncrementalMethodology(rpc.family())
+    reports = {}
+    for timeout in timeouts:
+        reports[timeout] = methodology.validate(
+            {"shutdown_timeout": timeout},
+            run_length=run_length,
+            runs=runs,
+            warmup=warmup,
+            seed=seed,
+        )
+    return ValidationFigure(list(timeouts), reports)
+
+
+@dataclass
+class TradeoffFigure:
+    """Fig. 7: energy/waiting-time trade-off, Markov + general curves."""
+
+    markov: TradeoffCurve
+    general: TradeoffCurve
+
+    def report(self) -> str:
+        lines = [
+            "=== fig7: rpc energy-per-request vs waiting-time trade-off ==="
+        ]
+        for curve in (self.markov, self.general):
+            lines.append(curve.describe())
+        lines.append(
+            "expected: the general curve contains Pareto-dominated points "
+            "(timeouts near the 11.3 ms idle period); the Markovian curve "
+            "does not"
+        )
+        return "\n".join(lines)
+
+
+def fig7_tradeoff(
+    markov_figure: Optional[FigureResult] = None,
+    general_figure: Optional[FigureResult] = None,
+    **general_kwargs,
+) -> TradeoffFigure:
+    """Fig. 7 from the fig3 sweeps (recomputing them if not supplied)."""
+    methodology = IncrementalMethodology(rpc.family())
+    if markov_figure is None:
+        markov_figure = fig3_markov(methodology=methodology)
+    if general_figure is None:
+        general_figure = fig3_general(
+            methodology=methodology, **general_kwargs
+        )
+    markov = TradeoffCurve.from_sweep(
+        "rpc Markov",
+        markov_figure.parameter_values,
+        markov_figure.dpm_series["waiting_time"],
+        markov_figure.dpm_series["energy_per_request"],
+    )
+    general = TradeoffCurve.from_sweep(
+        "rpc general",
+        general_figure.parameter_values,
+        general_figure.dpm_series["waiting_time"],
+        general_figure.dpm_series["energy_per_request"],
+    )
+    return TradeoffFigure(markov, general)

@@ -1,0 +1,269 @@
+"""Regeneration of the paper's streaming artifacts (Sect. 3.2, Figs. 4, 6, 8).
+
+The streaming indices (Sect. 4.2) are derived from the base reward
+measures:
+
+* ``energy_per_frame`` = NIC power / frames-received rate  [mJ/frame],
+* ``loss``  = buffer-overflow drops / frames produced,
+* ``miss``  = real-time violations / frame fetches,
+* ``quality`` = 1 - miss  (probability of delivering a frame in time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..casestudies import streaming
+from ..core.methodology import IncrementalMethodology
+from ..core.noninterference import NoninterferenceResult, check_noninterference
+from ..core.tradeoff import TradeoffCurve
+from ..core.validation import ValidationReport
+from .results import FigureResult, constant_series, ratio_series
+
+DEFAULT_AWAKE_PERIODS = streaming.AWAKE_PERIOD_SWEEP
+QUICK_AWAKE_PERIODS = [10.0, 50.0, 100.0, 200.0, 400.0, 800.0]
+
+
+def derive_streaming(series: Dict[str, List[float]]) -> Dict[str, List[float]]:
+    """Compute the paper's four indices from the base measures."""
+    energy_per_frame = ratio_series(
+        series["nic_power"], series["frames_received"]
+    )
+    loss = ratio_series(series["frames_lost"], series["frames_produced"])
+    miss = ratio_series(series["frame_misses"], series["frame_gets"])
+    quality = [1.0 - value for value in miss]
+    return {
+        "energy_per_frame": energy_per_frame,
+        "loss": loss,
+        "miss": miss,
+        "quality": quality,
+    }
+
+
+@dataclass
+class StreamingNoninterference:
+    """Sect. 3.2: the streaming model satisfies noninterference."""
+
+    result: NoninterferenceResult
+
+    def report(self) -> str:
+        lines = [
+            "=== sec3-streaming: noninterference analysis of the "
+            "PSP-managed NIC ==="
+        ]
+        lines.append(self.result.diagnostic())
+        return "\n".join(lines)
+
+
+def sec3_noninterference() -> StreamingNoninterference:
+    """Run the functional check of Sect. 3.2 (reduced buffer capacities)."""
+    result = check_noninterference(
+        streaming.functional.functional_architecture(),
+        streaming.functional.HIGH_PATTERNS,
+        streaming.functional.LOW_PATTERNS,
+        const_overrides=streaming.functional.FUNCTIONAL_CAPACITIES,
+    )
+    return StreamingNoninterference(result)
+
+
+def _figure(
+    figure_id: str,
+    title: str,
+    awake_periods: List[float],
+    dpm_raw: Dict[str, List[float]],
+    nodpm_raw: Dict[str, float],
+    notes: List[str],
+) -> FigureResult:
+    dpm = derive_streaming(dpm_raw)
+    nodpm_derived = derive_streaming(
+        {name: [value] for name, value in nodpm_raw.items()}
+    )
+    nodpm = {
+        name: constant_series(values[0], len(awake_periods))
+        for name, values in nodpm_derived.items()
+    }
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        parameter_name="awake period [ms]",
+        parameter_values=awake_periods,
+        dpm_series=dpm,
+        nodpm_series=nodpm,
+        notes=notes,
+    )
+
+
+def fig4_markov(
+    awake_periods: Optional[Sequence[float]] = None,
+    methodology: Optional[IncrementalMethodology] = None,
+) -> FigureResult:
+    """Fig. 4: streaming Markovian comparison, DPM vs NO-DPM."""
+    awake_periods = list(
+        awake_periods if awake_periods is not None else DEFAULT_AWAKE_PERIODS
+    )
+    methodology = methodology or IncrementalMethodology(streaming.family())
+    dpm_raw = methodology.sweep_markovian(
+        "awake_period", awake_periods, "dpm"
+    )
+    nodpm_raw = methodology.solve_markovian("nodpm")
+    return _figure(
+        "fig4",
+        "streaming Markovian model: energy per frame / loss / miss / "
+        "quality vs PSP awake period",
+        awake_periods,
+        dpm_raw,
+        nodpm_raw,
+        notes=[
+            "expected shape: energy per frame falls steeply then "
+            "flattens; miss grows and quality falls with the awake "
+            "period; loss is non-monotonic (client-side relief vs AP "
+            "pressure); around 50 ms the DPM saves ~70% energy at small "
+            "quality cost",
+        ],
+    )
+
+
+def fig6_general(
+    awake_periods: Optional[Sequence[float]] = None,
+    methodology: Optional[IncrementalMethodology] = None,
+    run_length: float = 60_000.0,
+    runs: int = 6,
+    warmup: float = 2_000.0,
+    seed: int = 20040628,
+) -> FigureResult:
+    """Fig. 6: streaming general model (deterministic CBR video)."""
+    awake_periods = list(
+        awake_periods if awake_periods is not None else DEFAULT_AWAKE_PERIODS
+    )
+    methodology = methodology or IncrementalMethodology(streaming.family())
+    dpm_raw = methodology.sweep_general(
+        "awake_period",
+        awake_periods,
+        "dpm",
+        run_length=run_length,
+        runs=runs,
+        warmup=warmup,
+        seed=seed,
+    )
+    nodpm_rep = methodology.simulate_general(
+        "nodpm",
+        run_length=run_length,
+        runs=runs,
+        warmup=warmup,
+        seed=seed,
+    )
+    nodpm_raw = {name: nodpm_rep[name].mean for name in nodpm_rep.estimates}
+    return _figure(
+        "fig6",
+        "streaming general model: deterministic CBR video, Gaussian "
+        "channel, PSP NIC",
+        awake_periods,
+        dpm_raw,
+        nodpm_raw,
+        notes=[
+            "expected shape (Sect. 5.3): no loss up to ~400 ms and no "
+            "miss up to ~100 ms awake periods; quality unaffected below "
+            "100 ms while energy saving exceeds 70% — the DPM is "
+            "transparent at the Aironet 350's 100 ms setting; doubling "
+            "to 200 ms degrades quality for negligible marginal saving",
+        ],
+    )
+
+
+@dataclass
+class StreamingValidationFigure:
+    """Validation of the streaming general model (Sect. 5.1 protocol)."""
+
+    awake_periods: List[float]
+    reports: Dict[float, ValidationReport]
+
+    @property
+    def passed(self) -> bool:
+        return all(report.passed for report in self.reports.values())
+
+    def report(self) -> str:
+        lines = [
+            "=== streaming validation (exponential plug-in vs Markovian "
+            "analytic) ==="
+        ]
+        for period in self.awake_periods:
+            lines.append(f"-- awake period {period} ms:")
+            lines.append(str(self.reports[period]))
+        lines.append("overall: " + ("PASSED" if self.passed else "FAILED"))
+        return "\n".join(lines)
+
+
+def streaming_validation(
+    awake_periods: Optional[Sequence[float]] = None,
+    methodology: Optional[IncrementalMethodology] = None,
+    run_length: float = 30_000.0,
+    runs: int = 10,
+    warmup: float = 1_000.0,
+    seed: int = 20040628,
+) -> StreamingValidationFigure:
+    """Cross-validate the streaming general model at several periods."""
+    awake_periods = list(
+        awake_periods if awake_periods is not None else [50.0, 200.0]
+    )
+    methodology = methodology or IncrementalMethodology(streaming.family())
+    reports = {}
+    for period in awake_periods:
+        reports[period] = methodology.validate(
+            {"awake_period": period},
+            run_length=run_length,
+            runs=runs,
+            warmup=warmup,
+            seed=seed,
+            relative_tolerance=0.15,
+        )
+    return StreamingValidationFigure(list(awake_periods), reports)
+
+
+@dataclass
+class StreamingTradeoffFigure:
+    """Fig. 8: energy-per-frame vs miss-rate trade-off."""
+
+    markov: TradeoffCurve
+    general: TradeoffCurve
+
+    def report(self) -> str:
+        lines = [
+            "=== fig8: streaming energy-per-frame vs miss-rate trade-off ==="
+        ]
+        for curve in (self.markov, self.general):
+            lines.append(curve.describe())
+        lines.append(
+            "expected: both curves share the qualitative shape; the "
+            "general model offers sizeable energy savings at zero miss "
+            "cost (DPM completely transparent for small awake periods)"
+        )
+        return "\n".join(lines)
+
+
+def fig8_tradeoff(
+    markov_figure: Optional[FigureResult] = None,
+    general_figure: Optional[FigureResult] = None,
+    **general_kwargs,
+) -> StreamingTradeoffFigure:
+    """Fig. 8 from the fig4/fig6 sweeps (recomputing if not supplied)."""
+    methodology = IncrementalMethodology(streaming.family())
+    if markov_figure is None:
+        markov_figure = fig4_markov(methodology=methodology)
+    if general_figure is None:
+        general_figure = fig6_general(
+            methodology=methodology, **general_kwargs
+        )
+    markov = TradeoffCurve.from_sweep(
+        "streaming Markov",
+        markov_figure.parameter_values,
+        markov_figure.dpm_series["miss"],
+        markov_figure.dpm_series["energy_per_frame"],
+    )
+    general = TradeoffCurve.from_sweep(
+        "streaming general",
+        general_figure.parameter_values,
+        general_figure.dpm_series["miss"],
+        general_figure.dpm_series["energy_per_frame"],
+    )
+    return StreamingTradeoffFigure(markov, general)

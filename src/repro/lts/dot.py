@@ -1,0 +1,105 @@
+"""GraphViz (DOT) export of LTSs and CTMCs.
+
+Small models are much easier to review as pictures; these exporters
+produce standard ``.dot`` text (render with ``dot -Tpdf``).  Rates are
+printed on the edges, the initial state is marked with a double circle,
+and deadlock states are shaded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ctmc.chain import CTMC
+from .labels import TAU
+from .lts import LTS
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def lts_to_dot(
+    lts: LTS,
+    name: str = "lts",
+    include_state_info: bool = False,
+    max_states: Optional[int] = None,
+) -> str:
+    """Render an LTS as a DOT digraph."""
+    limit = lts.num_states if max_states is None else min(
+        max_states, lts.num_states
+    )
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;"]
+    for state in range(limit):
+        attributes = []
+        if state == lts.initial:
+            attributes.append("shape=doublecircle")
+        else:
+            attributes.append("shape=circle")
+        if not lts.outgoing(state):
+            attributes.append('style=filled fillcolor="#dddddd"')
+        label = (
+            _escape(lts.state_info(state))
+            if include_state_info
+            else str(state)
+        )
+        attributes.append(f'label="{label}"')
+        lines.append(f"  s{state} [{' '.join(attributes)}];")
+    for transition in lts.transitions:
+        if transition.source >= limit or transition.target >= limit:
+            continue
+        label = transition.label
+        if transition.rate is not None:
+            label += f"\\n{transition.rate}"
+        style = ' style=dashed color="#888888"' if transition.label == TAU else ""
+        lines.append(
+            f'  s{transition.source} -> s{transition.target} '
+            f'[label="{_escape(label)}"{style}];'
+        )
+    if limit < lts.num_states:
+        lines.append(
+            f'  truncated [shape=note label="{lts.num_states - limit} '
+            f'more states not shown"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ctmc_to_dot(
+    ctmc: CTMC,
+    name: str = "ctmc",
+    include_state_info: bool = False,
+    max_states: Optional[int] = None,
+) -> str:
+    """Render a CTMC as a DOT digraph (rates on edges)."""
+    limit = ctmc.num_states if max_states is None else min(
+        max_states, ctmc.num_states
+    )
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;"]
+    for state in range(limit):
+        label = (
+            _escape(ctmc.state_info(state))
+            if include_state_info
+            else str(state)
+        )
+        initial_mass = ctmc.initial_distribution[state]
+        shape = "doublecircle" if initial_mass > 0 else "circle"
+        lines.append(f'  s{state} [shape={shape} label="{label}"];')
+    for transition in ctmc.transitions:
+        if transition.source >= limit or transition.target >= limit:
+            continue
+        labels = ", ".join(sorted(transition.label_counts)[:2])
+        text = f"{transition.rate:.4g}"
+        if labels:
+            text += f"\\n{labels}"
+        lines.append(
+            f'  s{transition.source} -> s{transition.target} '
+            f'[label="{_escape(text)}"];'
+        )
+    if limit < ctmc.num_states:
+        lines.append(
+            f'  truncated [shape=note label="{ctmc.num_states - limit} '
+            f'more states not shown"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

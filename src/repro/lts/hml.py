@@ -1,0 +1,145 @@
+"""Hennessy–Milner logic with weak modalities.
+
+The equivalence checker of the paper's toolchain reports failed checks as a
+modal-logic formula satisfied by one system and not by the other, e.g.::
+
+    EXISTS_WEAK_TRANS(
+      LABEL(C.send_rpc_packet#RCS.get_packet);
+      REACHED_STATE_SAT(
+        NOT(EXISTS_WEAK_TRANS(
+          LABEL(RSC.deliver_packet#C.receive_result_packet);
+          REACHED_STATE_SAT(TRUE)))))
+
+This module defines the formula AST, its satisfaction relation over the
+*weak* transition relation (so formulas distinguish exactly up to weak
+bisimilarity) and the TwoTowers-style rendering above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .weak import WeakStructure
+
+
+class Formula:
+    """Base class of HML formulas (weak modalities)."""
+
+    def satisfied_by(self, structure: WeakStructure, state: int) -> bool:
+        """Evaluate the formula at *state* of the given weak structure."""
+        raise NotImplementedError
+
+    def render(self, indent: int = 0) -> str:
+        """Render in the TwoTowers-like concrete syntax."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of AST nodes (used to prefer small diagnostics)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The trivially true formula."""
+
+    def satisfied_by(self, structure: WeakStructure, state: int) -> bool:
+        return True
+
+    def render(self, indent: int = 0) -> str:
+        return " " * indent + "TRUE"
+
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def satisfied_by(self, structure: WeakStructure, state: int) -> bool:
+        return not self.operand.satisfied_by(structure, state)
+
+    def render(self, indent: int = 0) -> str:
+        pad = " " * indent
+        inner = self.operand.render(indent + 2)
+        return f"{pad}NOT(\n{inner}\n{pad})"
+
+    def size(self) -> int:
+        return 1 + self.operand.size()
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Finite conjunction (empty conjunction is TRUE)."""
+
+    operands: Tuple[Formula, ...]
+
+    def satisfied_by(self, structure: WeakStructure, state: int) -> bool:
+        return all(op.satisfied_by(structure, state) for op in self.operands)
+
+    def render(self, indent: int = 0) -> str:
+        pad = " " * indent
+        if not self.operands:
+            return pad + "TRUE"
+        if len(self.operands) == 1:
+            return self.operands[0].render(indent)
+        inner = ";\n".join(op.render(indent + 2) for op in self.operands)
+        return f"{pad}AND(\n{inner}\n{pad})"
+
+    def size(self) -> int:
+        return 1 + sum(op.size() for op in self.operands)
+
+
+@dataclass(frozen=True)
+class DiamondWeak(Formula):
+    """``EXISTS_WEAK_TRANS(LABEL(a); REACHED_STATE_SAT(phi))``.
+
+    Satisfied when some weak ``a``-successor satisfies the continuation.
+    For ``a == tau`` the empty move counts (the state itself is among its
+    weak tau-successors).
+    """
+
+    label: str
+    continuation: Formula
+
+    def satisfied_by(self, structure: WeakStructure, state: int) -> bool:
+        return any(
+            self.continuation.satisfied_by(structure, target)
+            for target in structure.weak_successors(state, self.label)
+        )
+
+    def render(self, indent: int = 0) -> str:
+        pad = " " * indent
+        inner = self.continuation.render(indent + 4)
+        return (
+            f"{pad}EXISTS_WEAK_TRANS(\n"
+            f"{pad}  LABEL({self.label});\n"
+            f"{pad}  REACHED_STATE_SAT(\n{inner}\n"
+            f"{pad}  )\n"
+            f"{pad})"
+        )
+
+    def size(self) -> int:
+        return 1 + self.continuation.size()
+
+
+def conjunction(operands) -> Formula:
+    """Build a conjunction, deduplicating and flattening trivial cases."""
+    unique = []
+    seen = set()
+    for operand in operands:
+        if isinstance(operand, Top) or operand in seen:
+            continue
+        seen.add(operand)
+        unique.append(operand)
+    if not unique:
+        return Top()
+    if len(unique) == 1:
+        return unique[0]
+    return And(tuple(unique))

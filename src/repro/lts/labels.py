@@ -1,0 +1,62 @@
+"""Transition-label conventions and pattern matching.
+
+Labels of the composed system are structured strings:
+
+* ``Inst.action`` — an internal (or unattached) action of one instance;
+* ``InstA.out#InstB.in`` — a synchronisation between an output and an input
+  interaction (the paper's equivalence checker prints these, e.g.
+  ``C.send_rpc_packet#RCS.get_packet``);
+* ``tau`` — the invisible action produced by hiding.
+
+A *pattern* (used by noninterference high/low sets and by the measure
+language's ``ENABLED`` conditions) matches a label when it equals the whole
+label, equals one of its ``#``-separated participants, or is an
+``Inst.*`` wildcard covering every action of one instance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+#: The invisible action label.
+TAU = "tau"
+
+#: Separator between synchronising participants.
+SYNC_SEPARATOR = "#"
+
+
+def participants(label: str) -> List[str]:
+    """Split a label into its ``Inst.action`` participants."""
+    if label == TAU:
+        return []
+    return label.split(SYNC_SEPARATOR)
+
+
+def sync_label(*parts: str) -> str:
+    """Build a synchronisation label from participant strings."""
+    return SYNC_SEPARATOR.join(parts)
+
+
+def local_label(instance: str, action: str) -> str:
+    """Build the label of a local action."""
+    return f"{instance}.{action}"
+
+
+def matches(pattern: str, label: str) -> bool:
+    """Return True when *pattern* matches *label* (see module docstring)."""
+    if pattern == label:
+        return True
+    if label == TAU:
+        return False
+    parts = participants(label)
+    if pattern in parts:
+        return True
+    if pattern.endswith(".*"):
+        instance = pattern[:-2]
+        return any(part.startswith(instance + ".") for part in parts)
+    return False
+
+
+def matches_any(patterns: Iterable[str], label: str) -> bool:
+    """True when any of *patterns* matches *label*."""
+    return any(matches(pattern, label) for pattern in patterns)

@@ -1,0 +1,117 @@
+"""Operators on labelled transition systems: hide, restrict, relabel, union.
+
+These are the ingredients of the noninterference check of Sect. 3:
+
+* :func:`hide` turns matching labels into ``tau`` — the system *with* the
+  DPM but with its actions unobservable;
+* :func:`restrict` removes matching transitions — the system with the DPM
+  actions *prevented from occurring*;
+* :func:`disjoint_union` places two systems side by side so that a single
+  bisimulation computation can compare their initial states.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Tuple, Union
+
+from .labels import TAU, matches_any
+from .lts import LTS
+from .reachability import restrict_to_reachable
+
+LabelSelector = Union[Iterable[str], Callable[[str], bool]]
+
+
+def _as_predicate(selector: LabelSelector) -> Callable[[str], bool]:
+    if callable(selector):
+        return selector
+    patterns = list(selector)
+    return lambda label: matches_any(patterns, label)
+
+
+def hide(lts: LTS, selector: LabelSelector) -> LTS:
+    """Rename every matching label to ``tau``."""
+    predicate = _as_predicate(selector)
+    result = LTS(lts.initial)
+    for state in lts.states():
+        result.add_state()
+        result.set_state_info(state, lts.state_info(state))
+    for transition in lts.transitions:
+        label = TAU if predicate(transition.label) else transition.label
+        result.add_transition(
+            transition.source, label, transition.target, transition.rate,
+            transition.event, transition.weight,
+        )
+    return result
+
+
+def restrict(lts: LTS, selector: LabelSelector, prune: bool = True) -> LTS:
+    """Remove every transition with a matching label.
+
+    With ``prune`` (default) the result is restricted to the states still
+    reachable from the initial state.
+    """
+    predicate = _as_predicate(selector)
+    result = LTS(lts.initial)
+    for state in lts.states():
+        result.add_state()
+        result.set_state_info(state, lts.state_info(state))
+    for transition in lts.transitions:
+        if not predicate(transition.label):
+            result.add_transition(
+                transition.source,
+                transition.label,
+                transition.target,
+                transition.rate,
+                transition.event,
+                transition.weight,
+            )
+    return restrict_to_reachable(result) if prune else result
+
+
+def relabel(lts: LTS, mapping: Callable[[str], str]) -> LTS:
+    """Apply a label-to-label function to every transition."""
+    result = LTS(lts.initial)
+    for state in lts.states():
+        result.add_state()
+        result.set_state_info(state, lts.state_info(state))
+    for transition in lts.transitions:
+        result.add_transition(
+            transition.source,
+            mapping(transition.label),
+            transition.target,
+            transition.rate,
+            transition.event,
+            transition.weight,
+        )
+    return result
+
+
+def disjoint_union(first: LTS, second: LTS) -> Tuple[LTS, int, int]:
+    """Combine two systems over disjoint state sets.
+
+    Returns ``(union, initial_first, initial_second)`` where the two indices
+    locate the original initial states inside the union.
+    """
+    union = LTS(first.initial)
+    for state in first.states():
+        union.add_state()
+        union.set_state_info(state, "A:" + first.state_info(state))
+    offset = first.num_states
+    for state in second.states():
+        union.add_state()
+        union.set_state_info(offset + state, "B:" + second.state_info(state))
+    for transition in first.transitions:
+        union.add_transition(
+            transition.source, transition.label, transition.target,
+            transition.rate, transition.event, transition.weight,
+        )
+    for transition in second.transitions:
+        union.add_transition(
+            transition.source + offset,
+            transition.label,
+            transition.target + offset,
+            transition.rate,
+            transition.event,
+            transition.weight,
+        )
+    return union, first.initial, second.initial + offset

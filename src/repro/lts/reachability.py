@@ -1,0 +1,59 @@
+"""Reachability utilities for labelled transition systems."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from .lts import LTS
+
+
+def reachable_states(lts: LTS, start: int = None) -> Set[int]:
+    """States reachable from *start* (default: the initial state)."""
+    if start is None:
+        start = lts.initial
+    seen: Set[int] = {start}
+    frontier = deque([start])
+    while frontier:
+        state = frontier.popleft()
+        for transition in lts.outgoing(state):
+            if transition.target not in seen:
+                seen.add(transition.target)
+                frontier.append(transition.target)
+    return seen
+
+
+def restrict_to_reachable(lts: LTS) -> LTS:
+    """Return a copy containing only states reachable from the initial one.
+
+    States are renumbered in BFS discovery order, keeping diagnostics
+    stable.
+    """
+    order: List[int] = []
+    index: Dict[int, int] = {}
+    frontier = deque([lts.initial])
+    index[lts.initial] = 0
+    order.append(lts.initial)
+    while frontier:
+        state = frontier.popleft()
+        for transition in lts.outgoing(state):
+            if transition.target not in index:
+                index[transition.target] = len(order)
+                order.append(transition.target)
+                frontier.append(transition.target)
+    result = LTS(0)
+    for old in order:
+        new = result.add_state()
+        result.set_state_info(new, lts.state_info(old))
+    for old in order:
+        for transition in lts.outgoing(old):
+            if transition.target in index:
+                result.add_transition(
+                    index[old],
+                    transition.label,
+                    index[transition.target],
+                    transition.rate,
+                    transition.event,
+                    transition.weight,
+                )
+    return result

@@ -1,0 +1,90 @@
+"""Trace (language) semantics of LTSs.
+
+Weak bisimilarity — the equivalence the methodology uses — is strictly
+finer than trace equivalence: the classic coffee-machine pair accepts the
+same traces but is not bisimilar, and the difference matters for
+noninterference (an interfering DPM can be trace-invisible yet still
+pre-empt choices the user would notice).  This module provides bounded
+weak-trace enumeration and trace-equivalence checking so that tests and
+examples can demonstrate exactly that gap.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from .lts import LTS
+from .weak import WeakStructure
+
+Trace = Tuple[str, ...]
+
+
+def weak_traces(lts: LTS, max_length: int) -> Set[Trace]:
+    """All visible traces of length up to *max_length* from the initial
+    state (tau steps do not count towards the length)."""
+    if max_length < 0:
+        raise ValueError(f"max_length must be >= 0, got {max_length}")
+    structure = WeakStructure(lts)
+    traces: Set[Trace] = {()}
+    frontier: Set[Tuple[int, Trace]] = {
+        (state, ()) for state in structure.tau_closure(lts.initial)
+    }
+    for _ in range(max_length):
+        next_frontier: Set[Tuple[int, Trace]] = set()
+        for state, trace in frontier:
+            for label in structure.weak_labels(state):
+                extended = trace + (label,)
+                if extended in traces:
+                    # Still explore: other continuations may be new.
+                    pass
+                traces.add(extended)
+                for target in structure.weak_successors(state, label):
+                    next_frontier.add((target, extended))
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return traces
+
+
+def trace_equivalent(first: LTS, second: LTS, max_length: int) -> bool:
+    """Bounded weak-trace equivalence of the two initial states.
+
+    Exactness note: for LTSs with at most ``n`` states each, traces of
+    length up to ``n1 * n2`` decide (full) trace equivalence; callers that
+    want the exact answer can pass that bound.
+    """
+    return weak_traces(first, max_length) == weak_traces(second, max_length)
+
+
+def completed_weak_traces(lts: LTS, max_length: int) -> Set[Trace]:
+    """Traces that can end in a state with no visible continuation.
+
+    Distinguishes deadlock-sensitive behaviour that plain trace sets miss
+    (completed-trace semantics sits between traces and failures).
+    """
+    structure = WeakStructure(lts)
+    completed: Set[Trace] = set()
+    frontier: Set[Tuple[int, Trace]] = {
+        (state, ()) for state in structure.tau_closure(lts.initial)
+    }
+    seen: Set[Tuple[int, Trace]] = set(frontier)
+    for _ in range(max_length + 1):
+        next_frontier: Set[Tuple[int, Trace]] = set()
+        for state, trace in frontier:
+            labels = structure.weak_labels(state)
+            if not labels:
+                completed.add(trace)
+                continue
+            if len(trace) >= max_length:
+                continue
+            for label in labels:
+                extended = trace + (label,)
+                for target in structure.weak_successors(state, label):
+                    key = (target, extended)
+                    if key not in seen:
+                        seen.add(key)
+                        next_frontier.add(key)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return completed

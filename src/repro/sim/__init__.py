@@ -1,0 +1,51 @@
+"""Discrete-event simulation of generally-timed models (Sect. 5 phase)."""
+
+from .distributions import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    Normal,
+    Uniform,
+    Weibull,
+    make_distribution,
+)
+from .batch_means import BatchMeansResult, batch_means
+from .engine import SimulationResult, Simulator, simulate
+from .estimators import MeasureAccumulator, make_accumulators
+from .output import (
+    Estimate,
+    ReplicationResult,
+    replicate,
+    replicate_until,
+    summarize,
+)
+from .random import make_generator, spawn_generators
+from .trace import TraceEntry, TraceRecorder
+
+__all__ = [
+    "Deterministic",
+    "Distribution",
+    "Erlang",
+    "Exponential",
+    "Normal",
+    "Uniform",
+    "Weibull",
+    "make_distribution",
+    "BatchMeansResult",
+    "batch_means",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+    "MeasureAccumulator",
+    "make_accumulators",
+    "Estimate",
+    "ReplicationResult",
+    "replicate",
+    "replicate_until",
+    "summarize",
+    "make_generator",
+    "spawn_generators",
+    "TraceEntry",
+    "TraceRecorder",
+]

@@ -1,0 +1,30 @@
+"""Re-export of :mod:`repro.distributions` under the simulation package.
+
+The canonical implementation lives at the package top level so that the
+specification language (:mod:`repro.aemilia.rates`) can use distributions
+without importing the simulation engine (avoiding an import cycle).
+"""
+
+from ..distributions import (  # noqa: F401
+    DISTRIBUTION_KEYWORDS,
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    Normal,
+    Uniform,
+    Weibull,
+    make_distribution,
+)
+
+__all__ = [
+    "DISTRIBUTION_KEYWORDS",
+    "Deterministic",
+    "Distribution",
+    "Erlang",
+    "Exponential",
+    "Normal",
+    "Uniform",
+    "Weibull",
+    "make_distribution",
+]

@@ -1,0 +1,349 @@
+"""Discrete-event (GSMP) simulation of generally-timed models.
+
+The engine runs on the same state space the Markovian phase analyses — the
+rate-labelled LTS produced by :mod:`repro.aemilia.semantics` — but accepts
+generally distributed rates.  Semantics:
+
+* Every *timed* transition belongs to an **event** (its active activity,
+  e.g. ``S.serve``).  When an event first becomes enabled, its duration is
+  sampled from the rate's distribution; the clock then runs down across
+  states as long as the event stays enabled (**enabling memory**).  An event
+  that becomes disabled loses its clock; re-enabling samples afresh.
+* The event with the smallest residual clock fires.  If the event has
+  several branch transitions (probabilistic delivery to one of several
+  passive partners), one branch is selected by branch weight.
+* States whose transitions are **immediate** are vanishing: one immediate
+  transition is selected by weight and fired in zero time.  Unboundedly
+  long immediate chains indicate a timeless divergence and abort the run.
+* Deadlock states simply let the remaining horizon elapse.
+
+The enabling-memory rule is what gives deterministic timeouts their correct
+semantics (the DPM's periodic wake-up keeps counting down while the system
+moves); for exponential models it coincides with resampling (memorylessness)
+so the cross-validation against the CTMC (Sect. 5.1) is exact in
+distribution.  The ablation benchmark compares against restart semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..aemilia.rates import (
+    ExpRate,
+    GeneralRate,
+    ImmediateRate,
+    PassiveRate,
+)
+from ..ctmc.measures import Measure
+from ..errors import SimulationError
+from ..lts.lts import LTS, Transition
+from ..distributions import Distribution, Exponential
+from .estimators import MeasureAccumulator, make_accumulators
+
+#: Abort a run after this many consecutive zero-time firings.
+_MAX_IMMEDIATE_CHAIN = 100_000
+
+
+@dataclass
+class _Event:
+    """A schedulable activity of one state: distribution + branches."""
+
+    name: str
+    distribution: Distribution
+    branches: List[Transition]
+    total_weight: float
+
+
+@dataclass
+class _StateSchedule:
+    """Compiled per-state view: either vanishing or a set of timed events."""
+
+    immediate: Optional[List[Transition]]
+    immediate_total_weight: float
+    events: Dict[str, _Event]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a single simulation run."""
+
+    measures: Dict[str, float]
+    horizon: float
+    events_fired: int
+    final_state: int
+    deadlocked: bool
+
+
+class Simulator:
+    """Reusable simulator for one model (LTS) and measure set."""
+
+    def __init__(
+        self,
+        lts: LTS,
+        measures: Sequence[Measure],
+        clock_semantics: str = "enabling_memory",
+    ):
+        if clock_semantics not in ("enabling_memory", "restart"):
+            raise SimulationError(
+                f"unknown clock semantics {clock_semantics!r} "
+                f"(use enabling_memory or restart)"
+            )
+        self.lts = lts
+        self.measures = list(measures)
+        self.clock_semantics = clock_semantics
+        self._schedules: Dict[int, _StateSchedule] = {}
+        # Self-loop events can be skipped unless a TRANS_REWARD clause
+        # counts their firings: they never change the state and only slow
+        # the run down.  (STATE_REWARD clauses look at *enabled* labels,
+        # which needs no firing.)
+        from ..ctmc.measures import RewardKind
+
+        self._observed_selfloop_labels = set()
+        for measure_obj in self.measures:
+            for clause in measure_obj.clauses:
+                if clause.kind is RewardKind.TRANS:
+                    self._observed_selfloop_labels.add(clause.pattern)
+
+    # -- schedule compilation ---------------------------------------------
+
+    def _compile(self, state: int) -> _StateSchedule:
+        schedule = self._schedules.get(state)
+        if schedule is not None:
+            return schedule
+        transitions = self.lts.outgoing(state)
+        immediate = [
+            t for t in transitions if isinstance(t.rate, ImmediateRate)
+        ]
+        if immediate:
+            if len(immediate) != len(transitions):
+                raise SimulationError(
+                    f"state {self.lts.state_info(state)} mixes immediate "
+                    f"and timed transitions"
+                )
+            total = sum(t.rate.weight for t in immediate)
+            schedule = _StateSchedule(immediate, total, {})
+            self._schedules[state] = schedule
+            return schedule
+        events: Dict[str, _Event] = {}
+        for transition in transitions:
+            rate = transition.rate
+            if isinstance(rate, PassiveRate):
+                raise SimulationError(
+                    f"passive transition {transition.label!r} in state "
+                    f"{self.lts.state_info(state)}: the timed model must "
+                    f"close every passive action"
+                )
+            if isinstance(rate, ExpRate):
+                distribution: Distribution = Exponential(rate.rate)
+            elif isinstance(rate, GeneralRate):
+                distribution = rate.distribution
+            else:
+                raise SimulationError(
+                    f"transition {transition.label!r} has no usable rate "
+                    f"({rate!r})"
+                )
+            event_name = transition.event or transition.label
+            if isinstance(rate, ExpRate):
+                # The generator pre-splits exponential activities across
+                # probabilistic branches (exact for CTMCs).  A race of the
+                # split exponentials is statistically identical to the
+                # original activity (memorylessness), so each branch can
+                # be its own event; clock persistence is immaterial for
+                # exponentials.
+                event_name = f"{event_name}::exp{len(events)}"
+            event = events.get(event_name)
+            if event is None:
+                events[event_name] = _Event(
+                    event_name, distribution, [transition], transition.weight
+                )
+            else:
+                if event.distribution != distribution:
+                    raise SimulationError(
+                        f"event {event_name!r} in state "
+                        f"{self.lts.state_info(state)} has branches with "
+                        f"different distributions ({event.distribution} vs "
+                        f"{distribution})"
+                    )
+                event.branches.append(transition)
+                event.total_weight += transition.weight
+        # Monitor self-loops that no measure observes never change the
+        # state: skip scheduling them entirely (pure speed-up).
+        events = {
+            name: event
+            for name, event in events.items()
+            if not all(
+                branch.source == branch.target
+                and not self._selfloop_observed(branch.label)
+                for branch in event.branches
+            )
+        }
+        schedule = _StateSchedule(None, 0.0, events)
+        self._schedules[state] = schedule
+        return schedule
+
+    def _selfloop_observed(self, label: str) -> bool:
+        from ..lts.labels import matches
+
+        return any(
+            matches(pattern, label)
+            for pattern in self._observed_selfloop_labels
+        )
+
+    # -- running -------------------------------------------------------------
+
+    def run(
+        self,
+        run_length: float,
+        rng: np.random.Generator,
+        warmup: float = 0.0,
+        start_state: Optional[int] = None,
+        observer=None,
+    ) -> SimulationResult:
+        """Simulate one trajectory and estimate the measures.
+
+        ``run_length`` is the *measured* horizon: the trajectory lasts
+        ``warmup + run_length`` model time units and statistics collected
+        during the warm-up are discarded.  An optional *observer* callable
+        receives ``(time, label, target_state)`` at every firing.
+        """
+        if run_length <= 0:
+            raise SimulationError(f"run_length must be positive, got {run_length}")
+        if warmup < 0:
+            raise SimulationError(f"warmup must be >= 0, got {warmup}")
+        accumulators = make_accumulators(self.measures, self.lts)
+        state = self.lts.initial if start_state is None else start_state
+        now = 0.0
+        end = warmup + run_length
+        clocks: Dict[str, float] = {}
+        fired = 0
+        immediate_chain = 0
+        deadlocked = False
+        while now < end:
+            schedule = self._compile(state)
+            if schedule.immediate is not None:
+                immediate_chain += 1
+                if immediate_chain > _MAX_IMMEDIATE_CHAIN:
+                    raise SimulationError(
+                        f"more than {_MAX_IMMEDIATE_CHAIN} consecutive "
+                        f"immediate firings: timeless divergence near "
+                        f"{self.lts.state_info(state)}"
+                    )
+                transition = self._choose_weighted(
+                    schedule.immediate,
+                    schedule.immediate_total_weight,
+                    rng,
+                )
+                if now >= warmup:
+                    for accumulator in accumulators:
+                        accumulator.on_fire(transition.label)
+                if observer is not None:
+                    observer(now, transition.label, transition.target)
+                state = transition.target
+                fired += 1
+                continue
+            immediate_chain = 0
+            events = schedule.events
+            if not events:
+                deadlocked = True
+                elapsed = end - now
+                self._accumulate_time(
+                    accumulators, state, now, elapsed, warmup
+                )
+                now = end
+                break
+            if self.clock_semantics == "restart":
+                clocks = {}
+            # Keep clocks of still-enabled events, sample the new ones.
+            clocks = {
+                name: remaining
+                for name, remaining in clocks.items()
+                if name in events
+            }
+            for name, event in events.items():
+                if name not in clocks:
+                    clocks[name] = event.distribution.sample(rng)
+            winner = min(clocks, key=lambda name: clocks[name])
+            elapsed = clocks[winner]
+            if now + elapsed >= end:
+                # Horizon reached before the next firing.
+                self._accumulate_time(
+                    accumulators, state, now, end - now, warmup
+                )
+                now = end
+                break
+            self._accumulate_time(accumulators, state, now, elapsed, warmup)
+            now += elapsed
+            for name in clocks:
+                clocks[name] -= elapsed
+            del clocks[winner]
+            event = events[winner]
+            transition = self._choose_weighted(
+                event.branches, event.total_weight, rng
+            )
+            if now >= warmup:
+                for accumulator in accumulators:
+                    accumulator.on_fire(transition.label)
+            if observer is not None:
+                observer(now, transition.label, transition.target)
+            state = transition.target
+            fired += 1
+        values = {
+            accumulator.measure.name: accumulator.value(run_length)
+            for accumulator in accumulators
+        }
+        return SimulationResult(values, run_length, fired, state, deadlocked)
+
+    @staticmethod
+    def _accumulate_time(
+        accumulators: List[MeasureAccumulator],
+        state: int,
+        now: float,
+        elapsed: float,
+        warmup: float,
+    ) -> None:
+        """Credit sojourn time to the accumulators, clipping the warm-up."""
+        if elapsed <= 0:
+            return
+        measured_start = max(now, warmup)
+        measured_elapsed = now + elapsed - measured_start
+        if measured_elapsed <= 0:
+            return
+        for accumulator in accumulators:
+            accumulator.accumulate_time(state, measured_elapsed)
+
+    @staticmethod
+    def _choose_weighted(
+        transitions: List[Transition],
+        total_weight: float,
+        rng: np.random.Generator,
+    ) -> Transition:
+        if len(transitions) == 1:
+            return transitions[0]
+        pick = rng.uniform(0.0, total_weight)
+        acc = 0.0
+        for transition in transitions:
+            weight = (
+                transition.rate.weight
+                if isinstance(transition.rate, ImmediateRate)
+                else transition.weight
+            )
+            acc += weight
+            if pick <= acc:
+                return transition
+        return transitions[-1]
+
+
+def simulate(
+    lts: LTS,
+    measures: Sequence[Measure],
+    run_length: float,
+    rng: np.random.Generator,
+    warmup: float = 0.0,
+    clock_semantics: str = "enabling_memory",
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    simulator = Simulator(lts, measures, clock_semantics)
+    return simulator.run(run_length, rng, warmup)

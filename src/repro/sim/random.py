@@ -1,0 +1,24 @@
+"""Seed management for reproducible simulation experiments.
+
+Independent replications need independent, reproducible random streams.
+NumPy's :class:`~numpy.random.SeedSequence` spawning provides exactly that:
+one master seed deterministically derives any number of high-quality
+independent child streams.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def spawn_generators(seed: int, count: int) -> List[np.random.Generator]:
+    """Derive *count* independent generators from one master seed."""
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.Generator(np.random.PCG64(s)) for s in sequence.spawn(count)]
+
+
+def make_generator(seed: int) -> np.random.Generator:
+    """Single generator from a seed (PCG64)."""
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))

@@ -1,0 +1,217 @@
+"""Tests for architecture-level validation and const binding."""
+
+import pytest
+
+from repro.aemilia import builder as b
+from repro.aemilia import parse_architecture
+from repro.aemilia.expressions import DataType, Literal, Variable, binop
+from repro.errors import SpecificationError, TypeCheckError
+
+
+def two_party(attachments, or_output=False):
+    """A sender/receiver pair with configurable attachments."""
+    sender = b.elem_type(
+        "Sender_Type",
+        [b.process("Send", b.prefix("emit", b.passive(), b.call("Send")))],
+        outputs=[] if or_output else ["emit"],
+        or_outputs=["emit"] if or_output else [],
+    )
+    receiver = b.elem_type(
+        "Receiver_Type",
+        [b.process("Recv", b.prefix("take", b.passive(), b.call("Recv")))],
+        inputs=["take"],
+    )
+    return b.archi(
+        "Pair",
+        [sender, receiver],
+        [
+            b.instance("A", "Sender_Type"),
+            b.instance("B", "Receiver_Type"),
+            b.instance("B2", "Receiver_Type"),
+        ],
+        attachments,
+    )
+
+
+class TestAttachmentRules:
+    def test_valid_uni_attachment(self):
+        archi = two_party([b.attach("A.emit", "B.take")])
+        assert len(archi.attachments) == 1
+
+    def test_output_to_output_rejected(self):
+        sender = b.elem_type(
+            "S_Type",
+            [b.process("S", b.prefix("emit", b.passive(), b.call("S")))],
+            outputs=["emit"],
+        )
+        with pytest.raises(SpecificationError, match="not an input"):
+            b.archi(
+                "Bad",
+                [sender],
+                [b.instance("A", "S_Type"), b.instance("B", "S_Type")],
+                [b.attach("A.emit", "B.emit")],
+            )
+
+    def test_self_attachment_rejected(self):
+        loop = b.elem_type(
+            "L_Type",
+            [
+                b.process(
+                    "L",
+                    b.choice(
+                        b.prefix("out_x", b.passive(), b.call("L")),
+                        b.prefix("in_x", b.passive(), b.call("L")),
+                    ),
+                )
+            ],
+            inputs=["in_x"],
+            outputs=["out_x"],
+        )
+        with pytest.raises(SpecificationError, match="itself"):
+            b.archi(
+                "Selfie",
+                [loop],
+                [b.instance("A", "L_Type")],
+                [b.attach("A.out_x", "A.in_x")],
+            )
+
+    def test_uni_double_attachment_rejected(self):
+        with pytest.raises(SpecificationError, match="UNI"):
+            two_party(
+                [b.attach("A.emit", "B.take"), b.attach("A.emit", "B2.take")]
+            )
+
+    def test_or_output_multi_attachment_allowed(self):
+        archi = two_party(
+            [b.attach("A.emit", "B.take"), b.attach("A.emit", "B2.take")],
+            or_output=True,
+        )
+        assert len(archi.attachments_from("A", "emit")) == 2
+
+    def test_unknown_instance_in_attachment(self):
+        with pytest.raises(SpecificationError, match="unknown instance"):
+            two_party([b.attach("Ghost.emit", "B.take")])
+
+    def test_unknown_interaction_in_attachment(self):
+        with pytest.raises(SpecificationError, match="no interaction"):
+            two_party([b.attach("A.nothing", "B.take")])
+
+
+class TestInstances:
+    def test_duplicate_instance_names_rejected(self):
+        elem = b.elem_type(
+            "T_Type",
+            [b.process("Main", b.prefix("a", b.passive(), b.call("Main")))],
+        )
+        with pytest.raises(SpecificationError, match="declared twice"):
+            b.archi(
+                "Dups",
+                [elem],
+                [b.instance("X", "T_Type"), b.instance("X", "T_Type")],
+            )
+
+    def test_unknown_type_rejected(self):
+        elem = b.elem_type(
+            "T_Type",
+            [b.process("Main", b.prefix("a", b.passive(), b.call("Main")))],
+        )
+        with pytest.raises(SpecificationError, match="unknown type"):
+            b.archi("Bad", [elem], [b.instance("X", "Ghost_Type")])
+
+    def test_no_instances_rejected(self):
+        elem = b.elem_type(
+            "T_Type",
+            [b.process("Main", b.prefix("a", b.passive(), b.call("Main")))],
+        )
+        with pytest.raises(SpecificationError, match="no instances"):
+            b.archi("Empty", [elem], [])
+
+    def test_missing_required_argument_rejected(self):
+        elem = b.elem_type(
+            "Cnt_Type",
+            [
+                b.process(
+                    "Main",
+                    b.prefix("a", b.passive(), b.call("Main", Variable("n"))),
+                    formals=[b.formal("n")],  # no default
+                )
+            ],
+        )
+        with pytest.raises(SpecificationError, match="misses a value"):
+            b.archi("NeedArg", [elem], [b.instance("X", "Cnt_Type")])
+
+    def test_too_many_arguments_rejected(self):
+        elem = b.elem_type(
+            "T_Type",
+            [b.process("Main", b.prefix("a", b.passive(), b.call("Main")))],
+        )
+        with pytest.raises(SpecificationError, match="passes 1"):
+            b.archi("TooMany", [elem], [b.instance("X", "T_Type", 3)])
+
+    def test_argument_type_checked(self):
+        elem = b.elem_type(
+            "Cnt_Type",
+            [
+                b.process(
+                    "Main",
+                    b.prefix("a", b.passive(), b.call("Main", Variable("n"))),
+                    formals=[b.formal("n", DataType.INT)],
+                )
+            ],
+        )
+        with pytest.raises(TypeCheckError):
+            b.archi("BadArg", [elem], [b.instance("X", "Cnt_Type", True)])
+
+
+class TestConstBinding:
+    def test_defaults(self, mm1k):
+        env = mm1k.bind_constants()
+        assert env == {
+            "capacity": 3,
+            "arrival_rate": 1.0,
+            "service_rate": 2.0,
+        }
+
+    def test_overrides(self, mm1k):
+        env = mm1k.bind_constants({"capacity": 5, "arrival_rate": 0.5})
+        assert env["capacity"] == 5
+        assert env["arrival_rate"] == 0.5
+        assert env["service_rate"] == 2.0
+
+    def test_int_override_for_real_param_coerced(self, mm1k):
+        env = mm1k.bind_constants({"arrival_rate": 3})
+        assert env["arrival_rate"] == 3.0
+        assert isinstance(env["arrival_rate"], float)
+
+    def test_unknown_override_rejected(self, mm1k):
+        with pytest.raises(SpecificationError, match="unknown const"):
+            mm1k.bind_constants({"nonsense": 1})
+
+    def test_bad_override_type_rejected(self, mm1k):
+        with pytest.raises(TypeCheckError):
+            mm1k.bind_constants({"capacity": 2.5})
+
+    def test_defaults_may_reference_earlier_consts(self):
+        archi = parse_architecture("""
+ARCHI_TYPE Chain_Archi(const real base := 2.0,
+                       const real double := base * 2)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(void; void) = <a, exp(double)> . Main()
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+END
+""")
+        env = archi.bind_constants()
+        assert env["double"] == 4.0
+        env = archi.bind_constants({"base": 3.0})
+        assert env["double"] == 6.0
+
+    def test_describe_mentions_everything(self, pingpong):
+        text = pingpong.describe()
+        assert "P : Ping_Type" in text
+        assert "FROM P.send_ping TO Q.receive_ping" in text

@@ -1,0 +1,143 @@
+"""Tests for behaviour-term construction and static properties."""
+
+import pytest
+
+from repro.aemilia import builder as b
+from repro.aemilia.ast import (
+    ActionPrefix,
+    Choice,
+    Formal,
+    Guarded,
+    ProcessCall,
+    ProcessDef,
+    Stop,
+)
+from repro.aemilia.expressions import DataType, Literal, Variable, binop
+from repro.errors import SpecificationError, TypeCheckError
+
+
+class TestConstruction:
+    def test_prefix(self):
+        term = b.prefix("go", b.passive(), b.stop())
+        assert isinstance(term, ActionPrefix)
+        assert term.action == "go"
+
+    def test_invalid_action_name(self):
+        with pytest.raises(SpecificationError):
+            b.prefix("not an ident", b.passive(), b.stop())
+
+    def test_choice_requires_two_alternatives(self):
+        with pytest.raises(SpecificationError):
+            Choice((b.prefix("a", b.passive(), b.stop()),))
+
+    def test_choice_alternatives_must_be_action_guarded(self):
+        with pytest.raises(SpecificationError, match="action guarded"):
+            b.choice(
+                b.prefix("a", b.passive(), b.stop()),
+                b.call("P"),
+            )
+
+    def test_guarded_alternative_is_action_guarded(self):
+        term = b.choice(
+            b.prefix("a", b.passive(), b.stop()),
+            b.cond(
+                binop("<", Variable("n"), 3),
+                b.prefix("b", b.passive(), b.stop()),
+            ),
+        )
+        assert isinstance(term, Choice)
+
+    def test_nested_choice_is_acceptable_alternative(self):
+        inner = b.choice(
+            b.prefix("a", b.passive(), b.stop()),
+            b.prefix("b", b.passive(), b.stop()),
+        )
+        outer = b.choice(inner, b.prefix("c", b.passive(), b.stop()))
+        assert len(outer.alternatives) == 2
+
+    def test_process_call_coerces_arguments(self):
+        call = b.call("P", 3)
+        assert call.args == (Literal(3),)
+
+    def test_invalid_process_name(self):
+        with pytest.raises(SpecificationError):
+            ProcessCall("123bad")
+
+
+class TestStaticProperties:
+    def test_free_variables_of_prefix(self):
+        term = b.prefix("a", b.exp(Variable("r")), b.call("P", Variable("n")))
+        assert term.free_variables() == frozenset({"r", "n"})
+
+    def test_free_variables_of_guard(self):
+        term = b.cond(binop(">", Variable("n"), 0), b.stop())
+        assert term.free_variables() == frozenset({"n"})
+
+    def test_called_processes(self):
+        term = b.choice(
+            b.prefix("a", b.passive(), b.call("P")),
+            b.prefix("b", b.passive(), b.call("Q")),
+        )
+        assert term.called_processes() == frozenset({"P", "Q"})
+
+    def test_unguarded_calls_stop_at_prefix(self):
+        term = b.prefix("a", b.passive(), b.call("P"))
+        assert term.unguarded_calls() == frozenset()
+
+    def test_unguarded_calls_through_guard(self):
+        term = Guarded(Literal(True), b.call("P"))
+        assert term.unguarded_calls() == frozenset({"P"})
+
+    def test_stop_properties(self):
+        assert Stop().free_variables() == frozenset()
+        assert Stop().called_processes() == frozenset()
+
+    def test_str_round_trips_structure(self):
+        term = b.choice(
+            b.prefix("a", b.passive(), b.stop()),
+            b.prefix("b", b.passive(), b.call("P")),
+        )
+        rendered = str(term)
+        assert "choice" in rendered and "<a, _>" in rendered
+
+
+class TestProcessDef:
+    def test_duplicate_formals_rejected(self):
+        with pytest.raises(SpecificationError, match="duplicate parameter"):
+            ProcessDef(
+                "P",
+                (
+                    Formal("n", DataType.INT),
+                    Formal("n", DataType.INT),
+                ),
+                Stop(),
+            )
+
+    def test_check_closed_accepts_formals_and_constants(self):
+        definition = b.process(
+            "P",
+            b.prefix("a", b.exp(Variable("rate")), b.call("P", Variable("n"))),
+            formals=[b.formal("n")],
+        )
+        definition.check_closed(frozenset({"rate"}))
+
+    def test_check_closed_rejects_unbound(self):
+        definition = b.process(
+            "P",
+            b.prefix("a", b.exp(Variable("rate")), b.stop()),
+        )
+        with pytest.raises(TypeCheckError, match="rate"):
+            definition.check_closed(frozenset())
+
+    def test_invalid_def_name(self):
+        with pytest.raises(SpecificationError):
+            ProcessDef("bad name", (), Stop())
+
+
+class TestHashability:
+    def test_terms_are_hashable_and_structural(self):
+        first = b.prefix("a", b.passive(), b.call("P"))
+        second = b.prefix("a", b.passive(), b.call("P"))
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != b.prefix("b", b.passive(), b.call("P"))

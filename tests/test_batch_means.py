@@ -1,0 +1,95 @@
+"""Tests for batch-means output analysis."""
+
+import pytest
+
+from repro.aemilia.rates import ExpRate
+from repro.ctmc import measure, state_clause, trans_clause
+from repro.errors import SimulationError
+from repro.lts import LTS
+from repro.sim import replicate
+from repro.sim.batch_means import batch_means
+
+
+def two_state_lts():
+    lts = LTS(0)
+    for _ in range(2):
+        lts.add_state()
+    lts.add_transition(0, "up", 1, ExpRate(2.0), "up")
+    lts.add_transition(1, "down", 0, ExpRate(3.0), "down")
+    return lts
+
+
+MEASURES = [
+    measure("in0", state_clause("up", 1.0)),
+    measure("ups", trans_clause("up", 1.0)),
+]
+
+
+class TestBatchMeans:
+    def test_estimates_converge_to_truth(self):
+        result = batch_means(
+            two_state_lts(), MEASURES, batch_length=2_000.0, batches=12,
+            seed=3,
+        )
+        assert result["in0"].mean == pytest.approx(0.6, rel=0.03)
+        assert result["ups"].mean == pytest.approx(1.2, rel=0.03)
+
+    def test_agrees_with_replications(self):
+        lts = two_state_lts()
+        batch = batch_means(
+            lts, MEASURES, batch_length=1_500.0, batches=10, seed=5
+        )
+        repl = replicate(lts, MEASURES, run_length=1_500.0, runs=10, seed=5)
+        assert batch["in0"].mean == pytest.approx(
+            repl["in0"].mean, abs=3 * (batch["in0"].half_width
+                                        + repl["in0"].half_width)
+        )
+
+    def test_low_autocorrelation_for_long_batches(self):
+        result = batch_means(
+            two_state_lts(), MEASURES, batch_length=3_000.0, batches=10,
+            seed=7,
+        )
+        assert abs(result.lag1_autocorrelation["in0"]) < 0.5
+
+    def test_batch_count_and_samples(self):
+        result = batch_means(
+            two_state_lts(), MEASURES, batch_length=200.0, batches=6, seed=1
+        )
+        assert len(result.batch_means["in0"]) == 6
+        assert result["in0"].runs == 6
+
+    def test_deterministic_given_seed(self):
+        first = batch_means(
+            two_state_lts(), MEASURES, batch_length=300.0, batches=4, seed=9
+        )
+        second = batch_means(
+            two_state_lts(), MEASURES, batch_length=300.0, batches=4, seed=9
+        )
+        assert first.batch_means == second.batch_means
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            batch_means(two_state_lts(), MEASURES, batch_length=100.0, batches=1)
+        with pytest.raises(SimulationError):
+            batch_means(two_state_lts(), MEASURES, batch_length=0.0)
+
+    def test_warmup_applies_once(self):
+        """With a deterministic boot phase, only the first batch is
+        affected unless the warm-up removes it."""
+        from repro.aemilia.rates import GeneralRate
+        from repro.distributions import Deterministic
+
+        lts = LTS(0)
+        for _ in range(3):
+            lts.add_state()
+        lts.add_transition(
+            0, "boot", 1, GeneralRate(Deterministic(400.0)), "boot"
+        )
+        lts.add_transition(1, "work", 2, ExpRate(1.0), "work")
+        lts.add_transition(2, "rest", 1, ExpRate(1.0), "rest")
+        m = measure("working", state_clause("rest", 1.0))
+        clean = batch_means(
+            lts, [m], batch_length=500.0, batches=8, warmup=500.0, seed=2
+        )
+        assert clean["working"].mean == pytest.approx(0.5, abs=0.05)

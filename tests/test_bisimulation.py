@@ -1,0 +1,163 @@
+"""Tests for strong bisimulation and Markovian lumping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aemilia.rates import ExpRate, ImmediateRate
+from repro.lts import (
+    LTS,
+    build_lts,
+    disjoint_union,
+    minimize,
+    strong_bisimulation,
+    strongly_bisimilar,
+)
+
+
+class TestStrongBisimulation:
+    def test_identical_chains_bisimilar(self):
+        first = build_lts(2, [(0, "a", 1), (1, "b", 0)])
+        second = build_lts(2, [(0, "a", 1), (1, "b", 0)])
+        assert strongly_bisimilar(first, second)
+
+    def test_different_labels_not_bisimilar(self):
+        first = build_lts(2, [(0, "a", 1)])
+        second = build_lts(2, [(0, "b", 1)])
+        assert not strongly_bisimilar(first, second)
+
+    def test_unrolled_loop_bisimilar(self):
+        loop = build_lts(1, [(0, "a", 0)])
+        unrolled = build_lts(3, [(0, "a", 1), (1, "a", 2), (2, "a", 0)])
+        assert strongly_bisimilar(loop, unrolled)
+
+    def test_coffee_machines_not_strongly_bisimilar(self, coffee_machines):
+        deterministic, nondeterministic = coffee_machines
+        assert not strongly_bisimilar(deterministic, nondeterministic)
+
+    def test_partition_blocks(self):
+        lts = build_lts(4, [(0, "a", 1), (2, "a", 3)])
+        result = strong_bisimulation(lts)
+        # 0 and 2 behave identically, so do 1 and 3 (deadlocked).
+        assert result.equivalent(0, 2)
+        assert result.equivalent(1, 3)
+        assert not result.equivalent(0, 1)
+        assert result.num_blocks == 2
+
+    def test_separation_levels_monotone(self):
+        lts = build_lts(
+            4, [(0, "a", 1), (1, "a", 2), (2, "a", 3)]
+        )
+        result = strong_bisimulation(lts)
+        # 3 is deadlocked; 2 separates from 3 at the first level, 1 later.
+        assert result.separation_level(2, 3) <= result.separation_level(1, 2)
+
+    def test_blocks_listing(self):
+        lts = build_lts(2, [(0, "a", 1)])
+        result = strong_bisimulation(lts)
+        blocks = result.blocks()
+        assert sorted(sum(blocks, [])) == [0, 1]
+
+
+class TestMinimize:
+    def test_quotient_size(self):
+        unrolled = build_lts(4, [(0, "a", 1), (1, "a", 2), (2, "a", 3), (3, "a", 0)])
+        quotient = minimize(unrolled)
+        assert quotient.num_states == 1
+        assert quotient.num_transitions == 1
+
+    def test_quotient_bisimilar_to_original(self):
+        lts = build_lts(
+            5, [(0, "a", 1), (0, "a", 2), (1, "b", 3), (2, "b", 4)]
+        )
+        quotient = minimize(lts)
+        assert strongly_bisimilar(lts, quotient)
+        assert quotient.num_states < lts.num_states
+
+
+class TestMarkovianLumping:
+    def _rated(self, triples):
+        lts = LTS()
+        states = 1 + max(max(s, t) for s, _, t, _ in triples)
+        for _ in range(states):
+            lts.add_state()
+        for source, label, target, rate in triples:
+            lts.add_transition(source, label, target, ExpRate(rate))
+        return lts
+
+    def test_rates_distinguish(self):
+        fast = self._rated([(0, "a", 1, 2.0)])
+        slow = self._rated([(0, "a", 1, 1.0)])
+        assert strongly_bisimilar(fast, slow)  # labels only
+        assert not strongly_bisimilar(fast, slow, markovian=True)
+
+    def test_aggregate_rates_lump(self):
+        """Two parallel a-transitions at rate 1 lump with one at rate 2."""
+        split = self._rated([(0, "a", 1, 1.0), (0, "a", 2, 1.0),
+                             (1, "b", 0, 3.0), (2, "b", 0, 3.0)])
+        merged = self._rated([(0, "a", 1, 2.0), (1, "b", 0, 3.0)])
+        assert strongly_bisimilar(split, merged, markovian=True)
+
+    def test_immediate_weights_respected(self):
+        lts_a = LTS()
+        for _ in range(3):
+            lts_a.add_state()
+        lts_a.add_transition(0, "x", 1, ImmediateRate(1, 1.0))
+        lts_a.add_transition(0, "x", 2, ImmediateRate(1, 3.0))
+        lts_b = LTS()
+        for _ in range(3):
+            lts_b.add_state()
+        lts_b.add_transition(0, "x", 1, ImmediateRate(1, 3.0))
+        lts_b.add_transition(0, "x", 2, ImmediateRate(1, 1.0))
+        result_a = strong_bisimulation(lts_a, markovian=True)
+        # 1 and 2 are both deadlocked hence equivalent, so the weights
+        # merge and the two variants are symmetric.
+        assert result_a.equivalent(1, 2)
+        assert strongly_bisimilar(lts_a, lts_b, markovian=True)
+
+
+@st.composite
+def random_lts(draw, max_states=6, labels=("a", "b")):
+    n = draw(st.integers(1, max_states))
+    transitions = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.sampled_from(labels),
+                st.integers(0, n - 1),
+            ),
+            max_size=12,
+        )
+    )
+    return build_lts(n, transitions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_lts())
+def test_bisimilarity_is_reflexive(lts):
+    assert strongly_bisimilar(lts, lts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_lts(), random_lts())
+def test_bisimilarity_is_symmetric(first, second):
+    assert strongly_bisimilar(first, second) == strongly_bisimilar(
+        second, first
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_lts())
+def test_minimize_preserves_bisimilarity(lts):
+    assert strongly_bisimilar(lts, minimize(lts))
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_lts())
+def test_partition_is_equivalence_relation(lts):
+    result = strong_bisimulation(lts)
+    union, init_a, init_b = disjoint_union(lts, lts)
+    mirrored = strong_bisimulation(union)
+    # Each state must be equivalent to its own copy.
+    for state in lts.states():
+        assert mirrored.equivalent(state, state + lts.num_states)

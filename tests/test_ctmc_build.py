@@ -1,0 +1,226 @@
+"""Tests for CTMC construction: classification, vanishing elimination."""
+
+import numpy as np
+import pytest
+
+from repro.aemilia import generate_lts, parse_architecture
+from repro.aemilia.rates import (
+    ExpRate,
+    GeneralRate,
+    ImmediateRate,
+    PassiveRate,
+)
+from repro.ctmc import build_ctmc, classify_states
+from repro.distributions import Deterministic
+from repro.errors import ImmediateCycleError, MarkovianError
+from repro.lts import LTS
+
+
+def rated_lts(entries, initial=0):
+    lts = LTS(initial)
+    states = 1 + max(max(s, t) for s, _, t, _ in entries)
+    for _ in range(states):
+        lts.add_state()
+    for source, label, target, rate in entries:
+        lts.add_transition(source, label, target, rate)
+    return lts
+
+
+class TestClassification:
+    def test_tangible_vs_vanishing(self):
+        lts = rated_lts(
+            [
+                (0, "a", 1, ExpRate(1.0)),
+                (1, "b", 0, ImmediateRate(1, 1.0)),
+            ]
+        )
+        tangible, vanishing = classify_states(lts)
+        assert tangible == [0]
+        assert vanishing == [1]
+
+    def test_mixed_state_rejected(self):
+        lts = rated_lts(
+            [
+                (0, "a", 1, ExpRate(1.0)),
+                (0, "b", 1, ImmediateRate(1, 1.0)),
+            ]
+        )
+        with pytest.raises(MarkovianError, match="mixes immediate"):
+            classify_states(lts)
+
+    def test_deadlock_state_is_tangible(self):
+        lts = rated_lts([(0, "a", 1, ExpRate(1.0))])
+        tangible, vanishing = classify_states(lts)
+        assert tangible == [0, 1]
+
+
+class TestErrors:
+    def test_passive_transition_rejected(self):
+        lts = rated_lts([(0, "a", 1, PassiveRate()), (1, "b", 0, ExpRate(1.0))])
+        with pytest.raises(MarkovianError, match="passive"):
+            build_ctmc(lts)
+
+    def test_general_rate_rejected(self):
+        lts = rated_lts(
+            [(0, "a", 1, GeneralRate(Deterministic(2.0))),
+             (1, "b", 0, ExpRate(1.0))]
+        )
+        with pytest.raises(MarkovianError, match="generally distributed"):
+            build_ctmc(lts)
+
+    def test_missing_rate_rejected(self):
+        lts = rated_lts([(0, "a", 1, None), (1, "b", 0, ExpRate(1.0))])
+        with pytest.raises(MarkovianError, match="no rate"):
+            build_ctmc(lts)
+
+    def test_immediate_cycle_rejected(self):
+        lts = rated_lts(
+            [
+                (0, "in", 1, ExpRate(1.0)),
+                (1, "x", 2, ImmediateRate(1, 1.0)),
+                (2, "y", 1, ImmediateRate(1, 1.0)),
+            ]
+        )
+        with pytest.raises(ImmediateCycleError):
+            build_ctmc(lts)
+
+    def test_all_vanishing_rejected(self):
+        lts = rated_lts([(0, "a", 1, ImmediateRate(1, 1.0)),
+                         (1, "b", 0, ImmediateRate(1, 1.0))])
+        with pytest.raises((MarkovianError, ImmediateCycleError)):
+            build_ctmc(lts)
+
+
+class TestElimination:
+    def test_simple_chain(self):
+        lts = rated_lts(
+            [
+                (0, "go", 1, ExpRate(2.0)),
+                (1, "back", 0, ExpRate(3.0)),
+            ]
+        )
+        ctmc = build_ctmc(lts)
+        assert ctmc.num_states == 2
+        assert len(ctmc.transitions) == 2
+
+    def test_vanishing_state_removed(self):
+        lts = rated_lts(
+            [
+                (0, "fire", 1, ExpRate(2.0)),
+                (1, "branch_a", 2, ImmediateRate(1, 3.0)),
+                (1, "branch_b", 3, ImmediateRate(1, 1.0)),
+                (2, "back", 0, ExpRate(1.0)),
+                (3, "back", 0, ExpRate(1.0)),
+            ]
+        )
+        ctmc = build_ctmc(lts)
+        assert ctmc.num_states == 3  # states 0, 2, 3
+        # Probabilistic split 3:1 of the exp(2.0).
+        outgoing = ctmc.outgoing(0)
+        rates = sorted(t.rate for t in outgoing)
+        assert rates == pytest.approx([0.5, 1.5])
+
+    def test_label_counts_preserved_through_elimination(self):
+        lts = rated_lts(
+            [
+                (0, "fire", 1, ExpRate(2.0)),
+                (1, "hop", 2, ImmediateRate(1, 1.0)),
+                (2, "back", 0, ExpRate(1.0)),
+            ]
+        )
+        ctmc = build_ctmc(lts)
+        transition = ctmc.outgoing(0)[0]
+        assert transition.label_counts["fire"] == pytest.approx(1.0)
+        assert transition.label_counts["hop"] == pytest.approx(1.0)
+
+    def test_expected_counts_on_branching_paths(self):
+        """Through a 3:1 immediate branch, counts are conditional."""
+        lts = rated_lts(
+            [
+                (0, "fire", 1, ExpRate(4.0)),
+                (1, "left", 2, ImmediateRate(1, 3.0)),
+                (1, "right", 3, ImmediateRate(1, 1.0)),
+                (2, "back", 0, ExpRate(1.0)),
+                (3, "back", 0, ExpRate(1.0)),
+            ]
+        )
+        ctmc = build_ctmc(lts)
+        for transition in ctmc.outgoing(0):
+            # Each branch crosses 'fire' once and its own branch label once.
+            assert transition.label_counts["fire"] == pytest.approx(1.0)
+            branch = [
+                label for label in transition.label_counts
+                if label in ("left", "right")
+            ]
+            assert len(branch) == 1
+            assert transition.label_counts[branch[0]] == pytest.approx(1.0)
+
+    def test_vanishing_initial_state_spreads_distribution(self):
+        lts = rated_lts(
+            [
+                (0, "choose_a", 1, ImmediateRate(1, 1.0)),
+                (0, "choose_b", 2, ImmediateRate(1, 3.0)),
+                (1, "work", 2, ExpRate(1.0)),
+                (2, "work", 1, ExpRate(1.0)),
+            ],
+        )
+        ctmc = build_ctmc(lts)
+        assert ctmc.num_states == 2
+        assert ctmc.initial_distribution == pytest.approx([0.25, 0.75])
+
+    def test_parallel_transitions_merge(self):
+        lts = rated_lts(
+            [
+                (0, "x", 1, ExpRate(1.0)),
+                (0, "y", 1, ExpRate(2.0)),
+                (1, "back", 0, ExpRate(1.0)),
+            ]
+        )
+        ctmc = build_ctmc(lts)
+        outgoing = ctmc.outgoing(0)
+        assert len(outgoing) == 1
+        merged = outgoing[0]
+        assert merged.rate == pytest.approx(3.0)
+        # rate * count preserved per label: 1*1 and 2*1.
+        assert merged.rate * merged.label_counts["x"] == pytest.approx(1.0)
+        assert merged.rate * merged.label_counts["y"] == pytest.approx(2.0)
+
+    def test_enabled_labels_recorded(self):
+        lts = rated_lts(
+            [
+                (0, "tick", 0, ExpRate(1.0)),
+                (0, "go", 1, ExpRate(1.0)),
+                (1, "back", 0, ExpRate(1.0)),
+            ]
+        )
+        ctmc = build_ctmc(lts)
+        assert ctmc.enabled_labels(0) == frozenset({"tick", "go"})
+        assert ctmc.enabled_labels(1) == frozenset({"back"})
+
+    def test_self_loop_kept_but_ignored_in_generator(self):
+        lts = rated_lts(
+            [
+                (0, "tick", 0, ExpRate(5.0)),
+                (0, "go", 1, ExpRate(1.0)),
+                (1, "back", 0, ExpRate(1.0)),
+            ]
+        )
+        ctmc = build_ctmc(lts)
+        q = ctmc.generator_matrix().toarray()
+        assert q[0, 0] == pytest.approx(-1.0)  # self-loop cancels
+        assert ctmc.exit_rate(0) == pytest.approx(1.0)
+
+
+class TestFromArchitecture:
+    def test_mm1k_ctmc_size(self, mm1k):
+        lts = generate_lts(mm1k)
+        ctmc = build_ctmc(lts)
+        # Tangible states: queue level x source phase; vanishing removed.
+        assert ctmc.num_states == 4  # levels 0..3 with source waiting
+
+    def test_bscc_analysis(self, mm1k):
+        lts = generate_lts(mm1k)
+        ctmc = build_ctmc(lts)
+        bsccs = ctmc.bottom_strongly_connected_components()
+        assert len(bsccs) == 1
+        assert len(bsccs[0]) == ctmc.num_states

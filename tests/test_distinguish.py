@@ -1,0 +1,143 @@
+"""Tests for distinguishing-formula generation.
+
+The central property: whenever two states are NOT weakly bisimilar, the
+generated formula must hold at the first and fail at the second under the
+weak satisfaction relation.  Hypothesis hammers this on random systems.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.lts import (
+    TAU,
+    build_lts,
+    check_weak_equivalence,
+    disjoint_union,
+    distinguishing_formula,
+    verify_distinguishing,
+    weak_bisimulation,
+)
+from repro.lts.hml import DiamondWeak, Not
+
+
+class TestKnownExamples:
+    def test_coffee_machines_formula(self, coffee_machines):
+        deterministic, nondeterministic = coffee_machines
+        check = check_weak_equivalence(deterministic, nondeterministic)
+        assert not check.equivalent
+        formula = distinguishing_formula(
+            check.result, check.initial_first, check.initial_second
+        )
+        assert formula is not None
+        assert verify_distinguishing(
+            check.result, formula, check.initial_first, check.initial_second
+        )
+
+    def test_equivalent_states_yield_none(self):
+        first = build_lts(2, [(0, "a", 1)])
+        second = build_lts(3, [(0, "a", 1), (1, TAU, 2)])
+        check = check_weak_equivalence(first, second)
+        assert check.equivalent
+        assert (
+            distinguishing_formula(
+                check.result, check.initial_first, check.initial_second
+            )
+            is None
+        )
+
+    def test_deadlock_vs_live_needs_negation_or_diamond(self):
+        live = build_lts(2, [(0, "a", 1)])
+        dead = build_lts(1, [])
+        check = check_weak_equivalence(live, dead)
+        formula = distinguishing_formula(
+            check.result, check.initial_first, check.initial_second
+        )
+        # <<a>>TRUE distinguishes the live side.
+        assert isinstance(formula, DiamondWeak)
+        assert formula.label == "a"
+
+    def test_formula_from_the_other_side_is_negated(self):
+        live = build_lts(2, [(0, "a", 1)])
+        dead = build_lts(1, [])
+        check = check_weak_equivalence(dead, live)
+        formula = distinguishing_formula(
+            check.result, check.initial_first, check.initial_second
+        )
+        assert isinstance(formula, Not)
+        assert verify_distinguishing(
+            check.result, formula, check.initial_first, check.initial_second
+        )
+
+    def test_error_on_bisimilar_pair(self):
+        lts = build_lts(2, [(0, "a", 1), (1, "a", 0)])
+        result = weak_bisimulation(lts)
+        # States 0 and 1 here ARE equivalent (same behaviour).
+        assert result.equivalent(0, 1)
+        assert distinguishing_formula(result, 0, 1) is None
+
+    def test_paper_formula_reproduction(self):
+        """The Sect. 3.1 rpc diagnostic, end to end."""
+        from repro.casestudies.rpc import functional
+        from repro.core import check_noninterference
+
+        result = check_noninterference(
+            functional.simplified_architecture(),
+            functional.HIGH_PATTERNS,
+            functional.LOW_PATTERNS,
+        )
+        assert not result.holds
+        text = result.formula.render()
+        # The paper's exact diagnostic structure:
+        assert "LABEL(C.send_rpc_packet#RCS.get_packet)" in text
+        assert "LABEL(RSC.deliver_packet#C.receive_result_packet)" in text
+        assert "NOT(" in text
+
+
+@st.composite
+def random_weak_lts(draw, max_states=5):
+    n = draw(st.integers(1, max_states))
+    transitions = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.sampled_from(["a", "b", TAU]),
+                st.integers(0, n - 1),
+            ),
+            max_size=10,
+        )
+    )
+    return build_lts(n, transitions)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_weak_lts(), random_weak_lts())
+def test_formula_always_verifies(first, second):
+    """For every non-equivalent random pair, the formula separates them."""
+    check = check_weak_equivalence(first, second)
+    formula = distinguishing_formula(
+        check.result, check.initial_first, check.initial_second
+    )
+    if check.equivalent:
+        assert formula is None
+    else:
+        assert formula is not None
+        assert verify_distinguishing(
+            check.result, formula, check.initial_first, check.initial_second
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_weak_lts())
+def test_all_separated_pairs_get_formulas(lts):
+    """Within one system, every non-equivalent state pair is separable."""
+    result = weak_bisimulation(lts)
+    states = list(lts.states())
+    for s in states[:4]:
+        for t in states[:4]:
+            formula = distinguishing_formula(result, s, t)
+            if result.equivalent(s, t):
+                assert formula is None
+            else:
+                assert verify_distinguishing(result, formula, s, t)

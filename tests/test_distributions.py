@@ -1,0 +1,205 @@
+"""Unit, statistical and property tests for the duration distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Normal,
+    Uniform,
+    Weibull,
+    make_distribution,
+)
+from repro.errors import SpecificationError
+
+
+def rng(seed=12345):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+class TestExponential:
+    def test_moments(self):
+        dist = Exponential(4.0)
+        assert dist.mean == pytest.approx(0.25)
+        assert dist.variance == pytest.approx(0.0625)
+
+    def test_sample_mean(self):
+        dist = Exponential(2.0)
+        samples = [dist.sample(rng()) for _ in range(1)]
+        generator = rng()
+        values = np.array([dist.sample(generator) for _ in range(20000)])
+        assert values.mean() == pytest.approx(0.5, rel=0.05)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(SpecificationError):
+            Exponential(0.0)
+        with pytest.raises(SpecificationError):
+            Exponential(-1.0)
+
+    def test_exponential_equivalent_is_self(self):
+        dist = Exponential(3.0)
+        assert dist.exponential_equivalent() is dist
+
+    def test_str(self):
+        assert str(Exponential(2.0)) == "exp(2)"
+
+
+class TestDeterministic:
+    def test_sample_is_constant(self):
+        dist = Deterministic(1.5)
+        generator = rng()
+        assert all(dist.sample(generator) == 1.5 for _ in range(10))
+
+    def test_moments(self):
+        dist = Deterministic(3.0)
+        assert dist.mean == 3.0
+        assert dist.variance == 0.0
+
+    def test_zero_allowed(self):
+        assert Deterministic(0.0).sample(rng()) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SpecificationError):
+            Deterministic(-0.1)
+
+    def test_exponential_equivalent_mean(self):
+        assert Deterministic(4.0).exponential_equivalent().mean == 4.0
+
+    def test_zero_mean_has_no_exponential_equivalent(self):
+        with pytest.raises(SpecificationError):
+            Deterministic(0.0).exponential_equivalent()
+
+
+class TestNormal:
+    def test_moments(self):
+        dist = Normal(0.8, 0.0345)
+        assert dist.mean == pytest.approx(0.8)
+        assert dist.variance == pytest.approx(0.0345**2)
+
+    def test_sampling_statistics(self):
+        dist = Normal(0.8, 0.0345)
+        generator = rng()
+        values = np.array([dist.sample(generator) for _ in range(20000)])
+        assert values.mean() == pytest.approx(0.8, rel=0.01)
+        assert values.std() == pytest.approx(0.0345, rel=0.05)
+
+    def test_samples_never_negative(self):
+        # Aggressive parameterisation where truncation actually bites.
+        dist = Normal(0.1, 0.5)
+        generator = rng()
+        assert all(dist.sample(generator) >= 0 for _ in range(2000))
+
+    def test_bad_sigma_rejected(self):
+        with pytest.raises(SpecificationError):
+            Normal(1.0, 0.0)
+
+    def test_paper_parameterisation_truncation_negligible(self):
+        """0.8 ± 0.0345: mass below zero is ~0 (23 sigma)."""
+        from scipy import stats
+
+        assert stats.norm.cdf(0, 0.8, 0.0345) < 1e-12
+
+
+class TestUniform:
+    def test_moments(self):
+        dist = Uniform(1.0, 3.0)
+        assert dist.mean == 2.0
+        assert dist.variance == pytest.approx(4.0 / 12.0)
+
+    def test_bounds_validated(self):
+        with pytest.raises(SpecificationError):
+            Uniform(2.0, 2.0)
+        with pytest.raises(SpecificationError):
+            Uniform(-1.0, 1.0)
+
+    def test_samples_in_range(self):
+        dist = Uniform(0.5, 1.5)
+        generator = rng()
+        values = [dist.sample(generator) for _ in range(1000)]
+        assert all(0.5 <= value <= 1.5 for value in values)
+
+
+class TestErlang:
+    def test_moments(self):
+        dist = Erlang(3, 2.0)
+        assert dist.mean == pytest.approx(1.5)
+        assert dist.variance == pytest.approx(0.75)
+
+    def test_shape_validated(self):
+        with pytest.raises(SpecificationError):
+            Erlang(0, 1.0)
+
+    def test_sampling_mean(self):
+        dist = Erlang(4, 2.0)
+        generator = rng()
+        values = np.array([dist.sample(generator) for _ in range(20000)])
+        assert values.mean() == pytest.approx(2.0, rel=0.05)
+
+
+class TestWeibull:
+    def test_exponential_special_case_moments(self):
+        """k=1 reduces to Exponential(1/lam)."""
+        dist = Weibull(1.0, 2.0)
+        assert dist.mean == pytest.approx(2.0)
+        assert dist.variance == pytest.approx(4.0)
+
+    def test_parameters_validated(self):
+        with pytest.raises(SpecificationError):
+            Weibull(0.0, 1.0)
+        with pytest.raises(SpecificationError):
+            Weibull(1.0, -1.0)
+
+    def test_sampling_mean(self):
+        dist = Weibull(2.0, 1.0)
+        generator = rng()
+        values = np.array([dist.sample(generator) for _ in range(20000)])
+        assert values.mean() == pytest.approx(dist.mean, rel=0.05)
+
+
+class TestFactory:
+    def test_make_by_keyword(self):
+        assert make_distribution("det", [2.0]) == Deterministic(2.0)
+        assert make_distribution("exp", [3.0]) == Exponential(3.0)
+        assert make_distribution("normal", [1.0, 0.1]) == Normal(1.0, 0.1)
+
+    def test_unknown_keyword(self):
+        with pytest.raises(SpecificationError, match="unknown distribution"):
+            make_distribution("pareto", [1.0])
+
+    def test_wrong_arity(self):
+        with pytest.raises(SpecificationError, match="expects 2"):
+            make_distribution("normal", [1.0])
+
+    def test_erlang_shape_coerced_to_int(self):
+        assert make_distribution("erlang", [3.0, 1.0]).shape == 3
+
+
+@given(rate=st.floats(0.01, 100.0))
+def test_exponential_mean_variance_relation(rate):
+    dist = Exponential(rate)
+    assert dist.variance == pytest.approx(dist.mean**2)
+
+
+@given(value=st.floats(0.0, 1e6))
+def test_deterministic_mean_equals_value(value):
+    assert Deterministic(value).mean == value
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    mean=st.floats(0.5, 50.0),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_exponential_equivalent_preserves_mean(mean, seed):
+    for dist in (
+        Deterministic(mean),
+        Uniform(mean * 0.5, mean * 1.5),
+        Erlang(3, 3.0 / mean),
+    ):
+        assert dist.exponential_equivalent().mean == pytest.approx(mean)

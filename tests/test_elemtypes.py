@@ -1,0 +1,237 @@
+"""Tests for element-type static validation."""
+
+import pytest
+
+from repro.aemilia import builder as b
+from repro.aemilia.elemtypes import (
+    Direction,
+    ElemType,
+    Interaction,
+    Multiplicity,
+    collect_actions,
+)
+from repro.aemilia.expressions import DataType, Literal, Variable, binop
+from repro.errors import (
+    SpecificationError,
+    TypeCheckError,
+    UnguardedRecursionError,
+)
+
+
+def simple_type(**kwargs):
+    return b.elem_type(
+        "T_Type",
+        [b.process("Main", b.prefix("a", b.passive(), b.call("Main")))],
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_initial_definition_is_first(self):
+        elem = b.elem_type(
+            "T_Type",
+            [
+                b.process("First", b.prefix("a", b.passive(), b.call("Second"))),
+                b.process("Second", b.prefix("b", b.passive(), b.call("First"))),
+            ],
+        )
+        assert elem.initial_definition.name == "First"
+
+    def test_duplicate_equations_rejected(self):
+        with pytest.raises(SpecificationError, match="duplicate behaviour"):
+            ElemType(
+                "T_Type",
+                (
+                    b.process("Main", b.prefix("a", b.passive(), b.stop())),
+                    b.process("Main", b.prefix("b", b.passive(), b.stop())),
+                ),
+            )
+
+    def test_duplicate_interactions_rejected(self):
+        with pytest.raises(SpecificationError, match="declared twice"):
+            ElemType(
+                "T_Type",
+                (b.process("Main", b.prefix("a", b.passive(), b.stop())),),
+                (
+                    Interaction("a", Direction.INPUT),
+                    Interaction("a", Direction.OUTPUT),
+                ),
+            )
+
+    def test_no_equations_rejected(self):
+        with pytest.raises(SpecificationError, match="no behaviour"):
+            ElemType("T_Type", ())
+
+    def test_unknown_lookups(self):
+        elem = simple_type()
+        with pytest.raises(SpecificationError):
+            elem.definition("Nope")
+        with pytest.raises(SpecificationError):
+            elem.interaction("nope")
+
+
+class TestActionCollection:
+    def test_collect_actions(self):
+        term = b.choice(
+            b.prefix("a", b.passive(), b.prefix("b", b.passive(), b.stop())),
+            b.cond(Literal(True), b.prefix("c", b.passive(), b.call("P"))),
+        )
+        assert collect_actions(term) == {"a", "b", "c"}
+
+    def test_all_and_internal_actions(self):
+        elem = b.elem_type(
+            "T_Type",
+            [
+                b.process(
+                    "Main",
+                    b.prefix(
+                        "pub", b.passive(), b.prefix("priv", b.passive(), b.call("Main"))
+                    ),
+                )
+            ],
+            inputs=["pub"],
+        )
+        assert elem.all_actions() == {"pub", "priv"}
+        assert elem.internal_actions() == {"priv"}
+
+
+class TestValidation:
+    def test_undefined_call_rejected(self):
+        elem = b.elem_type(
+            "T_Type",
+            [b.process("Main", b.prefix("a", b.passive(), b.call("Ghost")))],
+        )
+        with pytest.raises(SpecificationError, match="undefined behaviour"):
+            elem.validate({})
+
+    def test_unused_interaction_rejected(self):
+        elem = simple_type(inputs=["phantom"])
+        with pytest.raises(SpecificationError, match="never occurs"):
+            elem.validate({})
+
+    def test_unguarded_self_recursion_rejected(self):
+        elem = b.elem_type(
+            "T_Type",
+            [b.process("Main", b.cond(Literal(True), b.call("Main")))],
+        )
+        with pytest.raises(UnguardedRecursionError):
+            elem.validate({})
+
+    def test_unguarded_mutual_recursion_rejected(self):
+        elem = b.elem_type(
+            "T_Type",
+            [
+                b.process("Main", b.cond(Literal(True), b.call("Other"))),
+                b.process("Other", b.cond(Literal(True), b.call("Main"))),
+            ],
+        )
+        with pytest.raises(UnguardedRecursionError):
+            elem.validate({})
+
+    def test_guarded_recursion_accepted(self):
+        elem = b.elem_type(
+            "T_Type",
+            [
+                b.process("Main", b.prefix("a", b.passive(), b.call("Other"))),
+                b.process("Other", b.prefix("b", b.passive(), b.call("Main"))),
+            ],
+        )
+        elem.validate({})
+
+    def test_call_arity_checked(self):
+        elem = b.elem_type(
+            "T_Type",
+            [
+                b.process(
+                    "Main",
+                    b.prefix("a", b.passive(), b.call("Counter", 1, 2)),
+                ),
+                b.process(
+                    "Counter",
+                    b.prefix("b", b.passive(), b.call("Main")),
+                    formals=[b.formal("n")],
+                ),
+            ],
+        )
+        with pytest.raises(TypeCheckError, match="argument"):
+            elem.validate({})
+
+    def test_call_argument_type_checked(self):
+        elem = b.elem_type(
+            "T_Type",
+            [
+                b.process(
+                    "Main",
+                    b.prefix("a", b.passive(), b.call("Counter", Literal(True))),
+                ),
+                b.process(
+                    "Counter",
+                    b.prefix("b", b.passive(), b.call("Main")),
+                    formals=[b.formal("n", DataType.INT)],
+                ),
+            ],
+        )
+        with pytest.raises(TypeCheckError, match="type"):
+            elem.validate({})
+
+    def test_int_widens_to_real_parameter(self):
+        elem = b.elem_type(
+            "T_Type",
+            [
+                b.process(
+                    "Main",
+                    b.prefix("a", b.passive(), b.call("Timer", 3)),
+                ),
+                b.process(
+                    "Timer",
+                    b.prefix("b", b.passive(), b.call("Main")),
+                    formals=[b.formal("t", DataType.REAL)],
+                ),
+            ],
+        )
+        elem.validate({})
+
+    def test_non_boolean_guard_rejected(self):
+        elem = b.elem_type(
+            "T_Type",
+            [
+                b.process(
+                    "Main",
+                    b.choice(
+                        b.prefix("a", b.passive(), b.call("Main")),
+                        b.cond(
+                            binop("+", Variable("n"), 1),
+                            b.prefix("b", b.passive(), b.call("Main", Variable("n"))),
+                        ),
+                    ),
+                    formals=[b.formal("n", DataType.INT, 0)],
+                )
+            ],
+        )
+        with pytest.raises(TypeCheckError, match="expected bool"):
+            elem.validate({})
+
+    def test_rate_constants_visible(self):
+        elem = b.elem_type(
+            "T_Type",
+            [
+                b.process(
+                    "Main",
+                    b.prefix("a", b.exp(Variable("speed")), b.call("Main")),
+                )
+            ],
+        )
+        elem.validate({"speed": DataType.REAL})
+
+    def test_unbound_rate_variable_rejected(self):
+        elem = b.elem_type(
+            "T_Type",
+            [
+                b.process(
+                    "Main",
+                    b.prefix("a", b.exp(Variable("speed")), b.call("Main")),
+                )
+            ],
+        )
+        with pytest.raises(TypeCheckError, match="speed"):
+            elem.validate({})

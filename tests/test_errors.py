@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy contract."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    LexerError,
+    ParseError,
+    ReproError,
+    SpecificationError,
+)
+
+
+def all_error_classes():
+    return [
+        obj
+        for _, obj in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(obj, Exception)
+    ]
+
+
+class TestHierarchy:
+    def test_every_error_is_a_repro_error(self):
+        for cls in all_error_classes():
+            assert issubclass(cls, ReproError), cls.__name__
+
+    def test_catching_the_base_class_suffices(self):
+        """The contract the fuzz tests rely on: one except clause."""
+        with pytest.raises(ReproError):
+            raise ParseError("boom", 3, 7)
+
+    def test_language_errors_are_specification_errors(self):
+        assert issubclass(LexerError, SpecificationError)
+        assert issubclass(ParseError, SpecificationError)
+
+    def test_positions_embedded_in_messages(self):
+        error = LexerError("bad char", 4, 9)
+        assert "line 4" in str(error)
+        assert error.line == 4 and error.column == 9
+        located = ParseError("unexpected", 2, 5)
+        assert "line 2" in str(located)
+        anonymous = ParseError("no location")
+        assert "line" not in str(anonymous)
+
+    def test_every_class_documented(self):
+        for cls in all_error_classes():
+            assert cls.__doc__, f"{cls.__name__} lacks a docstring"

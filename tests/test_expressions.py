@@ -1,0 +1,262 @@
+"""Unit and property tests for the typed expression language."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aemilia.expressions import (
+    BinaryOp,
+    DataType,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+    Variable,
+    binop,
+    check_closed,
+    evaluate_constant,
+    lit,
+    var,
+)
+from repro.errors import EvaluationError, TypeCheckError
+
+
+class TestLiterals:
+    def test_int_literal(self):
+        assert Literal(3).evaluate({}) == 3
+
+    def test_real_literal(self):
+        assert Literal(2.5).evaluate({}) == 2.5
+
+    def test_bool_literal(self):
+        assert Literal(True).evaluate({}) is True
+
+    def test_literal_has_no_free_variables(self):
+        assert Literal(1).free_variables() == frozenset()
+
+    def test_type_inference(self):
+        assert Literal(1).infer_type({}) is DataType.INT
+        assert Literal(1.0).infer_type({}) is DataType.REAL
+        assert Literal(False).infer_type({}) is DataType.BOOL
+
+    def test_str_renders_booleans_lowercase(self):
+        assert str(Literal(True)) == "true"
+        assert str(Literal(False)) == "false"
+
+
+class TestVariables:
+    def test_lookup(self):
+        assert Variable("n").evaluate({"n": 7}) == 7
+
+    def test_unbound_raises(self):
+        with pytest.raises(EvaluationError, match="unbound variable 'n'"):
+            Variable("n").evaluate({})
+
+    def test_free_variables(self):
+        assert Variable("x").free_variables() == frozenset({"x"})
+
+    def test_undeclared_type_raises(self):
+        with pytest.raises(TypeCheckError, match="undeclared variable"):
+            Variable("x").infer_type({})
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("+", 2, 3, 5),
+            ("-", 2, 3, -1),
+            ("*", 4, 3, 12),
+            ("/", 7, 2, 3.5),
+            ("%", 7, 3, 1),
+            ("+", 1.5, 0.5, 2.0),
+        ],
+    )
+    def test_operations(self, op, left, right, expected):
+        assert binop(op, left, right).evaluate({}) == expected
+
+    def test_division_of_ints_is_real(self):
+        result = binop("/", 1, 3).evaluate({})
+        assert isinstance(result, float)
+
+    def test_exact_int_division_stays_int(self):
+        assert binop("/", 6, 3).evaluate({}) == 2
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError, match="division by zero"):
+            binop("/", 1, 0).evaluate({})
+
+    def test_arithmetic_on_booleans_rejected(self):
+        with pytest.raises(EvaluationError):
+            binop("+", True, 1).evaluate({})
+
+    def test_unary_minus(self):
+        assert UnaryOp("-", lit(5)).evaluate({}) == -5
+
+    def test_unary_minus_on_bool_rejected(self):
+        with pytest.raises(EvaluationError):
+            UnaryOp("-", lit(True)).evaluate({})
+
+    def test_division_infers_real(self):
+        assert binop("/", 4, 2).infer_type({}) is DataType.REAL
+
+    def test_mixed_arithmetic_infers_real(self):
+        assert binop("+", lit(1), lit(2.0)).infer_type({}) is DataType.REAL
+
+    def test_int_arithmetic_infers_int(self):
+        assert binop("*", 2, 3).infer_type({}) is DataType.INT
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 1, 2, False),
+            (">=", 3, 2, True),
+            ("=", 2, 2, True),
+            ("!=", 2, 3, True),
+        ],
+    )
+    def test_numeric_comparisons(self, op, left, right, expected):
+        assert binop(op, left, right).evaluate({}) is expected
+
+    def test_bool_equality(self):
+        assert binop("=", True, True).evaluate({}) is True
+
+    def test_bool_ordering_rejected(self):
+        with pytest.raises(EvaluationError):
+            binop("<", True, False).evaluate({})
+
+    def test_mixed_bool_number_comparison_rejected(self):
+        with pytest.raises(EvaluationError):
+            binop("=", True, 1).evaluate({})
+
+    def test_comparison_infers_bool(self):
+        assert binop("<", 1, 2).infer_type({}) is DataType.BOOL
+
+
+class TestBooleanConnectives:
+    def test_and(self):
+        assert binop("and", True, False).evaluate({}) is False
+
+    def test_or(self):
+        assert binop("or", True, False).evaluate({}) is True
+
+    def test_not(self):
+        assert UnaryOp("not", lit(False)).evaluate({}) is True
+
+    def test_and_short_circuits(self):
+        # The right side would raise if evaluated.
+        expr = BinaryOp("and", Literal(False), Variable("missing"))
+        assert expr.evaluate({}) is False
+
+    def test_or_short_circuits(self):
+        expr = BinaryOp("or", Literal(True), Variable("missing"))
+        assert expr.evaluate({}) is True
+
+    def test_and_requires_booleans(self):
+        with pytest.raises(EvaluationError):
+            binop("and", 1, 2).evaluate({})
+
+    def test_not_requires_boolean(self):
+        with pytest.raises(EvaluationError):
+            UnaryOp("not", lit(3)).evaluate({})
+
+
+class TestFunctions:
+    @pytest.mark.parametrize(
+        "name,args,expected",
+        [
+            ("min", (2, 5), 2),
+            ("max", (2, 5), 5),
+            ("abs", (-3,), 3),
+            ("floor", (2.7,), 2),
+            ("ceil", (2.1,), 3),
+        ],
+    )
+    def test_builtins(self, name, args, expected):
+        expr = FunctionCall(name, tuple(lit(a) for a in args))
+        assert expr.evaluate({}) == expected
+
+    def test_unknown_function(self):
+        with pytest.raises(EvaluationError, match="unknown function"):
+            FunctionCall("sqrt", (lit(4),)).evaluate({})
+
+    def test_wrong_arity(self):
+        with pytest.raises(EvaluationError, match="expects 2"):
+            FunctionCall("min", (lit(1),)).evaluate({})
+
+    def test_boolean_argument_rejected(self):
+        with pytest.raises(EvaluationError):
+            FunctionCall("abs", (lit(True),)).evaluate({})
+
+    def test_floor_infers_int(self):
+        assert FunctionCall("floor", (lit(2.5),)).infer_type({}) is DataType.INT
+
+    def test_unknown_function_type_error(self):
+        with pytest.raises(TypeCheckError):
+            FunctionCall("sqrt", (lit(4),)).infer_type({})
+
+
+class TestHelpers:
+    def test_check_closed_accepts_bound(self):
+        expr = binop("+", var("n"), 1)
+        check_closed(expr, frozenset({"n"}), "test")
+
+    def test_check_closed_rejects_unbound(self):
+        expr = binop("+", var("n"), var("m"))
+        with pytest.raises(TypeCheckError, match="m"):
+            check_closed(expr, frozenset({"n"}), "test")
+
+    def test_evaluate_constant_default_env(self):
+        assert evaluate_constant(binop("*", 6, 7)) == 42
+
+    def test_datatype_accepts_widening(self):
+        assert DataType.REAL.accepts(DataType.INT)
+        assert not DataType.INT.accepts(DataType.REAL)
+        assert DataType.BOOL.accepts(DataType.BOOL)
+
+    def test_datatype_parse(self):
+        assert DataType.parse("int") is DataType.INT
+        with pytest.raises(TypeCheckError):
+            DataType.parse("float")
+
+    def test_expressions_are_hashable(self):
+        first = binop("+", var("n"), 1)
+        second = binop("+", var("n"), 1)
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+@given(a=st.integers(-1000, 1000), b=st.integers(-1000, 1000))
+def test_addition_matches_python(a, b):
+    assert binop("+", a, b).evaluate({}) == a + b
+
+
+@given(
+    a=st.floats(-1e6, 1e6, allow_nan=False),
+    b=st.floats(-1e6, 1e6, allow_nan=False),
+)
+def test_comparison_matches_python(a, b):
+    assert binop("<=", a, b).evaluate({}) == (a <= b)
+
+
+@given(
+    a=st.integers(-100, 100),
+    b=st.integers(-100, 100),
+    n=st.integers(-50, 50),
+)
+def test_substitution_consistency(a, b, n):
+    """Evaluating with env == evaluating the substituted literal form."""
+    with_var = binop("*", binop("+", var("n"), a), b)
+    with_lit = binop("*", binop("+", lit(n), a), b)
+    assert with_var.evaluate({"n": n}) == with_lit.evaluate({})
+
+
+@given(st.integers(-1000, 1000))
+def test_free_variables_of_closed_expr_empty(value):
+    expr = binop("-", binop("*", value, 2), 7)
+    assert expr.free_variables() == frozenset()

@@ -1,0 +1,135 @@
+"""Tests for the beyond-the-paper extension experiments."""
+
+import pytest
+
+from repro.casestudies.rpc import battery
+from repro.experiments.extensions import battery_lifetime, sensitivity
+
+
+class TestBatteryModel:
+    def test_specs_parse(self):
+        assert battery.dpm_architecture().name == "Rpc_Battery_Dpm"
+        assert battery.nodpm_architecture().name == "Rpc_Battery_Nodpm"
+
+    def test_empty_states_exist(self):
+        from repro.aemilia import generate_lts
+        from repro.ctmc import build_ctmc
+
+        lts = generate_lts(
+            battery.dpm_architecture(), {"battery_capacity": 5}
+        )
+        ctmc = build_ctmc(lts)
+        empty = battery.empty_battery_states(ctmc)
+        assert empty
+        assert len(empty) < ctmc.num_states
+
+    def test_lifetime_scales_with_capacity(self):
+        small = battery.expected_lifetime(
+            battery.nodpm_architecture(), {"battery_capacity": 5}
+        )
+        large = battery.expected_lifetime(
+            battery.nodpm_architecture(), {"battery_capacity": 15}
+        )
+        assert large == pytest.approx(3 * small, rel=0.05)
+
+    def test_nodpm_lifetime_matches_average_power(self):
+        """Drain rate = power x scale; lifetime ~ capacity/(E[power]*scale).
+
+        NO-DPM average power is ~2.04 (fig3 data), scale 0.05 =>
+        ~0.102 units/ms => 15 units last ~147 ms.
+        """
+        lifetime = battery.expected_lifetime(
+            battery.nodpm_architecture(), {"battery_capacity": 15}
+        )
+        assert lifetime == pytest.approx(15.0 / (2.04 * 0.05), rel=0.05)
+
+
+class TestBatteryExperiment:
+    def test_dpm_extends_lifetime(self):
+        result = battery_lifetime(timeouts=(1.0, 15.0), capacity=10)
+        assert result.extension_factor(1.0) > 1.5
+        assert result.extension_factor(15.0) > 1.0
+        # Shorter timeout, longer life.
+        assert result.lifetimes[1.0] > result.lifetimes[15.0]
+
+    def test_report_renders(self):
+        result = battery_lifetime(timeouts=(5.0,), capacity=10)
+        text = result.report()
+        assert "ext-battery" in text
+        assert "NO-DPM" in text
+
+
+class TestSurvival:
+    def test_survival_is_monotone_decreasing(self):
+        from repro.experiments.extensions import battery_survival
+
+        result = battery_survival(
+            times=(50.0, 150.0, 300.0), capacity=8
+        )
+        assert result.dpm_survival == sorted(
+            result.dpm_survival, reverse=True
+        )
+        assert result.nodpm_survival == sorted(
+            result.nodpm_survival, reverse=True
+        )
+
+    def test_dpm_survives_longer(self):
+        from repro.experiments.extensions import battery_survival
+
+        result = battery_survival(times=(150.0,), capacity=8)
+        assert result.dpm_survival[0] > result.nodpm_survival[0]
+
+    def test_probabilities_valid(self):
+        from repro.experiments.extensions import battery_survival
+
+        result = battery_survival(times=(10.0, 500.0), capacity=6)
+        for value in result.dpm_survival + result.nodpm_survival:
+            assert 0.0 <= value <= 1.0
+
+    def test_report_renders(self):
+        from repro.experiments.extensions import battery_survival
+
+        result = battery_survival(times=(50.0, 100.0), capacity=6)
+        text = result.report()
+        assert "ext-survival" in text
+        assert "P(alive)" in text
+
+
+class TestSensitivity:
+    def test_longer_processing_more_saving(self):
+        result = sensitivity(
+            "proc_time", values=(3.0, 9.7, 40.0), timeout=5.0
+        )
+        # More idle time -> more DPM opportunity.
+        assert result.savings[40.0] > result.savings[9.7] > result.savings[3.0]
+
+    def test_savings_are_fractions(self):
+        result = sensitivity("proc_time", values=(9.7,), timeout=5.0)
+        assert 0.0 < result.savings[9.7] < 1.0
+        assert 0.0 < result.throughput_costs[9.7] < 1.0
+
+    def test_report_renders(self):
+        result = sensitivity("proc_time", values=(9.7,))
+        assert "ext-sensitivity" in result.report()
+
+    def test_loss_probability_sweep(self):
+        result = sensitivity(
+            "loss_prob", values=(0.01, 0.2), timeout=5.0
+        )
+        assert set(result.savings) == {0.01, 0.2}
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        from repro.experiments import all_experiments
+
+        experiments = all_experiments()
+        assert "ext-battery" in experiments
+        assert "ext-sensitivity" in experiments
+
+    def test_quick_run_via_cli(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["ext-battery", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "expected lifetime" in out

@@ -1,0 +1,131 @@
+"""Tests for weak Hennessy-Milner formulas: satisfaction and rendering."""
+
+import pytest
+
+from repro.lts import (
+    And,
+    DiamondWeak,
+    Not,
+    TAU,
+    Top,
+    WeakStructure,
+    build_lts,
+    conjunction,
+)
+
+
+@pytest.fixture()
+def structure():
+    # 0 --a--> 1 --tau--> 2 --b--> 3 ; 0 --a--> 4 (deadlock)
+    lts = build_lts(
+        5, [(0, "a", 1), (1, TAU, 2), (2, "b", 3), (0, "a", 4)]
+    )
+    return WeakStructure(lts)
+
+
+class TestSatisfaction:
+    def test_top_everywhere(self, structure):
+        assert Top().satisfied_by(structure, 0)
+        assert Top().satisfied_by(structure, 3)
+
+    def test_diamond_visible(self, structure):
+        formula = DiamondWeak("a", Top())
+        assert formula.satisfied_by(structure, 0)
+        assert not formula.satisfied_by(structure, 1)
+
+    def test_diamond_through_tau(self, structure):
+        # 1 =b=> 3 via the tau to 2.
+        formula = DiamondWeak("b", Top())
+        assert formula.satisfied_by(structure, 1)
+        assert formula.satisfied_by(structure, 2)
+        assert not formula.satisfied_by(structure, 4)
+
+    def test_nested_diamond(self, structure):
+        formula = DiamondWeak("a", DiamondWeak("b", Top()))
+        assert formula.satisfied_by(structure, 0)
+
+    def test_negation(self, structure):
+        formula = Not(DiamondWeak("b", Top()))
+        assert formula.satisfied_by(structure, 4)
+        assert not formula.satisfied_by(structure, 1)
+
+    def test_conjunction_semantics(self, structure):
+        both = And((DiamondWeak("a", Top()), Not(DiamondWeak("b", Top()))))
+        assert both.satisfied_by(structure, 0)
+
+    def test_diamond_tau_includes_empty_move(self, structure):
+        # <<tau>>phi holds if phi holds here (empty move).
+        formula = DiamondWeak(TAU, DiamondWeak("a", Top()))
+        assert formula.satisfied_by(structure, 0)
+
+    def test_existential_over_branches(self, structure):
+        """0 has two a-successors; one satisfies <<b>>T, which suffices."""
+        formula = DiamondWeak("a", DiamondWeak("b", Top()))
+        assert formula.satisfied_by(structure, 0)
+
+
+class TestRendering:
+    def test_top(self):
+        assert Top().render() == "TRUE"
+
+    def test_diamond_twotowers_style(self):
+        text = DiamondWeak("C.send#RCS.get", Top()).render()
+        assert "EXISTS_WEAK_TRANS(" in text
+        assert "LABEL(C.send#RCS.get);" in text
+        assert "REACHED_STATE_SAT(" in text
+        assert "TRUE" in text
+
+    def test_not_wraps(self):
+        text = Not(Top()).render()
+        assert text.startswith("NOT(")
+
+    def test_and_renders_all(self):
+        text = And((Top(), Not(Top()))).render()
+        assert "AND(" in text
+
+    def test_nested_structure_matches_paper_shape(self):
+        """The Sect. 3.1 diagnostic shape renders as in the paper."""
+        formula = DiamondWeak(
+            "C.send_rpc_packet#RCS.get_packet",
+            Not(
+                DiamondWeak(
+                    "RSC.deliver_packet#C.receive_result_packet", Top()
+                )
+            ),
+        )
+        text = formula.render()
+        assert text.index("EXISTS_WEAK_TRANS") < text.index("NOT")
+        assert text.count("EXISTS_WEAK_TRANS") == 2
+
+
+class TestConjunctionHelper:
+    def test_empty_is_top(self):
+        assert isinstance(conjunction([]), Top)
+
+    def test_single_passes_through(self):
+        formula = DiamondWeak("a", Top())
+        assert conjunction([formula]) is formula
+
+    def test_duplicates_removed(self):
+        formula = DiamondWeak("a", Top())
+        combined = conjunction([formula, formula, formula])
+        assert combined is formula
+
+    def test_top_operands_dropped(self):
+        formula = DiamondWeak("a", Top())
+        assert conjunction([Top(), formula, Top()]) is formula
+
+    def test_distinct_operands_kept(self):
+        first = DiamondWeak("a", Top())
+        second = DiamondWeak("b", Top())
+        combined = conjunction([first, second])
+        assert isinstance(combined, And)
+        assert len(combined.operands) == 2
+
+
+class TestSize:
+    def test_sizes(self):
+        assert Top().size() == 1
+        assert Not(Top()).size() == 2
+        assert DiamondWeak("a", Top()).size() == 2
+        assert And((Top(), Not(Top()))).size() == 4

@@ -1,0 +1,123 @@
+"""Tests for the specification-language tokenizer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aemilia.lexer import EOF, IDENT, NUMBER, tokenize
+from repro.errors import LexerError
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == EOF
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("ARCHI_TYPE Server_Type choice")
+        assert tokens[0].kind == "ARCHI_TYPE"
+        assert tokens[1].kind == IDENT
+        assert tokens[2].kind == "choice"
+
+    def test_identifier_with_underscores_and_digits(self):
+        token = tokenize("receive_rpc_packet2")[0]
+        assert token.kind == IDENT
+        assert token.text == "receive_rpc_packet2"
+
+    def test_lone_underscore_is_passive_symbol(self):
+        assert kinds("_")[:-1] == ["_"]
+
+    def test_identifier_starting_with_underscore_rejected(self):
+        with pytest.raises(LexerError, match="cannot start with '_'"):
+            tokenize("_foo")
+
+    def test_integer_number(self):
+        token = tokenize("42")[0]
+        assert token.kind == NUMBER and token.text == "42"
+
+    def test_real_number(self):
+        assert texts("0.25") == ["0.25"]
+
+    def test_scientific_notation(self):
+        assert texts("1e-3 2.5E+4") == ["1e-3", "2.5E+4"]
+
+    def test_number_then_dot_operator(self):
+        """'1 .' style prefix dots must not be eaten as a decimal point."""
+        assert texts("Server(1).stop") == ["Server", "(", "1", ")", ".", "stop"]
+
+    def test_multi_char_symbols(self):
+        assert texts("a := b -> c <= d >= e != f") == [
+            "a", ":=", "b", "->", "c", "<=", "d", ">=", "e", "!=", "f",
+        ]
+
+    def test_angle_brackets_and_commas(self):
+        assert texts("<serve, exp(2.0)>") == [
+            "<", "serve", ",", "exp", "(", "2.0", ")", ">",
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError, match="unexpected character"):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment with symbols $%^\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError, match="unterminated"):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_position(self):
+        try:
+            tokenize("ok\n   $")
+        except LexerError as error:
+            assert error.line == 2
+            assert error.column == 4
+        else:  # pragma: no cover
+            pytest.fail("expected LexerError")
+
+
+@given(
+    st.lists(
+        st.sampled_from(
+            ["choice", "cond", "foo", "Bar_Baz", "42", "3.5", "(", ")",
+             "<", ">", ",", ";", ".", ":=", "->", "_"]
+        ),
+        min_size=0,
+        max_size=30,
+    )
+)
+def test_token_count_is_stable_under_whitespace(parts):
+    """Joining with different whitespace produces identical token streams."""
+    tight = tokenize(" ".join(parts))
+    spread = tokenize("\n\t ".join(parts))
+    assert [t.kind for t in tight] == [t.kind for t in spread]
+    assert [t.text for t in tight] == [t.text for t in spread]
+
+
+@given(st.integers(0, 10**9))
+def test_integers_lex_as_single_number(value):
+    tokens = tokenize(str(value))
+    assert tokens[0].kind == NUMBER
+    assert tokens[0].text == str(value)
+    assert tokens[1].kind == EOF

@@ -1,0 +1,158 @@
+"""Tests for the LTS structure, label matching, operators, reachability."""
+
+import pytest
+
+from repro.aemilia.rates import ExpRate
+from repro.errors import AnalysisError
+from repro.lts import (
+    LTS,
+    TAU,
+    build_lts,
+    disjoint_union,
+    hide,
+    local_label,
+    matches,
+    matches_any,
+    reachable_states,
+    relabel,
+    restrict,
+    restrict_to_reachable,
+    sync_label,
+)
+
+
+class TestLabels:
+    def test_sync_label_format(self):
+        assert sync_label("A.push", "B.pull") == "A.push#B.pull"
+
+    def test_local_label(self):
+        assert local_label("S", "serve") == "S.serve"
+
+    def test_exact_match(self):
+        assert matches("A.push", "A.push")
+
+    def test_participant_match(self):
+        assert matches("A.push", "A.push#B.pull")
+        assert matches("B.pull", "A.push#B.pull")
+
+    def test_non_participant_no_match(self):
+        assert not matches("A.pull", "A.push#B.pull")
+
+    def test_instance_wildcard(self):
+        assert matches("DPM.*", "DPM.send_shutdown#S.receive_shutdown")
+        assert matches("DPM.*", "DPM.tick")
+        assert not matches("DPM.*", "S.receive#C.send")
+
+    def test_tau_only_matches_itself(self):
+        assert matches(TAU, TAU)
+        assert not matches("A.push", TAU)
+        assert not matches("tau.*", TAU)
+
+    def test_matches_any(self):
+        assert matches_any(["X.a", "Y.b"], "Y.b#Z.c")
+        assert not matches_any([], "Y.b")
+
+
+class TestLTSStructure:
+    def test_add_states_and_transitions(self):
+        lts = LTS()
+        s0, s1 = lts.add_state("zero"), lts.add_state("one")
+        lts.add_transition(s0, "a", s1, ExpRate(2.0), "E", 0.5)
+        assert lts.num_states == 2
+        assert lts.num_transitions == 1
+        transition = lts.transitions[0]
+        assert transition.event == "E"
+        assert transition.weight == 0.5
+        assert lts.state_info(0) == "zero"
+
+    def test_dangling_transition_rejected(self):
+        lts = LTS()
+        lts.add_state()
+        with pytest.raises(AnalysisError):
+            lts.add_transition(0, "a", 7)
+
+    def test_successors(self):
+        lts = build_lts(3, [(0, "a", 1), (0, "a", 2), (0, "b", 1)])
+        assert sorted(lts.successors(0, "a")) == [1, 2]
+        assert lts.successors(1, "a") == []
+
+    def test_deadlock_detection(self):
+        lts = build_lts(2, [(0, "a", 1)])
+        assert lts.has_deadlock()
+        assert lts.deadlock_states() == [1]
+
+    def test_copy_is_independent(self):
+        lts = build_lts(2, [(0, "a", 1)])
+        clone = lts.copy()
+        clone.add_state()
+        assert lts.num_states == 2
+        assert clone.num_states == 3
+
+    def test_visible_labels_excludes_tau(self):
+        lts = build_lts(2, [(0, "a", 1), (1, TAU, 0)])
+        assert lts.visible_labels() == {"a"}
+
+
+class TestOperators:
+    def test_hide_by_pattern(self):
+        lts = build_lts(2, [(0, "X.a", 1), (1, "Y.b", 0)])
+        hidden = hide(lts, ["X.a"])
+        assert {t.label for t in hidden.transitions} == {TAU, "Y.b"}
+
+    def test_hide_by_predicate(self):
+        lts = build_lts(2, [(0, "X.a", 1), (1, "Y.b", 0)])
+        hidden = hide(lts, lambda label: label.startswith("Y"))
+        assert {t.label for t in hidden.transitions} == {"X.a", TAU}
+
+    def test_hide_preserves_rates_and_events(self):
+        lts = LTS()
+        lts.add_state()
+        lts.add_state()
+        lts.add_transition(0, "X.a", 1, ExpRate(2.0), "X.a", 0.5)
+        hidden = hide(lts, ["X.a"])
+        assert hidden.transitions[0].rate == ExpRate(2.0)
+        assert hidden.transitions[0].weight == 0.5
+
+    def test_restrict_removes_and_prunes(self):
+        lts = build_lts(3, [(0, "keep", 1), (0, "drop", 2), (2, "keep", 0)])
+        restricted = restrict(lts, ["drop"])
+        assert restricted.num_states == 2  # state 2 unreachable now
+        assert {t.label for t in restricted.transitions} == {"keep"}
+
+    def test_restrict_without_pruning(self):
+        lts = build_lts(3, [(0, "keep", 1), (0, "drop", 2)])
+        restricted = restrict(lts, ["drop"], prune=False)
+        assert restricted.num_states == 3
+
+    def test_restrict_matches_sync_participants(self):
+        lts = build_lts(2, [(0, "DPM.kill#S.die", 1), (1, "S.work", 0)])
+        restricted = restrict(lts, ["DPM.kill"])
+        assert {t.label for t in restricted.transitions} == set()
+
+    def test_relabel(self):
+        lts = build_lts(2, [(0, "a", 1)])
+        renamed = relabel(lts, lambda label: label.upper())
+        assert {t.label for t in renamed.transitions} == {"A"}
+
+    def test_disjoint_union_offsets(self):
+        first = build_lts(2, [(0, "a", 1)])
+        second = build_lts(3, [(0, "b", 1), (1, "b", 2)], initial=1)
+        union, init_a, init_b = disjoint_union(first, second)
+        assert union.num_states == 5
+        assert init_a == 0
+        assert init_b == 3  # 1 + offset 2
+        assert union.num_transitions == 3
+
+
+class TestReachability:
+    def test_reachable_states(self):
+        lts = build_lts(4, [(0, "a", 1), (1, "b", 0), (2, "c", 3)])
+        assert reachable_states(lts) == {0, 1}
+        assert reachable_states(lts, 2) == {2, 3}
+
+    def test_restrict_to_reachable_renumbers(self):
+        lts = build_lts(4, [(0, "a", 2), (2, "b", 0), (1, "x", 3)])
+        trimmed = restrict_to_reachable(lts)
+        assert trimmed.num_states == 2
+        assert {t.label for t in trimmed.transitions} == {"a", "b"}
+        assert trimmed.initial == 0

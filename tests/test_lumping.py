@@ -1,0 +1,110 @@
+"""Tests for ordinary CTMC lumping."""
+
+import numpy as np
+import pytest
+
+from repro.aemilia import generate_lts
+from repro.ctmc import (
+    CTMC,
+    build_ctmc,
+    evaluate_measures,
+    steady_state,
+)
+from repro.ctmc.lumping import lump, lumping_partition
+
+
+def symmetric_chain():
+    """A 2-fold symmetric chain: 0 -> {1, 2} -> 3 -> 0 with twin middles."""
+    ctmc = CTMC(4)
+    ctmc.add_transition(0, 1, 1.0, {"split": 1.0})
+    ctmc.add_transition(0, 2, 1.0, {"split": 1.0})
+    ctmc.add_transition(1, 3, 2.0, {"join": 1.0})
+    ctmc.add_transition(2, 3, 2.0, {"join": 1.0})
+    ctmc.add_transition(3, 0, 4.0, {"reset": 1.0})
+    for state, labels in enumerate(
+        [{"split"}, {"join"}, {"join"}, {"reset"}]
+    ):
+        ctmc.set_enabled_labels(state, frozenset(labels))
+    return ctmc
+
+
+class TestPartition:
+    def test_twins_lump(self):
+        blocks = lumping_partition(symmetric_chain())
+        assert blocks[1] == blocks[2]
+        assert blocks[0] != blocks[1]
+        assert blocks[0] != blocks[3]
+
+    def test_asymmetric_rates_do_not_lump(self):
+        ctmc = symmetric_chain()
+        ctmc.add_transition(1, 0, 0.5)  # break the symmetry
+        blocks = lumping_partition(ctmc)
+        assert blocks[1] != blocks[2]
+
+    def test_different_enabled_labels_do_not_lump(self):
+        ctmc = CTMC(3)
+        ctmc.add_transition(0, 2, 1.0)
+        ctmc.add_transition(1, 2, 1.0)
+        ctmc.add_transition(2, 0, 1.0)
+        ctmc.set_enabled_labels(0, frozenset({"a"}))
+        ctmc.set_enabled_labels(1, frozenset({"b"}))
+        blocks = lumping_partition(ctmc)
+        assert blocks[0] != blocks[1]
+
+
+class TestQuotient:
+    def test_quotient_size_and_steady_state(self):
+        ctmc = symmetric_chain()
+        quotient, block_of = lump(ctmc)
+        assert quotient.num_states == 3
+        pi_full = steady_state(ctmc)
+        pi_quotient = steady_state(quotient)
+        # Block masses agree.
+        for block in range(quotient.num_states):
+            mass = sum(
+                pi_full[s] for s in range(4) if block_of[s] == block
+            )
+            assert pi_quotient[block] == pytest.approx(mass, rel=1e-9)
+
+    def test_initial_distribution_aggregates(self):
+        ctmc = symmetric_chain()
+        quotient, block_of = lump(ctmc)
+        assert quotient.initial_distribution.sum() == pytest.approx(1.0)
+        assert quotient.initial_distribution[block_of[0]] == pytest.approx(1.0)
+
+    def test_measures_preserved_on_case_study(self, rpc_family):
+        """Measures on the lumped rpc chain equal the full-chain values."""
+        lts = generate_lts(
+            rpc_family.markovian_dpm, {"shutdown_timeout": 5.0}
+        )
+        ctmc = build_ctmc(lts)
+        quotient, _ = lump(ctmc)
+        assert quotient.num_states <= ctmc.num_states
+        full = evaluate_measures(
+            ctmc, steady_state(ctmc), rpc_family.measures
+        )
+        reduced = evaluate_measures(
+            quotient, steady_state(quotient), rpc_family.measures
+        )
+        for name in full:
+            assert reduced[name] == pytest.approx(full[name], rel=1e-9)
+
+    def test_streaming_chain_lumps_substantially(self, streaming_family):
+        """The streaming model's symmetric structure shrinks under
+        lumping (at reduced buffer sizes for test speed)."""
+        lts = generate_lts(
+            streaming_family.markovian_dpm,
+            {"ap_capacity": 3, "b_capacity": 3, "awake_period": 100.0},
+        )
+        ctmc = build_ctmc(lts)
+        quotient, _ = lump(ctmc)
+        full = evaluate_measures(
+            ctmc, steady_state(ctmc), streaming_family.measures
+        )
+        reduced = evaluate_measures(
+            quotient, steady_state(quotient), streaming_family.measures
+        )
+        for name in full:
+            assert reduced[name] == pytest.approx(
+                full[name], rel=1e-8, abs=1e-12
+            )

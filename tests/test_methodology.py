@@ -1,0 +1,137 @@
+"""Tests for the IncrementalMethodology driver."""
+
+import pytest
+
+from repro.core import IncrementalMethodology, ModelFamily
+from repro.core.methodology import solve_markovian_architecture
+from repro.errors import AnalysisError
+
+
+class TestVariantHandling:
+    def test_unknown_variant_rejected(self, rpc_family):
+        methodology = IncrementalMethodology(rpc_family)
+        with pytest.raises(AnalysisError, match="unknown variant"):
+            methodology.solve_markovian("maybe")
+
+    def test_measure_names_order(self, rpc_family):
+        assert rpc_family.measure_names() == [
+            "throughput", "waiting_time", "energy",
+        ]
+
+    def test_lts_cache_reused(self, rpc_family):
+        methodology = IncrementalMethodology(rpc_family)
+        first = methodology.build_lts("markovian", "dpm", {"shutdown_timeout": 5.0})
+        second = methodology.build_lts("markovian", "dpm", {"shutdown_timeout": 5.0})
+        assert first is second
+
+    def test_lts_cache_distinguishes_overrides(self, rpc_family):
+        methodology = IncrementalMethodology(rpc_family)
+        first = methodology.build_lts("markovian", "dpm", {"shutdown_timeout": 5.0})
+        second = methodology.build_lts("markovian", "dpm", {"shutdown_timeout": 9.0})
+        assert first is not second
+
+
+class TestPhases:
+    def test_phase1_functional(self, rpc_family):
+        methodology = IncrementalMethodology(rpc_family)
+        result = methodology.assess_functionality()
+        assert result.holds
+
+    def test_phase2_solves_both_variants(self, rpc_family):
+        methodology = IncrementalMethodology(rpc_family)
+        dpm = methodology.solve_markovian("dpm")
+        nodpm = methodology.solve_markovian("nodpm")
+        assert set(dpm) == {"throughput", "waiting_time", "energy"}
+        assert nodpm["energy"] > dpm["energy"]
+
+    def test_phase2_sweep_shapes(self, rpc_family):
+        methodology = IncrementalMethodology(rpc_family)
+        series = methodology.sweep_markovian(
+            "shutdown_timeout", [1.0, 5.0, 20.0], "dpm"
+        )
+        assert len(series["energy"]) == 3
+        # Longer timeouts -> less aggressive DPM -> more energy.
+        assert series["energy"][0] < series["energy"][1] < series["energy"][2]
+
+    def test_phase2_solver_choice(self, rpc_family):
+        methodology = IncrementalMethodology(rpc_family)
+        direct = methodology.solve_markovian("dpm", method="direct")
+        power = methodology.solve_markovian("dpm", method="power")
+        for name in direct:
+            assert direct[name] == pytest.approx(power[name], rel=1e-5)
+
+    def test_phase3_simulation(self, rpc_family):
+        methodology = IncrementalMethodology(rpc_family)
+        replication = methodology.simulate_general(
+            "dpm",
+            {"shutdown_timeout": 5.0},
+            run_length=3_000.0,
+            runs=3,
+            warmup=100.0,
+        )
+        assert replication["throughput"].mean > 0
+
+    def test_missing_model_rejected(self, rpc_family):
+        family = ModelFamily(
+            name="partial",
+            functional_dpm=rpc_family.functional_dpm,
+            markovian_dpm=rpc_family.markovian_dpm,
+            markovian_nodpm=rpc_family.markovian_nodpm,
+            general_dpm=rpc_family.general_dpm,
+            general_nodpm=None,
+            high_patterns=rpc_family.high_patterns,
+            low_patterns=rpc_family.low_patterns,
+            measures=rpc_family.measures,
+        )
+        methodology = IncrementalMethodology(family)
+        with pytest.raises(AnalysisError, match="no general_nodpm"):
+            methodology.build_lts("general", "nodpm")
+
+
+class TestStandaloneSolve:
+    def test_solve_markovian_architecture(self, rpc_family):
+        results = solve_markovian_architecture(
+            rpc_family.markovian_nodpm, rpc_family.measures
+        )
+        assert results["throughput"] == pytest.approx(0.0866, rel=0.01)
+
+
+class TestFullAssessment:
+    def test_full_assessment_completes_on_rpc(self, rpc_family):
+        from repro.core import IncrementalMethodology
+
+        methodology = IncrementalMethodology(rpc_family)
+        assessment = methodology.full_assessment(
+            {"shutdown_timeout": 5.0},
+            run_length=4_000.0,
+            runs=4,
+            warmup=200.0,
+        )
+        assert assessment.completed
+        text = assessment.report()
+        assert "phase 1" in text
+        assert "phase 2" in text
+        assert "phase 3b" in text
+        assert assessment.markovian_dpm["energy"] < (
+            assessment.markovian_nodpm["energy"]
+        )
+
+    def test_full_assessment_short_circuits_on_interference(self):
+        from repro.casestudies.rpc import functional, general, markovian
+        from repro.core import IncrementalMethodology, ModelFamily
+
+        family = ModelFamily(
+            name="rpc-broken",
+            functional_dpm=functional.simplified_architecture(),
+            markovian_dpm=markovian.dpm_architecture(),
+            markovian_nodpm=markovian.nodpm_architecture(),
+            general_dpm=general.dpm_architecture(),
+            general_nodpm=general.nodpm_architecture(),
+            high_patterns=functional.HIGH_PATTERNS,
+            low_patterns=functional.LOW_PATTERNS,
+            measures=markovian.measures(),
+        )
+        assessment = IncrementalMethodology(family).full_assessment()
+        assert not assessment.completed
+        assert assessment.markovian_dpm is None
+        assert "phases 2-3 skipped" in assessment.report()

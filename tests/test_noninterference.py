@@ -1,0 +1,136 @@
+"""Tests for the noninterference analysis (hide vs restrict)."""
+
+import pytest
+
+from repro.core import check_noninterference, high_patterns_for_instances
+from repro.core.noninterference import low_observation
+from repro.errors import AnalysisError
+from repro.lts import TAU, build_lts
+
+
+class TestLowObservation:
+    def test_hides_everything_but_low(self):
+        lts = build_lts(
+            3, [(0, "C.ask", 1), (1, "S.think", 2), (2, "C.answer", 0)]
+        )
+        observed = low_observation(lts, ["C.ask", "C.answer"])
+        labels = {t.label for t in observed.transitions}
+        assert labels == {"C.ask", "C.answer", TAU}
+
+    def test_low_patterns_match_sync_participants(self):
+        lts = build_lts(2, [(0, "C.ask#S.take", 1), (1, "S.reply#C.get", 0)])
+        observed = low_observation(lts, ["C.ask"])
+        labels = {t.label for t in observed.transitions}
+        assert labels == {"C.ask#S.take", TAU}
+
+
+class TestCheck:
+    def test_transparent_high_action(self):
+        """High tau-like detour that never changes low behaviour: passes."""
+        lts = build_lts(
+            3,
+            [
+                (0, "C.work", 0),
+                (0, "H.toggle", 1),
+                (1, "C.work", 1),
+                (1, "H.toggle", 0),
+            ],
+        )
+        result = check_noninterference(lts, ["H.toggle"], ["C.work"])
+        assert result.holds
+        assert result.formula is None
+        assert "HOLDS" in result.diagnostic()
+
+    def test_interfering_high_action(self):
+        """High action that disables the low action: fails with formula."""
+        lts = build_lts(
+            2,
+            [
+                (0, "C.work", 0),
+                (0, "H.kill", 1),
+                # state 1: deadlock — C.work impossible
+            ],
+        )
+        result = check_noninterference(lts, ["H.kill"], ["C.work"])
+        assert not result.holds
+        assert result.formula is not None
+        assert result.formula_side == "with_dpm"
+        assert "FAILS" in result.diagnostic()
+
+    def test_formula_is_verified_against_both_sides(self):
+        lts = build_lts(
+            2, [(0, "C.work", 0), (0, "H.kill", 1)]
+        )
+        result = check_noninterference(lts, ["H.kill"], ["C.work"])
+        from repro.lts import verify_distinguishing
+
+        assert verify_distinguishing(
+            result.check.result,
+            result.formula,
+            result.check.initial_first,
+            result.check.initial_second,
+        )
+
+    def test_overlapping_high_low_rejected(self):
+        lts = build_lts(1, [(0, "X.a", 0)])
+        with pytest.raises(AnalysisError, match="both high and low"):
+            check_noninterference(lts, ["X.a"], ["X.a"])
+
+    def test_architecture_input_accepted(self, pingpong):
+        result = check_noninterference(
+            pingpong, ["Q.send_pong"], ["P.send_ping"]
+        )
+        # Preventing the pong reply kills the ping loop after one round.
+        assert not result.holds
+
+    def test_high_instance_wildcards(self):
+        assert high_patterns_for_instances(["DPM", "PM2"]) == [
+            "DPM.*", "PM2.*",
+        ]
+
+    def test_interference_via_visible_reordering(self):
+        """High action that only *adds* a low possibility still fails."""
+        lts = build_lts(
+            3,
+            [
+                (0, "C.a", 1),
+                (0, "H.enable", 2),
+                (2, "C.b", 1),
+            ],
+        )
+        result = check_noninterference(lts, ["H.enable"], ["C.a", "C.b"])
+        assert not result.holds
+        # The formula is satisfied by the DPM side: <<C.b>>TRUE.
+        text = result.formula.render()
+        assert "C.b" in text
+
+
+class TestPaperVerdicts:
+    def test_rpc_simplified_fails(self, rpc_family):
+        from repro.casestudies.rpc import functional
+
+        result = check_noninterference(
+            functional.simplified_architecture(),
+            functional.HIGH_PATTERNS,
+            functional.LOW_PATTERNS,
+        )
+        assert not result.holds
+
+    def test_rpc_revised_passes(self, rpc_family):
+        result = check_noninterference(
+            rpc_family.functional_dpm,
+            rpc_family.high_patterns,
+            rpc_family.low_patterns,
+        )
+        assert result.holds
+
+    def test_streaming_passes(self, streaming_family):
+        from repro.casestudies.streaming import functional
+
+        result = check_noninterference(
+            streaming_family.functional_dpm,
+            streaming_family.high_patterns,
+            streaming_family.low_patterns,
+            const_overrides=functional.FUNCTIONAL_CAPACITIES,
+        )
+        assert result.holds

@@ -1,0 +1,202 @@
+"""Tests for replication output analysis and confidence intervals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.aemilia.rates import ExpRate
+from repro.ctmc import measure, state_clause, trans_clause
+from repro.errors import SimulationError
+from repro.lts import LTS
+from repro.sim import Estimate, replicate, summarize, spawn_generators
+
+
+def simple_lts():
+    lts = LTS(0)
+    for _ in range(2):
+        lts.add_state()
+    lts.add_transition(0, "up", 1, ExpRate(2.0), "up")
+    lts.add_transition(1, "down", 0, ExpRate(3.0), "down")
+    return lts
+
+
+class TestSummarize:
+    def test_mean_and_halfwidth(self):
+        estimate = summarize([1.0, 2.0, 3.0], confidence=0.90)
+        assert estimate.mean == pytest.approx(2.0)
+        assert estimate.runs == 3
+        # half-width = t_{0.95,2} * s / sqrt(3) = 2.9199856 / sqrt(3).
+        assert estimate.half_width == pytest.approx(
+            2.9199856 / math.sqrt(3.0), rel=1e-4
+        )
+
+    def test_single_sample_infinite_interval(self):
+        estimate = summarize([5.0])
+        assert estimate.mean == 5.0
+        assert math.isinf(estimate.half_width)
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize([])
+
+    def test_interval_bounds_and_overlap(self):
+        estimate = Estimate(10.0, 1.0, 2.0, 5, 0.90)
+        assert estimate.low == 9.0
+        assert estimate.high == 11.0
+        assert estimate.overlaps(10.5)
+        assert not estimate.overlaps(12.0)
+
+    def test_interval_intersection(self):
+        a = Estimate(10.0, 1.0, 1.0, 5, 0.90)
+        b = Estimate(11.5, 1.0, 1.0, 5, 0.90)
+        c = Estimate(13.0, 0.5, 1.0, 5, 0.90)
+        assert a.overlaps_estimate(b)
+        assert not a.overlaps_estimate(c)
+
+    def test_higher_confidence_widens_interval(self):
+        narrow = summarize([1.0, 2.0, 3.0, 4.0], confidence=0.90)
+        wide = summarize([1.0, 2.0, 3.0, 4.0], confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_str_format(self):
+        estimate = summarize([1.0, 2.0, 3.0])
+        text = str(estimate)
+        assert "±" in text and "n=3" in text
+
+
+class TestReplicate:
+    def test_estimates_for_all_measures(self):
+        measures = [
+            measure("in0", state_clause("up", 1.0)),
+            measure("ups", trans_clause("up", 1.0)),
+        ]
+        result = replicate(
+            simple_lts(), measures, run_length=2_000.0, runs=6, seed=42
+        )
+        assert set(result.estimates) == {"in0", "ups"}
+        assert result["in0"].mean == pytest.approx(0.6, rel=0.05)
+        assert len(result.samples["ups"]) == 6
+
+    def test_deterministic_given_seed(self):
+        measures = [measure("in0", state_clause("up", 1.0))]
+        first = replicate(
+            simple_lts(), measures, run_length=500.0, runs=4, seed=99
+        )
+        second = replicate(
+            simple_lts(), measures, run_length=500.0, runs=4, seed=99
+        )
+        assert first.samples == second.samples
+
+    def test_different_seeds_differ(self):
+        measures = [measure("in0", state_clause("up", 1.0))]
+        first = replicate(
+            simple_lts(), measures, run_length=500.0, runs=4, seed=1
+        )
+        second = replicate(
+            simple_lts(), measures, run_length=500.0, runs=4, seed=2
+        )
+        assert first.samples != second.samples
+
+    def test_needs_two_runs(self):
+        with pytest.raises(SimulationError):
+            replicate(simple_lts(), [], run_length=100.0, runs=1)
+
+    def test_interval_shrinks_with_more_runs(self):
+        measures = [measure("in0", state_clause("up", 1.0))]
+        few = replicate(
+            simple_lts(), measures, run_length=500.0, runs=4, seed=5
+        )
+        many = replicate(
+            simple_lts(), measures, run_length=500.0, runs=24, seed=5
+        )
+        assert many["in0"].half_width < few["in0"].half_width
+
+    def test_coverage_of_true_value(self):
+        """90% CI from 30 runs should cover the analytic 0.6 (seeded)."""
+        measures = [measure("in0", state_clause("up", 1.0))]
+        result = replicate(
+            simple_lts(), measures, run_length=2_000.0, runs=30, seed=7
+        )
+        assert result["in0"].overlaps(0.6)
+
+
+class TestSeedStreams:
+    def test_spawned_generators_are_independent(self):
+        first, second = spawn_generators(123, 2)
+        a = first.random(5)
+        b = second.random(5)
+        assert not np.allclose(a, b)
+
+    def test_spawn_reproducible(self):
+        one = spawn_generators(321, 3)
+        two = spawn_generators(321, 3)
+        for g1, g2 in zip(one, two):
+            assert np.allclose(g1.random(4), g2.random(4))
+
+
+class TestReplicateUntil:
+    def _measures(self):
+        return [measure("in0", state_clause("up", 1.0))]
+
+    def test_stops_when_precise(self):
+        from repro.sim import replicate_until
+
+        result = replicate_until(
+            simple_lts(),
+            self._measures(),
+            run_length=2_000.0,
+            relative_half_width=0.10,
+            min_runs=3,
+            max_runs=100,
+            seed=11,
+        )
+        runs = result["in0"].runs
+        assert 3 <= runs < 100
+        estimate = result["in0"]
+        assert estimate.half_width <= 0.10 * abs(estimate.mean)
+
+    def test_tighter_target_needs_more_runs(self):
+        from repro.sim import replicate_until
+
+        loose = replicate_until(
+            simple_lts(), self._measures(), run_length=200.0,
+            relative_half_width=0.20, seed=13,
+        )
+        tight = replicate_until(
+            simple_lts(), self._measures(), run_length=200.0,
+            relative_half_width=0.02, max_runs=200, seed=13,
+        )
+        assert tight["in0"].runs >= loose["in0"].runs
+
+    def test_max_runs_cap(self):
+        from repro.sim import replicate_until
+
+        result = replicate_until(
+            simple_lts(), self._measures(), run_length=20.0,
+            relative_half_width=0.0001, min_runs=2, max_runs=6, seed=17,
+        )
+        assert result["in0"].runs == 6
+
+    def test_zero_measures_do_not_block_convergence(self):
+        from repro.sim import replicate_until
+
+        measures = self._measures() + [
+            measure("never", trans_clause("ghost", 1.0))
+        ]
+        result = replicate_until(
+            simple_lts(), measures, run_length=2_000.0,
+            relative_half_width=0.10, min_runs=3, max_runs=50, seed=19,
+        )
+        assert result["never"].mean == 0.0
+        assert result["in0"].runs < 50
+
+    def test_parameter_validation(self):
+        from repro.sim import replicate_until
+
+        with pytest.raises(SimulationError):
+            replicate_until(simple_lts(), self._measures(), 100.0,
+                            relative_half_width=1.5)
+        with pytest.raises(SimulationError):
+            replicate_until(simple_lts(), self._measures(), 100.0,
+                            min_runs=1)

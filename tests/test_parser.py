@@ -1,0 +1,276 @@
+"""Tests for the architectural-description parser."""
+
+import pytest
+
+from repro.aemilia import parse_architecture
+from repro.aemilia.ast import ActionPrefix, Choice, Guarded, ProcessCall, Stop
+from repro.aemilia.elemtypes import Direction, Multiplicity
+from repro.aemilia.expressions import DataType
+from repro.aemilia.rates import (
+    ExpSpec,
+    GeneralSpec,
+    ImmediateSpec,
+    PassiveSpec,
+)
+from repro.errors import ParseError
+
+
+def minimal(behavior: str, interactions: str = "void", outputs: str = "void"):
+    """Wrap a single behaviour equation into a parseable architecture."""
+    return parse_architecture(f"""
+ARCHI_TYPE Test_Archi(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE Solo_Type(void)
+  BEHAVIOR
+    Main(void; void) = {behavior}
+  INPUT_INTERACTIONS {interactions}
+  OUTPUT_INTERACTIONS {outputs}
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : Solo_Type()
+END
+""")
+
+
+def main_body(archi):
+    return archi.elem_types["Solo_Type"].definition("Main").body
+
+
+class TestBehaviours:
+    def test_stop(self):
+        assert isinstance(main_body(minimal("stop")), Stop)
+
+    def test_prefix_chain(self):
+        body = main_body(minimal("<a, _> . <b, _> . Main()"))
+        assert isinstance(body, ActionPrefix)
+        assert isinstance(body.continuation, ActionPrefix)
+        assert isinstance(body.continuation.continuation, ProcessCall)
+
+    def test_choice(self):
+        body = main_body(minimal("choice { <a, _> . Main(), <b, _> . stop }"))
+        assert isinstance(body, Choice)
+        assert len(body.alternatives) == 2
+
+    def test_guard(self):
+        archi = parse_architecture("""
+ARCHI_TYPE Guard_Archi(const int cap := 2)
+ARCHI_ELEM_TYPES
+ELEM_TYPE Cell_Type(void)
+  BEHAVIOR
+    Cell(int n := 0; void) =
+      choice {
+        cond(n < cap) -> <up, _> . Cell(n + 1),
+        cond(n > 0) -> <down, _> . Cell(n - 1)
+      }
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : Cell_Type(0)
+END
+""")
+        body = archi.elem_types["Cell_Type"].definition("Cell").body
+        assert isinstance(body, Choice)
+        assert all(isinstance(alt, Guarded) for alt in body.alternatives)
+
+
+class TestRates:
+    @pytest.mark.parametrize(
+        "text,expected_type",
+        [
+            ("_", PassiveSpec),
+            ("_(1, 2.0)", PassiveSpec),
+            ("exp(2.0)", ExpSpec),
+            ("exp(1 / mean)", ExpSpec),
+            ("inf", ImmediateSpec),
+            ("inf(2, 0.5)", ImmediateSpec),
+            ("det(3.0)", GeneralSpec),
+            ("normal(0.8, 0.03)", GeneralSpec),
+            ("unif(1.0, 2.0)", GeneralSpec),
+            ("erlang(3, 2.0)", GeneralSpec),
+        ],
+    )
+    def test_rate_forms(self, text, expected_type):
+        spec = f"""
+ARCHI_TYPE Rate_Archi(const real mean := 1.0)
+ARCHI_ELEM_TYPES
+ELEM_TYPE R_Type(void)
+  BEHAVIOR
+    Main(void; void) = <a, {text}> . Main()
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : R_Type()
+END
+"""
+        archi = parse_architecture(spec)
+        body = archi.elem_types["R_Type"].definition("Main").body
+        assert isinstance(body.rate, expected_type)
+
+    def test_bad_rate(self):
+        with pytest.raises(ParseError, match="expected a rate"):
+            minimal("<a, 42> . stop")
+
+
+class TestInteractions:
+    def test_declarations_with_multiplicities(self):
+        archi = parse_architecture("""
+ARCHI_TYPE Multi_Archi(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE Hub_Type(void)
+  BEHAVIOR
+    Hub(void; void) = choice {
+      <take_a, _> . Hub(),
+      <take_b, _> . Hub(),
+      <give, _> . Hub()
+    }
+  INPUT_INTERACTIONS UNI take_a; take_b
+  OUTPUT_INTERACTIONS OR give
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    H : Hub_Type()
+END
+""")
+        hub = archi.elem_types["Hub_Type"]
+        assert hub.interaction("take_a").direction is Direction.INPUT
+        assert hub.interaction("take_a").multiplicity is Multiplicity.UNI
+        assert hub.interaction("give").multiplicity is Multiplicity.OR
+
+    def test_mixed_multiplicity_groups(self):
+        archi = parse_architecture("""
+ARCHI_TYPE Mixed_Archi(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE M_Type(void)
+  BEHAVIOR
+    M(void; void) = choice {
+      <a, _> . M(), <b, _> . M(), <c, _> . M()
+    }
+  INPUT_INTERACTIONS UNI a; b; AND c
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : M_Type()
+END
+""")
+        m = archi.elem_types["M_Type"]
+        assert m.interaction("b").multiplicity is Multiplicity.UNI
+        assert m.interaction("c").multiplicity is Multiplicity.AND
+
+
+class TestHeaderAndTopology:
+    def test_const_parameters(self, mm1k):
+        params = {p.name: p for p in mm1k.const_params}
+        assert params["capacity"].type is DataType.INT
+        assert params["arrival_rate"].type is DataType.REAL
+
+    def test_instances_and_attachments(self, pingpong):
+        assert [i.name for i in pingpong.instances] == ["P", "Q"]
+        assert len(pingpong.attachments) == 2
+        assert pingpong.attachments[0].from_instance == "P"
+
+    def test_instance_arguments(self, mm1k):
+        queue = mm1k.instance("Q")
+        assert len(queue.args) == 1
+
+    def test_formals_with_defaults(self, mm1k):
+        queue_def = mm1k.elem_types["Queue_Type"].definition("Queue")
+        assert queue_def.formals[0].name == "n"
+        assert queue_def.formals[0].default is not None
+
+
+class TestErrors:
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_architecture("""
+ARCHI_TYPE Bad_Archi(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(void; void) = stop
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+""")
+
+    def test_error_carries_position(self):
+        try:
+            parse_architecture("ARCHI_TYPE 123(void)")
+        except ParseError as error:
+            assert error.line == 1
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_missing_rate_comma(self):
+        with pytest.raises(ParseError):
+            minimal("<a _> . stop")
+
+    def test_trailing_garbage(self):
+        good = """
+ARCHI_TYPE G_Archi(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(void; void) = stop
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+END extra
+"""
+        with pytest.raises(ParseError):
+            parse_architecture(good)
+
+    def test_behaviour_without_equals(self):
+        with pytest.raises(ParseError):
+            parse_architecture("""
+ARCHI_TYPE B_Archi(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(void; void) stop
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+END
+""")
+
+
+class TestPaperSpecsParse:
+    """The verbatim paper listings must parse."""
+
+    def test_rpc_simplified(self):
+        from repro.casestudies.rpc.functional import simplified_architecture
+
+        archi = simplified_architecture()
+        assert archi.name == "Rpc_Dpm_Untimed_Simplified"
+        assert len(archi.instances) == 5
+
+    def test_rpc_revised(self):
+        from repro.casestudies.rpc.functional import revised_architecture
+
+        archi = revised_architecture()
+        assert len(archi.attachments) == 7
+
+    def test_rpc_markovian_variants(self):
+        from repro.casestudies.rpc.markovian import (
+            dpm_architecture,
+            nodpm_architecture,
+        )
+
+        assert len(dpm_architecture().instances) == 5
+        assert len(nodpm_architecture().instances) == 4
+
+    def test_streaming_variants(self):
+        from repro.casestudies.streaming.markovian import (
+            dpm_architecture,
+            nodpm_architecture,
+        )
+
+        assert len(dpm_architecture().instances) == 7
+        assert len(nodpm_architecture().instances) == 6

@@ -1,0 +1,157 @@
+"""Tests for the DPM policy library (core.policies)."""
+
+import pytest
+
+from repro.casestudies import rpc
+from repro.core import check_noninterference
+from repro.core.policies import (
+    Policy,
+    compare_policies,
+    idle_timeout_policy,
+    n_idle_policy,
+    never_policy,
+    probabilistic_policy,
+    splice_policy,
+    trivial_policy,
+)
+from repro.core.methodology import solve_markovian_architecture
+from repro.errors import SpecificationError
+
+
+@pytest.fixture(scope="module")
+def base_archi(rpc_family):
+    return rpc_family.markovian_dpm
+
+
+@pytest.fixture(scope="module")
+def measures(rpc_family):
+    return rpc_family.measures
+
+
+class TestFactories:
+    def test_all_policies_expose_the_standard_interface(self):
+        for policy in (
+            trivial_policy(0.2),
+            idle_timeout_policy(0.2),
+            n_idle_policy(3, 0.2),
+            probabilistic_policy(0.5, 0.2),
+            never_policy(),
+        ):
+            assert policy.elem_type.has_interaction("send_shutdown")
+            assert policy.elem_type.has_interaction("receive_busy_notice")
+            assert policy.elem_type.has_interaction("receive_idle_notice")
+            assert policy.description
+
+    def test_n_idle_requires_positive_n(self):
+        with pytest.raises(SpecificationError):
+            n_idle_policy(0, 1.0)
+
+    def test_probability_bounds_checked(self):
+        with pytest.raises(SpecificationError):
+            probabilistic_policy(0.0, 1.0)
+        with pytest.raises(SpecificationError):
+            probabilistic_policy(1.5, 1.0)
+
+
+class TestSplicing:
+    def test_splice_replaces_dpm(self, base_archi):
+        spliced = splice_policy(base_archi, trivial_policy(0.2))
+        dpm = spliced.elem_types["DPM_Type"]
+        assert dpm.initial_definition.name == "Trivial_DPM"
+        # Everything else untouched.
+        assert spliced.instances == base_archi.instances
+        assert spliced.attachments == base_archi.attachments
+
+    def test_splice_needs_a_dpm(self, rpc_family):
+        with pytest.raises(SpecificationError, match="no DPM_Type"):
+            splice_policy(rpc_family.markovian_nodpm, trivial_policy(0.2))
+
+    def test_spliced_architecture_solves(self, base_archi, measures):
+        spliced = splice_policy(base_archi, idle_timeout_policy(0.2))
+        results = solve_markovian_architecture(spliced, measures)
+        baseline = solve_markovian_architecture(base_archi, measures)
+        # idle_timeout_policy(1/5ms) is exactly the built-in DPM at the
+        # default 5 ms timeout.
+        for name in results:
+            assert results[name] == pytest.approx(baseline[name], rel=1e-9)
+
+
+class TestPolicyBehaviour:
+    def test_n_idle_saves_less_than_one_idle(self, base_archi, measures):
+        """Needing more consecutive idle periods delays shutdowns."""
+        one = solve_markovian_architecture(
+            splice_policy(base_archi, n_idle_policy(1, 0.5)), measures
+        )
+        three = solve_markovian_architecture(
+            splice_policy(base_archi, n_idle_policy(3, 0.5)), measures
+        )
+        assert three["energy"] > one["energy"]
+        assert three["throughput"] > one["throughput"]
+
+    def test_probabilistic_interpolates(self, base_archi, measures):
+        rare = solve_markovian_architecture(
+            splice_policy(base_archi, probabilistic_policy(0.1, 0.5)),
+            measures,
+        )
+        often = solve_markovian_architecture(
+            splice_policy(base_archi, probabilistic_policy(0.9, 0.5)),
+            measures,
+        )
+        assert often["energy"] < rare["energy"]
+        assert often["throughput"] < rare["throughput"]
+
+    def test_never_policy_matches_nodpm(self, base_archi, measures, rpc_family):
+        inert = solve_markovian_architecture(
+            splice_policy(base_archi, never_policy()), measures
+        )
+        nodpm = solve_markovian_architecture(
+            rpc_family.markovian_nodpm, measures
+        )
+        for name in inert:
+            assert inert[name] == pytest.approx(nodpm[name], rel=1e-3)
+
+    def test_compare_policies_table(self, base_archi, measures):
+        results = compare_policies(
+            base_archi,
+            [idle_timeout_policy(0.2), never_policy()],
+            measures,
+        )
+        assert set(results) == {"idle-timeout", "never"}
+        assert results["idle-timeout"]["energy"] < results["never"]["energy"]
+
+
+class TestPolicyTransparency:
+    """Phase-1 screening of policies on the *functional* rpc model."""
+
+    def _functional_with(self, policy):
+        from repro.casestudies.rpc.functional import revised_architecture
+        import re
+
+        # Make the policy untimed by replacing rates with passives after
+        # splicing into the untimed revised model.
+        from repro.aemilia.pretty import print_architecture
+        from repro.aemilia.parser import parse_architecture
+
+        spliced = splice_policy(revised_architecture(), policy)
+        text = print_architecture(spliced)
+        text = re.sub(r"\b(exp|inf)\([^)]*\)", "_", text)
+        return parse_architecture(text)
+
+    def test_timeout_policy_transparent(self, rpc_family):
+        archi = self._functional_with(idle_timeout_policy(1.0))
+        result = check_noninterference(
+            archi, rpc_family.high_patterns, rpc_family.low_patterns
+        )
+        assert result.holds
+
+    def test_trivial_policy_not_transparent_on_simplified_client(self):
+        """The trivial policy with the *simplified* (no-timeout) client
+        reproduces the paper's interference."""
+        from repro.casestudies.rpc import functional
+
+        result = check_noninterference(
+            functional.simplified_architecture(),
+            functional.HIGH_PATTERNS,
+            functional.LOW_PATTERNS,
+        )
+        assert not result.holds

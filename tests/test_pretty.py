@@ -1,0 +1,130 @@
+"""Round-trip tests: parse(pretty(archi)) is semantically the original.
+
+The strongest available equality is used per model class: identical
+state/transition counts plus strong bisimilarity of the generated state
+spaces (rates included for the timed models via Markovian-signature
+bisimulation on the untimed check where applicable).
+"""
+
+import pytest
+
+from repro.aemilia import generate_lts, parse_architecture
+from repro.aemilia.pretty import (
+    print_architecture,
+    print_behavior,
+    print_expression,
+    print_rate,
+)
+from repro.aemilia import builder as b
+from repro.aemilia.expressions import Literal, Variable, binop
+from repro.lts import strongly_bisimilar
+
+
+def roundtrip(archi, const_overrides=None):
+    text = print_architecture(archi)
+    reparsed = parse_architecture(text)
+    original_lts = generate_lts(archi, const_overrides)
+    reparsed_lts = generate_lts(reparsed, const_overrides)
+    assert original_lts.num_states == reparsed_lts.num_states
+    assert original_lts.num_transitions == reparsed_lts.num_transitions
+    assert strongly_bisimilar(original_lts, reparsed_lts, markovian=True)
+    return reparsed
+
+
+class TestExpressionPrinting:
+    def test_literals(self):
+        assert print_expression(Literal(3)) == "3"
+        assert print_expression(Literal(2.5)) == "2.5"
+        assert print_expression(Literal(True)) == "true"
+
+    def test_nested_operations_parenthesised(self):
+        expr = binop("*", binop("+", Variable("n"), 1), 2)
+        assert print_expression(expr) == "((n + 1) * 2)"
+
+    def test_printed_expression_reparses(self):
+        from repro.aemilia.lexer import tokenize
+
+        expr = binop("and", binop("<", Variable("n"), 3), Literal(True))
+        tokens = tokenize(print_expression(expr))
+        assert tokens[-1].kind == "EOF"
+
+
+class TestRatePrinting:
+    def test_default_passive_is_underscore(self):
+        assert print_rate(b.passive()) == "_"
+
+    def test_weighted_passive(self):
+        assert print_rate(b.passive(0, 3.0)) == "_(0, 3.0)"
+
+    def test_exp_and_immediate(self):
+        assert print_rate(b.exp(2.0)) == "exp(2.0)"
+        assert print_rate(b.imm(2, 0.5)) == "inf(2, 0.5)"
+
+    def test_general(self):
+        assert print_rate(b.gen("normal", 0.8, 0.03)) == "normal(0.8, 0.03)"
+
+
+class TestBehaviorPrinting:
+    def test_prefix_chain(self):
+        term = b.prefix("a", b.passive(), b.prefix("b", b.exp(1.0), b.call("P")))
+        assert print_behavior(term) == "<a, _> . <b, exp(1.0)> . P()"
+
+    def test_choice_multiline(self):
+        term = b.choice(
+            b.prefix("a", b.passive(), b.stop()),
+            b.prefix("c", b.passive(), b.call("P")),
+        )
+        text = print_behavior(term)
+        assert text.startswith("choice {")
+        assert "<a, _> . stop" in text
+
+    def test_guard(self):
+        term = b.cond(binop(">", Variable("n"), 0), b.prefix("a", b.passive(), b.stop()))
+        assert print_behavior(term).startswith("cond((n > 0)) ->")
+
+
+class TestRoundTrips:
+    def test_pingpong(self, pingpong):
+        roundtrip(pingpong)
+
+    def test_mm1k(self, mm1k):
+        reparsed = roundtrip(mm1k)
+        assert [p.name for p in reparsed.const_params] == [
+            "capacity", "arrival_rate", "service_rate",
+        ]
+        # Overrides must work on the reparsed architecture too.
+        roundtrip(mm1k, {"capacity": 5})
+
+    def test_rpc_functional_simplified(self):
+        from repro.casestudies.rpc.functional import simplified_architecture
+
+        roundtrip(simplified_architecture())
+
+    def test_rpc_functional_revised(self):
+        from repro.casestudies.rpc.functional import revised_architecture
+
+        roundtrip(revised_architecture())
+
+    def test_rpc_markovian_dpm(self, rpc_family):
+        roundtrip(rpc_family.markovian_dpm)
+
+    def test_rpc_general_dpm(self, rpc_family):
+        roundtrip(rpc_family.general_dpm)
+
+    def test_streaming_markovian_dpm_small(self, streaming_family):
+        roundtrip(
+            streaming_family.markovian_dpm,
+            {"ap_capacity": 2, "b_capacity": 2},
+        )
+
+    def test_streaming_general_nodpm_small(self, streaming_family):
+        roundtrip(
+            streaming_family.general_nodpm,
+            {"ap_capacity": 2, "b_capacity": 2},
+        )
+
+    def test_printed_text_is_stable(self, pingpong):
+        """pretty(parse(pretty(x))) == pretty(x) — idempotence."""
+        once = print_architecture(pingpong)
+        twice = print_architecture(parse_architecture(once))
+        assert once == twice

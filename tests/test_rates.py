@@ -1,0 +1,125 @@
+"""Tests for rate values and syntactic rate specifications."""
+
+import pytest
+
+from repro.aemilia.expressions import Literal, Variable, binop
+from repro.aemilia.rates import (
+    ExpRate,
+    ExpSpec,
+    GeneralRate,
+    GeneralSpec,
+    ImmediateRate,
+    ImmediateSpec,
+    PassiveRate,
+    PassiveSpec,
+    rate_as_distribution,
+)
+from repro.distributions import Deterministic, Exponential, Normal
+from repro.errors import SpecificationError
+
+
+class TestConcreteRates:
+    def test_exp_rate_positive(self):
+        assert ExpRate(2.0).rate == 2.0
+
+    def test_exp_rate_rejects_nonpositive(self):
+        with pytest.raises(SpecificationError):
+            ExpRate(0.0)
+        with pytest.raises(SpecificationError):
+            ExpRate(-1.0)
+        with pytest.raises(SpecificationError):
+            ExpRate(float("inf"))
+
+    def test_immediate_rate_defaults(self):
+        rate = ImmediateRate()
+        assert rate.priority == 1
+        assert rate.weight == 1.0
+
+    def test_immediate_priority_validated(self):
+        with pytest.raises(SpecificationError):
+            ImmediateRate(priority=0)
+
+    def test_immediate_weight_validated(self):
+        with pytest.raises(SpecificationError):
+            ImmediateRate(weight=0.0)
+
+    def test_passive_defaults(self):
+        rate = PassiveRate()
+        assert not rate.is_active
+        assert rate.weight == 1.0
+
+    def test_passive_weight_validated(self):
+        with pytest.raises(SpecificationError):
+            PassiveRate(weight=-1.0)
+
+    def test_general_rate_exponential_equivalent(self):
+        general = GeneralRate(Deterministic(4.0))
+        assert general.exponential_equivalent() == ExpRate(0.25)
+
+    def test_rate_strings(self):
+        assert str(ExpRate(2.0)) == "exp(2)"
+        assert str(ImmediateRate(1, 0.5)) == "inf(1, 0.5)"
+        assert str(PassiveRate()) == "_"
+        assert "det(3" in str(GeneralRate(Deterministic(3.0)))
+
+    def test_rate_as_distribution(self):
+        assert rate_as_distribution(ExpRate(2.0)) == Exponential(2.0)
+        assert rate_as_distribution(
+            GeneralRate(Normal(1.0, 0.1))
+        ) == Normal(1.0, 0.1)
+        with pytest.raises(SpecificationError):
+            rate_as_distribution(PassiveRate())
+
+
+class TestRateSpecs:
+    def test_exp_spec_evaluates_expression(self):
+        spec = ExpSpec(binop("/", Literal(1), Variable("mean")))
+        assert spec.evaluate({"mean": 4.0}) == ExpRate(0.25)
+
+    def test_exp_spec_free_variables(self):
+        spec = ExpSpec(Variable("mean"))
+        assert spec.free_variables() == frozenset({"mean"})
+
+    def test_exp_spec_rejects_boolean(self):
+        spec = ExpSpec(Literal(True))
+        with pytest.raises(SpecificationError, match="numeric"):
+            spec.evaluate({})
+
+    def test_immediate_spec_defaults(self):
+        assert ImmediateSpec().evaluate({}) == ImmediateRate(1, 1.0)
+
+    def test_immediate_spec_with_expressions(self):
+        spec = ImmediateSpec(Literal(2), Variable("w"))
+        assert spec.evaluate({"w": 0.25}) == ImmediateRate(2, 0.25)
+
+    def test_immediate_spec_real_priority_rejected(self):
+        spec = ImmediateSpec(Literal(1.5), Literal(1.0))
+        with pytest.raises(SpecificationError, match="integer"):
+            spec.evaluate({})
+
+    def test_passive_spec_defaults(self):
+        assert PassiveSpec().evaluate({}) == PassiveRate(0, 1.0)
+
+    def test_general_spec_builds_distribution(self):
+        spec = GeneralSpec("normal", (Variable("m"), Literal(0.1)))
+        rate = spec.evaluate({"m": 0.8})
+        assert isinstance(rate, GeneralRate)
+        assert rate.distribution == Normal(0.8, 0.1)
+
+    def test_general_spec_exp_keyword_yields_exp_rate(self):
+        """exp() written in a general model stays a plain exponential."""
+        spec = GeneralSpec("exp", (Literal(2.0),))
+        assert spec.evaluate({}) == ExpRate(2.0)
+
+    def test_general_spec_unknown_keyword_rejected_eagerly(self):
+        with pytest.raises(SpecificationError, match="unknown distribution"):
+            GeneralSpec("pareto", (Literal(1.0),))
+
+    def test_general_spec_free_variables(self):
+        spec = GeneralSpec("normal", (Variable("m"), Variable("s")))
+        assert spec.free_variables() == frozenset({"m", "s"})
+
+    def test_spec_strings(self):
+        assert str(ExpSpec(Literal(2.0))) == "exp(2.0)"
+        assert str(PassiveSpec()) == "_"
+        assert "normal" in str(GeneralSpec("normal", (Literal(1.0), Literal(0.1))))

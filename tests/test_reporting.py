@@ -1,0 +1,106 @@
+"""Tests for plain-text tables and ASCII charts."""
+
+import pytest
+
+from repro.core.reporting import (
+    ascii_chart,
+    format_comparison,
+    format_number,
+    format_table,
+)
+
+
+class TestFormatNumber:
+    def test_moderate_magnitudes_plain(self):
+        assert format_number(1.2345).strip() == "1.234"
+        assert format_number(12345.0).strip() == "1.234e+04"
+
+    def test_small_magnitudes_scientific(self):
+        assert "e" in format_number(1.5e-7)
+
+    def test_zero(self):
+        assert format_number(0.0).strip() == "0"
+
+    def test_nan_becomes_dash(self):
+        assert format_number(float("nan")).strip() == "-"
+
+    def test_width_respected(self):
+        assert len(format_number(3.0, width=12)) == 12
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["b", 22.5]],
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            [0, 1, 2, 3],
+            {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+            width=20,
+            height=6,
+        )
+        assert "*" in chart and "o" in chart
+        assert "* = up" in chart and "o = down" in chart
+
+    def test_bounds_in_footer(self):
+        chart = ascii_chart([0, 10], {"s": [5.0, 7.0]}, width=10, height=4)
+        assert "0" in chart and "10" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart([0, 1], {"s": [2.0, 2.0]})
+        assert "s" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {})
+
+    def test_non_finite_values_skipped(self):
+        chart = ascii_chart(
+            [0, 1, 2], {"s": [1.0, float("nan"), 3.0]}, width=10, height=4
+        )
+        assert "s" in chart
+
+    def test_all_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"s": [float("nan"), float("inf") - float("inf")]})
+
+
+class TestComparison:
+    def test_side_by_side_columns(self):
+        text = format_comparison(
+            "timeout",
+            [1.0, 2.0],
+            with_dpm={"energy": [1.0, 2.0]},
+            without_dpm={"energy": [3.0, 3.0]},
+        )
+        assert "energy (DPM)" in text
+        assert "energy (NO-DPM)" in text
+
+    def test_missing_baseline_rendered_as_dash(self):
+        text = format_comparison(
+            "timeout",
+            [1.0],
+            with_dpm={"energy": [1.0]},
+            without_dpm={},
+        )
+        assert "-" in text

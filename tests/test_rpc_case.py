@@ -1,0 +1,144 @@
+"""Paper-shape tests for the rpc case study (Sect. 3.1, 4.1, 5.2).
+
+These tests assert the *qualitative* claims of the paper, not absolute
+numbers: orderings between DPM and NO-DPM, monotonicity in the DPM
+timeout, convergence to the NO-DPM baseline, the bimodal knee at the mean
+idle period, and the counterproductive region.
+"""
+
+import pytest
+
+from repro.casestudies import rpc
+from repro.core import IncrementalMethodology
+
+
+@pytest.fixture(scope="module")
+def methodology(request):
+    from repro.casestudies.rpc import family
+
+    return IncrementalMethodology(family())
+
+
+def energy_per_request(results):
+    return results["energy"] / results["throughput"]
+
+
+class TestMarkovianShapes:
+    """Fig. 3 (left)."""
+
+    def test_dpm_saves_energy_per_request_everywhere(self, methodology):
+        nodpm = energy_per_request(methodology.solve_markovian("nodpm"))
+        for timeout in (0.5, 5.0, 25.0):
+            dpm = energy_per_request(
+                methodology.solve_markovian(
+                    "dpm", {"shutdown_timeout": timeout}
+                )
+            )
+            assert dpm < nodpm
+
+    def test_dpm_costs_throughput(self, methodology):
+        nodpm = methodology.solve_markovian("nodpm")["throughput"]
+        dpm = methodology.solve_markovian(
+            "dpm", {"shutdown_timeout": 2.0}
+        )["throughput"]
+        assert dpm < nodpm
+
+    def test_dpm_increases_waiting(self, methodology):
+        nodpm = methodology.solve_markovian("nodpm")["waiting_time"]
+        dpm = methodology.solve_markovian(
+            "dpm", {"shutdown_timeout": 2.0}
+        )["waiting_time"]
+        assert dpm > nodpm
+
+    def test_shorter_timeout_larger_impact(self, methodology):
+        sweep = methodology.sweep_markovian(
+            "shutdown_timeout", [0.5, 5.0, 25.0], "dpm"
+        )
+        assert sweep["throughput"][0] < sweep["throughput"][1] < sweep["throughput"][2]
+        assert sweep["waiting_time"][0] > sweep["waiting_time"][2]
+        assert sweep["energy"][0] < sweep["energy"][2]
+
+    def test_convergence_to_nodpm_for_large_timeouts(self, methodology):
+        nodpm = methodology.solve_markovian("nodpm")
+        dpm = methodology.solve_markovian(
+            "dpm", {"shutdown_timeout": 500.0}
+        )
+        assert dpm["throughput"] == pytest.approx(
+            nodpm["throughput"], rel=0.02
+        )
+        assert dpm["energy"] == pytest.approx(nodpm["energy"], rel=0.03)
+
+
+class TestGeneralShapes:
+    """Fig. 3 (right): the deterministic-timeout phenomenology."""
+
+    SIM = dict(run_length=8_000.0, runs=4, warmup=200.0)
+
+    def test_flat_below_knee(self, methodology):
+        low = methodology.simulate_general(
+            "dpm", {"shutdown_timeout": 3.0}, **self.SIM
+        )
+        mid = methodology.simulate_general(
+            "dpm", {"shutdown_timeout": 8.0}, **self.SIM
+        )
+        # Below the knee the performance measures are timeout-independent.
+        assert low["throughput"].mean == pytest.approx(
+            mid["throughput"].mean, rel=0.02
+        )
+        # ... but energy grows with the timeout.
+        assert low["energy"].mean < mid["energy"].mean
+
+    def test_no_effect_above_knee(self, methodology):
+        idle = rpc.DEFAULT_PARAMETERS.mean_idle_period
+        above = methodology.simulate_general(
+            "dpm", {"shutdown_timeout": idle + 6.0}, **self.SIM
+        )
+        nodpm = methodology.simulate_general("nodpm", **self.SIM)
+        assert above["throughput"].mean == pytest.approx(
+            nodpm["throughput"].mean, rel=0.02
+        )
+        assert above["energy"].mean == pytest.approx(
+            nodpm["energy"].mean, rel=0.02
+        )
+
+    def test_counterproductive_near_idle_period(self, methodology):
+        """Timeout just below the idle period: energy/request exceeds
+        NO-DPM (the paper's headline general-model finding)."""
+        nodpm_rep = methodology.simulate_general("nodpm", **self.SIM)
+        nodpm = nodpm_rep["energy"].mean / nodpm_rep["throughput"].mean
+        near = methodology.simulate_general(
+            "dpm", {"shutdown_timeout": 9.5}, **self.SIM
+        )
+        near_epr = near["energy"].mean / near["throughput"].mean
+        assert near_epr > nodpm
+
+    def test_beneficial_for_short_timeouts(self, methodology):
+        nodpm_rep = methodology.simulate_general("nodpm", **self.SIM)
+        nodpm = nodpm_rep["energy"].mean / nodpm_rep["throughput"].mean
+        short = methodology.simulate_general(
+            "dpm", {"shutdown_timeout": 1.0}, **self.SIM
+        )
+        short_epr = short["energy"].mean / short["throughput"].mean
+        assert short_epr < nodpm
+
+
+class TestParameters:
+    def test_mean_idle_period_value(self):
+        assert rpc.DEFAULT_PARAMETERS.mean_idle_period == pytest.approx(11.3)
+
+    def test_const_overrides_cover_architecture(self, rpc_family):
+        overrides = rpc.DEFAULT_PARAMETERS.const_overrides()
+        declared = {p.name for p in rpc_family.general_dpm.const_params}
+        assert set(overrides) <= declared
+
+    def test_sweep_within_paper_range(self):
+        assert min(rpc.SHUTDOWN_TIMEOUT_SWEEP) > 0
+        assert max(rpc.SHUTDOWN_TIMEOUT_SWEEP) == 25.0
+
+
+class TestFamily:
+    def test_family_is_complete(self, rpc_family):
+        assert rpc_family.functional_dpm is not None
+        assert rpc_family.markovian_nodpm is not None
+        assert rpc_family.general_nodpm is not None
+        assert len(rpc_family.measures) == 3

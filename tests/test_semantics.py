@@ -1,0 +1,406 @@
+"""Tests for state-space generation (the composed operational semantics)."""
+
+import pytest
+
+from repro.aemilia import builder as b
+from repro.aemilia import generate_lts, parse_architecture
+from repro.aemilia.rates import ExpRate, ImmediateRate, PassiveRate
+from repro.errors import (
+    SpecificationError,
+    StateSpaceLimitError,
+    UnguardedRecursionError,
+)
+
+
+def parse_and_generate(spec, **kwargs):
+    return generate_lts(parse_architecture(spec), **kwargs)
+
+
+class TestBasicGeneration:
+    def test_pingpong_cycle(self, pingpong):
+        lts = generate_lts(pingpong)
+        # send; (propagationless) reply; back to start: 2 states.
+        assert lts.num_states == 2
+        labels = lts.labels()
+        assert "P.send_ping#Q.receive_ping" in labels
+        assert "Q.send_pong#P.receive_pong" in labels
+
+    def test_internal_action_label(self):
+        lts = parse_and_generate("""
+ARCHI_TYPE Solo(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(void; void) = <tick, _> . <tock, _> . Main()
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+END
+""")
+        assert lts.labels() == {"X.tick", "X.tock"}
+        assert lts.num_states == 2
+
+    def test_stop_deadlocks(self):
+        lts = parse_and_generate("""
+ARCHI_TYPE Dead(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(void; void) = <last, _> . stop
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+END
+""")
+        assert lts.has_deadlock()
+        assert lts.num_states == 2
+
+    def test_data_parameters_bound_the_space(self, mm1k):
+        lts = generate_lts(mm1k)
+        # Queue levels 0..3, source idle/enqueueing, arrival hops.
+        assert 4 <= lts.num_states <= 20
+
+    def test_const_override_changes_space(self, mm1k):
+        small = generate_lts(mm1k, {"capacity": 1})
+        large = generate_lts(mm1k, {"capacity": 8})
+        assert large.num_states > small.num_states
+
+    def test_state_info_is_readable(self, pingpong):
+        lts = generate_lts(pingpong)
+        assert "P:" in lts.state_info(0)
+        assert "Q:" in lts.state_info(0)
+
+    def test_max_states_enforced(self, mm1k):
+        with pytest.raises(StateSpaceLimitError):
+            generate_lts(mm1k, {"capacity": 500}, max_states=10)
+
+
+class TestSynchronisation:
+    def test_active_passive_rate_combination(self):
+        lts = parse_and_generate("""
+ARCHI_TYPE Sync(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE Prod_Type(void)
+  BEHAVIOR
+    P(void; void) = <push, exp(3.0)> . P()
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS UNI push
+ELEM_TYPE Cons_Type(void)
+  BEHAVIOR
+    C(void; void) = <pull, _> . C()
+  INPUT_INTERACTIONS UNI pull
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    A : Prod_Type();
+    B : Cons_Type()
+  ARCHI_ATTACHMENTS
+    FROM A.push TO B.pull
+END
+""")
+        assert lts.num_transitions == 1
+        transition = lts.transitions[0]
+        assert transition.label == "A.push#B.pull"
+        assert transition.rate == ExpRate(3.0)
+        assert transition.event == "A.push"
+
+    def test_passive_weight_splitting(self):
+        """Two passive branches split the active exponential by weight."""
+        lts = parse_and_generate("""
+ARCHI_TYPE Split(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE Prod_Type(void)
+  BEHAVIOR
+    P(void; void) = <push, exp(4.0)> . P()
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS UNI push
+ELEM_TYPE Cons_Type(void)
+  BEHAVIOR
+    C(void; void) = choice {
+      <pull, _(0, 3.0)> . <left, _> . C(),
+      <pull, _(0, 1.0)> . <right, _> . C()
+    }
+  INPUT_INTERACTIONS UNI pull
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    A : Prod_Type();
+    B : Cons_Type()
+  ARCHI_ATTACHMENTS
+    FROM A.push TO B.pull
+END
+""")
+        initial_moves = lts.outgoing(lts.initial)
+        assert len(initial_moves) == 2
+        rates = sorted(t.rate.rate for t in initial_moves)
+        assert rates == pytest.approx([1.0, 3.0])
+        assert all(t.event == "A.push" for t in initial_moves)
+
+    def test_or_attachment_selects_among_partners(self):
+        lts = parse_and_generate("""
+ARCHI_TYPE Fanout(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE Prod_Type(void)
+  BEHAVIOR
+    P(void; void) = <push, exp(2.0)> . P()
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS OR push
+ELEM_TYPE Cons_Type(void)
+  BEHAVIOR
+    C(void; void) = <pull, _> . <work, exp(1.0)> . C()
+  INPUT_INTERACTIONS UNI pull
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    A : Prod_Type();
+    B1 : Cons_Type();
+    B2 : Cons_Type()
+  ARCHI_ATTACHMENTS
+    FROM A.push TO B1.pull;
+    FROM A.push TO B2.pull
+END
+""")
+        initial_moves = lts.outgoing(lts.initial)
+        labels = {t.label for t in initial_moves}
+        assert labels == {"A.push#B1.pull", "A.push#B2.pull"}
+        # Each branch gets half of the exponential race.
+        assert all(t.rate.rate == pytest.approx(1.0) for t in initial_moves)
+
+    def test_and_attachment_broadcasts(self):
+        lts = parse_and_generate("""
+ARCHI_TYPE Broadcast(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE Prod_Type(void)
+  BEHAVIOR
+    P(void; void) = <push, exp(2.0)> . P()
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS AND push
+ELEM_TYPE Cons_Type(void)
+  BEHAVIOR
+    C(void; void) = <pull, _> . <work, exp(1.0)> . C()
+  INPUT_INTERACTIONS UNI pull
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    A : Prod_Type();
+    B1 : Cons_Type();
+    B2 : Cons_Type()
+  ARCHI_ATTACHMENTS
+    FROM A.push TO B1.pull;
+    FROM A.push TO B2.pull
+END
+""")
+        initial_moves = lts.outgoing(lts.initial)
+        assert len(initial_moves) == 1
+        label = initial_moves[0].label
+        assert "B1.pull" in label and "B2.pull" in label
+        # Broadcast requires ALL partners ready: after it, both consumers
+        # work; the producer cannot push until both pulled again.
+        assert initial_moves[0].rate == ExpRate(2.0)
+
+    def test_and_attachment_blocks_until_all_ready(self):
+        """If one AND partner is busy, the broadcast is disabled."""
+        lts = parse_and_generate("""
+ARCHI_TYPE Broadcast2(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE Prod_Type(void)
+  BEHAVIOR
+    P(void; void) = <push, exp(2.0)> . P()
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS AND push
+ELEM_TYPE Cons_Type(void)
+  BEHAVIOR
+    C(void; void) = <pull, _> . <work, exp(1.0)> . C()
+  INPUT_INTERACTIONS UNI pull
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    A : Prod_Type();
+    B1 : Cons_Type();
+    B2 : Cons_Type()
+  ARCHI_ATTACHMENTS
+    FROM A.push TO B1.pull;
+    FROM A.push TO B2.pull
+END
+""")
+        # After the broadcast both consumers are working; from that state
+        # the only moves are the two work actions (no push).
+        broadcast_target = lts.transitions[0].target
+        labels = {t.label for t in lts.outgoing(broadcast_target)}
+        assert labels == {"B1.work", "B2.work"}
+
+    def test_unattached_output_fires_autonomously(self):
+        lts = parse_and_generate("""
+ARCHI_TYPE Open(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(void; void) = <shout, exp(1.0)> . Main()
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS UNI shout
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+END
+""")
+        assert lts.labels() == {"X.shout"}
+
+    def test_active_input_rejected(self):
+        spec = """
+ARCHI_TYPE BadInput(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE Prod_Type(void)
+  BEHAVIOR
+    P(void; void) = <push, exp(3.0)> . P()
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS UNI push
+ELEM_TYPE Cons_Type(void)
+  BEHAVIOR
+    C(void; void) = <pull, exp(1.0)> . C()
+  INPUT_INTERACTIONS UNI pull
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    A : Prod_Type();
+    B : Cons_Type()
+  ARCHI_ATTACHMENTS
+    FROM A.push TO B.pull
+END
+"""
+        with pytest.raises(SpecificationError, match="must be passive"):
+            parse_and_generate(spec)
+
+
+class TestPreemption:
+    def test_immediate_preempts_timed(self):
+        lts = parse_and_generate("""
+ARCHI_TYPE Preempt(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(void; void) = choice {
+      <fast, inf(1, 1)> . <later, exp(1.0)> . Main(),
+      <slow, exp(1.0)> . Main()
+    }
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+END
+""")
+        initial_labels = {t.label for t in lts.outgoing(lts.initial)}
+        assert initial_labels == {"X.fast"}
+
+    def test_higher_priority_wins(self):
+        lts = parse_and_generate("""
+ARCHI_TYPE Prio(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(void; void) = choice {
+      <low, inf(1, 1)> . <a, exp(1.0)> . Main(),
+      <high, inf(2, 1)> . <b, exp(1.0)> . Main()
+    }
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+END
+""")
+        initial_labels = {t.label for t in lts.outgoing(lts.initial)}
+        assert initial_labels == {"X.high"}
+
+    def test_preemption_can_be_disabled(self):
+        lts = parse_and_generate("""
+ARCHI_TYPE NoPre(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(void; void) = choice {
+      <fast, inf(1, 1)> . Main(),
+      <slow, exp(1.0)> . Main()
+    }
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+END
+""", apply_preemption=False)
+        initial_labels = {t.label for t in lts.outgoing(lts.initial)}
+        assert initial_labels == {"X.fast", "X.slow"}
+
+
+class TestDataAndRecursion:
+    def test_guards_prune_moves(self, mm1k):
+        lts = generate_lts(mm1k, {"capacity": 2})
+        # In the initial (empty-queue) state there is no 'serve' move.
+        initial_labels = {t.label for t in lts.outgoing(lts.initial)}
+        assert initial_labels == {"SRC.arrive"}
+
+    def test_unguarded_recursion_detected_dynamically(self):
+        spec = """
+ARCHI_TYPE Diverge(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(int n := 0; void) =
+      choice {
+        cond(n < 5) -> <a, _> . Main(n + 1),
+        cond(n >= 5) -> <b, _> . Loop(n)
+      };
+    Loop(int n; void) = Main(n)
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+END
+"""
+        # Loop(n) = Main(n) is a benign forwarding call; it must NOT be
+        # flagged (the static check only rejects cycles).
+        lts = parse_and_generate(spec)
+        assert lts.num_states == 6
+
+    def test_recursive_call_collapses_to_same_state(self):
+        """P's recursive call target is the same LTS state (true loop)."""
+        lts = parse_and_generate("""
+ARCHI_TYPE Loop(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(void; void) = <a, _> . Main()
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+END
+""")
+        assert lts.num_states == 1
+        assert lts.transitions[0].source == lts.transitions[0].target
+
+    def test_environment_restricted_to_live_variables(self):
+        """Dead data parameters must not blow up the state space."""
+        lts = parse_and_generate("""
+ARCHI_TYPE DeadVar(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T_Type(void)
+  BEHAVIOR
+    Main(int n := 0; void) =
+      <a, _> . Forget();
+    Forget(void; void) = <b, _> . Main(0)
+  INPUT_INTERACTIONS void
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T_Type()
+END
+""")
+        assert lts.num_states == 2

@@ -1,0 +1,114 @@
+"""Tests for trade-off curves and Pareto analysis (Figs. 7-8 machinery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TradeoffCurve, TradeoffPoint, compare_curves
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        better = TradeoffPoint(1.0, performance=0.1, energy=1.0)
+        worse = TradeoffPoint(2.0, performance=0.2, energy=2.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_equal_points_do_not_dominate(self):
+        a = TradeoffPoint(1.0, 0.1, 1.0)
+        b = TradeoffPoint(2.0, 0.1, 1.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_incomparable_points(self):
+        a = TradeoffPoint(1.0, performance=0.1, energy=2.0)
+        b = TradeoffPoint(2.0, performance=0.2, energy=1.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_dominance_with_tolerance(self):
+        a = TradeoffPoint(1.0, 0.100, 1.0)
+        b = TradeoffPoint(2.0, 0.101, 2.0)
+        assert a.dominates(b)
+        # With a coarse tolerance the energy gap is no longer 'strict'.
+        assert not a.dominates(b, tolerance=5.0)
+
+
+class TestCurve:
+    def _curve(self):
+        return TradeoffCurve.from_sweep(
+            "test",
+            parameters=[1, 2, 3, 4],
+            performance=[0.4, 0.3, 0.35, 0.1],
+            energy=[1.0, 2.0, 3.0, 4.0],
+        )
+
+    def test_from_sweep_validates_lengths(self):
+        with pytest.raises(ValueError):
+            TradeoffCurve.from_sweep("bad", [1], [0.1, 0.2], [1.0])
+
+    def test_pareto_front(self):
+        front = self._curve().pareto_front()
+        parameters = sorted(p.parameter for p in front)
+        # (3) perf 0.35/energy 3.0 is dominated by (2) 0.3/2.0.
+        assert parameters == [1, 2, 4]
+
+    def test_dominated_points(self):
+        dominated = self._curve().dominated_points()
+        assert [p.parameter for p in dominated] == [3]
+
+    def test_front_sorted_by_performance(self):
+        front = self._curve().pareto_front()
+        performances = [p.performance for p in front]
+        assert performances == sorted(performances)
+
+    def test_knee_point_balanced(self):
+        curve = TradeoffCurve.from_sweep(
+            "knee",
+            parameters=[1, 2, 3],
+            performance=[1.0, 0.2, 0.0],
+            energy=[0.0, 0.2, 1.0],
+        )
+        knee = curve.knee_point()
+        assert knee.parameter == 2
+
+    def test_knee_of_empty_curve(self):
+        assert TradeoffCurve("empty", []).knee_point() is None
+
+    def test_describe_mentions_dominated(self):
+        text = self._curve().describe()
+        assert "1 dominated" in text
+        assert "knee" in text
+
+    def test_compare_curves(self):
+        curves = [self._curve(), TradeoffCurve("flat", [])]
+        summary = compare_curves(curves)
+        assert summary["test"] == (3, 1)
+        assert summary["flat"] == (0, 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.floats(0, 10), st.floats(0, 10)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_pareto_front_properties(points):
+    curve = TradeoffCurve(
+        "hyp",
+        [TradeoffPoint(float(i), x, y) for i, (x, y) in enumerate(points)],
+    )
+    front = curve.pareto_front()
+    dominated = curve.dominated_points()
+    # Partition: every point is exactly on one side.
+    assert len(front) + len(dominated) == len(curve.points)
+    # No front point dominates another front point.
+    for a in front:
+        for b in front:
+            if a is not b:
+                assert not a.dominates(b)
+    # Every dominated point is dominated by some front point.
+    for point in dominated:
+        assert any(other.dominates(point) for other in curve.points)

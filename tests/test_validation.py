@@ -1,0 +1,114 @@
+"""Tests for the exponential plug-in and cross-validation (Sect. 5.1)."""
+
+import pytest
+
+from repro.aemilia.rates import ExpRate, GeneralRate, ImmediateRate
+from repro.core import cross_validate, exponential_plugin, require_valid
+from repro.core.validation import MeasureValidation, ValidationReport
+from repro.ctmc import measure, state_clause, trans_clause
+from repro.distributions import Deterministic, Normal
+from repro.errors import ValidationError
+from repro.lts import LTS
+from repro.sim import Estimate
+
+
+def general_lts():
+    lts = LTS(0)
+    for _ in range(2):
+        lts.add_state()
+    lts.add_transition(
+        0, "up", 1, GeneralRate(Deterministic(0.5)), "up"
+    )
+    lts.add_transition(
+        1, "down", 0, GeneralRate(Normal(0.25, 0.01)), "down"
+    )
+    return lts
+
+
+class TestExponentialPlugin:
+    def test_general_rates_replaced_mean_preserving(self):
+        plugin = exponential_plugin(general_lts())
+        up = plugin.transitions[0].rate
+        down = plugin.transitions[1].rate
+        assert up == ExpRate(2.0)
+        assert down == ExpRate(4.0)
+
+    def test_exponential_and_immediate_untouched(self):
+        lts = LTS(0)
+        for _ in range(2):
+            lts.add_state()
+        lts.add_transition(0, "a", 1, ExpRate(3.0))
+        lts.add_transition(1, "b", 0, ImmediateRate(1, 2.0))
+        plugin = exponential_plugin(lts)
+        assert plugin.transitions[0].rate == ExpRate(3.0)
+        assert plugin.transitions[1].rate == ImmediateRate(1, 2.0)
+
+    def test_events_and_weights_preserved(self):
+        plugin = exponential_plugin(general_lts())
+        assert plugin.transitions[0].event == "up"
+
+
+class TestCrossValidate:
+    def test_validation_passes_on_agreeing_model(self):
+        measures = [
+            measure("in0", state_clause("up", 1.0)),
+            measure("downs", trans_clause("down", 1.0)),
+        ]
+        report = cross_validate(
+            general_lts(), measures, run_length=3_000.0, runs=8, seed=17
+        )
+        assert report.passed
+        for validation in report.measures.values():
+            assert validation.relative_error < 0.10
+        require_valid(report)  # should not raise
+
+    def test_report_rendering(self):
+        measures = [measure("in0", state_clause("up", 1.0))]
+        report = cross_validate(
+            general_lts(), measures, run_length=2_000.0, runs=6, seed=3
+        )
+        text = str(report)
+        assert "cross-validation" in text
+        assert "in0" in text
+
+    def test_require_valid_raises_on_failure(self):
+        failing = ValidationReport(
+            {
+                "m": MeasureValidation(
+                    "m",
+                    analytic=1.0,
+                    simulated=Estimate(2.0, 0.1, 0.1, 5, 0.9),
+                    within_interval=False,
+                    relative_error=0.5,
+                )
+            }
+        )
+        assert not failing.passed
+        with pytest.raises(ValidationError):
+            require_valid(failing)
+
+    def test_near_zero_measures_use_relative_clause(self):
+        """A measure that is 0 in both worlds must validate without noise
+        tripping the CI-overlap criterion."""
+        lts = general_lts()
+        never = measure("never", trans_clause("ghost_action", 1.0))
+        report = cross_validate(
+            lts, [never], run_length=500.0, runs=4, seed=2
+        )
+        assert report.measures["never"].within_interval
+
+
+class TestRpcValidation:
+    """The paper's Fig. 5 protocol on the real case study (reduced size)."""
+
+    def test_rpc_general_model_validates(self, rpc_family):
+        from repro.core import IncrementalMethodology
+
+        methodology = IncrementalMethodology(rpc_family)
+        report = methodology.validate(
+            {"shutdown_timeout": 5.0},
+            run_length=8_000.0,
+            runs=6,
+            warmup=200.0,
+        )
+        assert report.passed, str(report)
