@@ -2,14 +2,18 @@
 
 Benchmarks (a) exhaustive state-space generation of the streaming
 Markovian model, (b) CTMC construction with vanishing-state elimination,
-and (c) the tau-SCC condensation that makes the weak-bisimulation check of
+(c) the tau-SCC condensation that makes the weak-bisimulation check of
 Sect. 3 tractable (212 s -> ~1 s on the streaming functional model when it
-was introduced).
+was introduced), and (d) the guard-evaluation memo used during
+generation.
 """
+
+import time
 
 import pytest
 
 from repro.aemilia import generate_lts
+from repro.aemilia.expressions import EvaluationCache, GUARD_CACHE, binop, lit, var
 from repro.casestudies.streaming import functional, markovian
 from repro.ctmc import build_ctmc
 from repro.lts import hide, matches_any
@@ -57,3 +61,74 @@ def test_tau_condensation_reduction(benchmark):
     assert quotient.num_states < lts.num_states
     # The quotient must still be cheap to saturate.
     WeakStructure(quotient)
+
+
+def test_guard_memoization_microbenchmark(benchmark):
+    """The guard memo must answer repeated (expr, env) lookups faster
+    than re-walking the expression tree, without changing any value.
+
+    Generation evaluates the same handful of guards under the same
+    handful of local environments thousands of times — exactly the access
+    pattern the memo is keyed for.
+    """
+    occupancy = binop(
+        "-", binop("+", var("queue"), var("produced")), var("consumed")
+    )
+    guard = binop(
+        "and",
+        binop(
+            "and",
+            binop("<", occupancy, var("capacity")),
+            binop(">=", binop("+", var("queue"), lit(1)), lit(1)),
+        ),
+        binop(
+            "<=",
+            binop("+", binop("*", lit(2), var("queue")), lit(1)),
+            binop("*", lit(3), var("capacity")),
+        ),
+    )
+    envs = [
+        {"queue": q, "produced": q + 1, "consumed": 1, "capacity": 10}
+        for q in range(8)
+    ]
+    repeats = 2_000
+
+    expected = [guard.evaluate(env) for env in envs]
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for env in envs:
+            guard.evaluate(env)
+    raw_seconds = time.perf_counter() - started
+
+    cache = EvaluationCache()
+
+    def memoized():
+        for _ in range(repeats):
+            for env in envs:
+                cache.evaluate(guard, env)
+
+    benchmark.pedantic(memoized, rounds=1, iterations=1)
+    memo_seconds = benchmark.stats.stats.total
+
+    assert [cache.evaluate(guard, env) for env in envs] == expected
+    assert cache.misses == len(envs)
+    assert cache.hits >= repeats * len(envs)
+    print(
+        f"\n  guard evaluation: raw {raw_seconds * 1e3:.1f} ms, memoized "
+        f"{memo_seconds * 1e3:.1f} ms "
+        f"({raw_seconds / max(memo_seconds, 1e-9):.1f}x), "
+        f"hit rate {cache.hits / (cache.hits + cache.misses):.1%}"
+    )
+
+
+def test_guard_memo_used_by_generation(streaming_archi):
+    """State-space generation actually routes guards through the memo."""
+    GUARD_CACHE.clear()
+    generate_lts(streaming_archi, {"awake_period": 100.0})
+    total = GUARD_CACHE.hits + GUARD_CACHE.misses
+    assert total > 0, "generation never consulted the guard memo"
+    print(
+        f"\n  generation guard lookups: {total}, "
+        f"hit rate {GUARD_CACHE.hits / total:.1%}"
+    )

@@ -386,3 +386,85 @@ def check_closed(expr: Expr, bound: frozenset, context: str) -> None:
 def substitute_env(env: Env) -> Dict[str, Value]:
     """Return a plain dict copy of an environment (defensive copy helper)."""
     return dict(env)
+
+
+# ---------------------------------------------------------------------------
+# Memoised evaluation for the state-space generation hot path.
+#
+# Guards and rate expressions are evaluated enormous numbers of times during
+# generation and sweep relabeling, almost always over a handful of distinct
+# (expression, relevant-environment) pairs: the same ``cond(n < capacity)``
+# re-appears in every local state of every sweep point.  Expression nodes are
+# immutable, so the value only depends on the expression identity and the
+# values of its free variables.
+# ---------------------------------------------------------------------------
+
+#: Sentinel marking a free variable absent from the environment (so two
+#: environments binding *different* subsets of the free variables never
+#: collide on the same signature).
+_UNBOUND = object()
+
+
+class EvaluationCache:
+    """Memo for expression evaluation keyed by (expr identity, env signature).
+
+    The cache holds a reference to every memoised expression, so ``id()``
+    keys stay valid for the lifetime of the entry (no aliasing after GC).
+    When the cache exceeds ``maxsize`` entries it is cleared wholesale —
+    the working set of a generation run is tiny compared to the cap.
+    """
+
+    def __init__(self, maxsize: int = 1 << 16):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[tuple, Tuple[Expr, Value]] = {}
+        self._free_vars: Dict[int, Tuple[Expr, Tuple[str, ...]]] = {}
+
+    def _signature(self, expr: Expr, env: Env) -> tuple:
+        cached = self._free_vars.get(id(expr))
+        if cached is None or cached[0] is not expr:
+            names = tuple(sorted(expr.free_variables()))
+            self._free_vars[id(expr)] = (expr, names)
+        else:
+            names = cached[1]
+        # The value's class is part of the signature: 1, 1.0 and True are
+        # equal (and hash alike) but evaluate differently under the typed
+        # expression language.
+        return (id(expr),) + tuple(
+            (value.__class__, value)
+            for value in (env.get(name, _UNBOUND) for name in names)
+        )
+
+    def evaluate(self, expr: Expr, env: Env) -> Value:
+        """Evaluate *expr* under *env*, memoising closed sub-environments."""
+        key = self._signature(expr, env)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is expr:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        value = expr.evaluate(env)
+        if len(self._entries) >= self.maxsize:
+            self._entries.clear()
+        self._entries[key] = (expr, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all memoised entries and statistics."""
+        self._entries.clear()
+        self._free_vars.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide cache used by the state-space generator for guard conditions.
+GUARD_CACHE = EvaluationCache()
+
+
+def evaluate_guard(expr: Expr, env: Env) -> Value:
+    """Memoised guard evaluation (the generation hot path)."""
+    return GUARD_CACHE.evaluate(expr, env)

@@ -45,10 +45,57 @@ from .ast import (
     Stop,
 )
 from .elemtypes import Direction, ElemType, Multiplicity
-from .expressions import DataType, Value
-from .rates import ExpRate, ImmediateRate, PassiveRate, Rate
+from .expressions import DataType, Value, evaluate_guard
+from .rates import ExpRate, ImmediateRate, PassiveRate, Rate, RateSpec
 
 EnvTuple = Tuple[Tuple[str, Value], ...]
+
+
+@dataclass(frozen=True)
+class RateProvenance:
+    """How one transition's rate was computed, for parametric relabeling.
+
+    A transition's rate is the value of a syntactic :class:`RateSpec` under
+    ``{**const_env, **local_env}``, optionally split by a branch
+    ``fraction`` (probabilistic delivery to one of several passive
+    partners).  The local environment and the fraction are *structural* —
+    they only depend on data values and passive weights — so a sweep over a
+    parameter that appears exclusively in rate expressions can re-evaluate
+    ``spec`` under a new constant environment and reuse everything else.
+    """
+
+    spec: RateSpec
+    #: Local data environment at evaluation time, projected onto the
+    #: spec's free variables (local names shadow constants).
+    env: EnvTuple
+    #: Constant parameters the spec actually reads (free vars not shadowed
+    #: by the local environment).
+    free_consts: frozenset
+    #: Branch probability applied by the generator, or ``None`` when the
+    #: move was not split.
+    fraction: Optional[float] = None
+
+    def evaluate(self, const_env: Mapping[str, Value]) -> Rate:
+        """Recompute the concrete rate under a new constant environment."""
+        env = dict(const_env)
+        env.update(self.env)
+        rate = self.spec.evaluate(env)
+        return apply_branch_fraction(rate, self.fraction)
+
+
+def apply_branch_fraction(rate: Rate, fraction: Optional[float]) -> Rate:
+    """Apply the generator's branch split to a freshly evaluated rate.
+
+    Mirrors :meth:`StateSpaceGenerator._branch` exactly so relabeled rates
+    are bit-identical to freshly generated ones.
+    """
+    if fraction is None:
+        return rate
+    if isinstance(rate, ExpRate):
+        return ExpRate(rate.rate * fraction)
+    if isinstance(rate, ImmediateRate):
+        return ImmediateRate(rate.priority, rate.weight * fraction)
+    return rate
 
 
 @dataclass(frozen=True)
@@ -58,6 +105,11 @@ class LocalMove:
     action: str
     rate: Rate
     target: int  # index into the instance's local-state table
+    #: Provenance of the rate (spec + projected env), recorded only when
+    #: the generator runs in parametric mode.
+    spec: Optional[RateSpec] = None
+    spec_env: EnvTuple = ()
+    free_consts: frozenset = frozenset()
 
 
 class _InstanceSemantics:
@@ -69,14 +121,17 @@ class _InstanceSemantics:
         elem_type: ElemType,
         initial_args: Sequence[Value],
         const_env: Mapping[str, Value],
+        record_provenance: bool = False,
     ):
         self.name = name
         self.elem_type = elem_type
         self.const_env = dict(const_env)
+        self.record_provenance = record_provenance
         self._states: List[Tuple[Behavior, EnvTuple]] = []
         self._state_index: Dict[Tuple[int, EnvTuple], int] = {}
         self._moves: List[Optional[List[LocalMove]]] = []
         self._fv_cache: Dict[int, frozenset] = {}
+        self._rate_fv_cache: Dict[int, frozenset] = {}
         initial = elem_type.initial_definition
         env: Dict[str, Value] = {}
         values = list(initial_args)
@@ -99,6 +154,13 @@ class _InstanceSemantics:
         if cached is None:
             cached = term.free_variables()
             self._fv_cache[id(term)] = cached
+        return cached
+
+    def _rate_free_vars(self, spec: RateSpec) -> frozenset:
+        cached = self._rate_fv_cache.get(id(spec))
+        if cached is None:
+            cached = spec.free_variables()
+            self._rate_fv_cache[id(spec)] = cached
         return cached
 
     def _intern(self, term: Behavior, env: Mapping[str, Value]) -> int:
@@ -168,7 +230,24 @@ class _InstanceSemantics:
             full_env = {**self.const_env, **env}
             rate = term.rate.evaluate(full_env)
             target = self._intern(term.continuation, env)
-            out.append(LocalMove(term.action, rate, target))
+            if self.record_provenance:
+                spec_fv = self._rate_free_vars(term.rate)
+                spec_env = tuple(
+                    sorted(
+                        (name, value)
+                        for name, value in env.items()
+                        if name in spec_fv
+                    )
+                )
+                free_consts = spec_fv - {name for name, _ in spec_env}
+                out.append(
+                    LocalMove(
+                        term.action, rate, target,
+                        term.rate, spec_env, free_consts,
+                    )
+                )
+            else:
+                out.append(LocalMove(term.action, rate, target))
             return
         if isinstance(term, Choice):
             for alternative in term.alternatives:
@@ -176,7 +255,7 @@ class _InstanceSemantics:
             return
         if isinstance(term, Guarded):
             full_env = {**self.const_env, **env}
-            if term.condition.evaluate(full_env):
+            if evaluate_guard(term.condition, full_env):
                 self._collect(term.behavior, env, out, unfold_stack)
             return
         if isinstance(term, ProcessCall):
@@ -246,6 +325,7 @@ class _GlobalMove:
     event: str
     weight: float
     targets: Tuple[Tuple[int, int], ...]  # (instance index, new local state)
+    provenance: Optional[RateProvenance] = None
 
 
 class StateSpaceGenerator:
@@ -257,11 +337,16 @@ class StateSpaceGenerator:
         const_overrides: Optional[Mapping[str, Value]] = None,
         max_states: int = 200_000,
         apply_preemption: bool = True,
+        record_provenance: bool = False,
     ):
         self.archi = archi
         self.const_env = archi.bind_constants(const_overrides)
         self.max_states = max_states
         self.apply_preemption = apply_preemption
+        self.record_provenance = record_provenance
+        #: Per-transition rate provenance, parallel to the generated LTS's
+        #: transition list (filled only when ``record_provenance``).
+        self.provenance: List[RateProvenance] = []
         self._instances: List[_InstanceSemantics] = []
         self._index_of_instance: Dict[str, int] = {}
         for position, instance in enumerate(archi.instances):
@@ -269,7 +354,8 @@ class StateSpaceGenerator:
             args = [arg.evaluate(self.const_env) for arg in instance.args]
             self._instances.append(
                 _InstanceSemantics(
-                    instance.name, elem_type, args, self.const_env
+                    instance.name, elem_type, args, self.const_env,
+                    record_provenance,
                 )
             )
             self._index_of_instance[instance.name] = position
@@ -297,6 +383,16 @@ class StateSpaceGenerator:
 
     # -- move computation --------------------------------------------------
 
+    @staticmethod
+    def _move_provenance(
+        move: LocalMove, fraction: Optional[float] = None
+    ) -> Optional[RateProvenance]:
+        if move.spec is None:
+            return None
+        return RateProvenance(
+            move.spec, move.spec_env, move.free_consts, fraction
+        )
+
     def _global_moves(self, state: Tuple[int, ...]) -> List[_GlobalMove]:
         moves: List[_GlobalMove] = []
         for index, semantics in enumerate(self._instances):
@@ -314,6 +410,7 @@ class StateSpaceGenerator:
                             event=local_label(instance_name, move.action),
                             weight=1.0,
                             targets=((index, move.target),),
+                            provenance=self._move_provenance(move),
                         )
                     )
                     continue
@@ -334,6 +431,7 @@ class StateSpaceGenerator:
                         event=local_label(instance_name, move.action),
                         weight=1.0,
                         targets=((index, move.target),),
+                        provenance=self._move_provenance(move),
                     )
                 )
         return moves
@@ -397,7 +495,7 @@ class StateSpaceGenerator:
                 )
                 branches.append(
                     self._branch(
-                        out_move.rate, label, event, weight, total_weight,
+                        out_move, label, event, weight, total_weight,
                         targets,
                     )
                 )
@@ -417,7 +515,7 @@ class StateSpaceGenerator:
             )
             branches.append(
                 self._branch(
-                    out_move.rate, label, event, move.rate.weight,
+                    out_move, label, event, move.rate.weight,
                     total_weight, targets,
                 )
             )
@@ -430,20 +528,24 @@ class StateSpaceGenerator:
             weight *= move.rate.weight
         return weight
 
-    @staticmethod
+    @classmethod
     def _branch(
-        rate: Rate,
+        cls,
+        out_move: LocalMove,
         label: str,
         event: str,
         weight: float,
         total_weight: float,
         targets: Tuple[Tuple[int, int], ...],
     ) -> _GlobalMove:
+        rate = out_move.rate
         fraction = weight / total_weight
+        provenance = cls._move_provenance(out_move, fraction)
         if isinstance(rate, ExpRate):
             # Splitting an exponential race by branch probability is exact.
             return _GlobalMove(
-                label, ExpRate(rate.rate * fraction), event, fraction, targets
+                label, ExpRate(rate.rate * fraction), event, fraction,
+                targets, provenance,
             )
         if isinstance(rate, ImmediateRate):
             return _GlobalMove(
@@ -452,10 +554,11 @@ class StateSpaceGenerator:
                 event,
                 fraction,
                 targets,
+                provenance,
             )
         # General (and passive, for untimed models) rates cannot be split:
         # branches share the event and carry the selection probability.
-        return _GlobalMove(label, rate, event, fraction, targets)
+        return _GlobalMove(label, rate, event, fraction, targets, provenance)
 
     @staticmethod
     def _filter_preemption(moves: List[_GlobalMove]) -> List[_GlobalMove]:
@@ -505,6 +608,8 @@ class StateSpaceGenerator:
                     source, move.label, target, move.rate, move.event,
                     move.weight,
                 )
+                if self.record_provenance:
+                    self.provenance.append(move.provenance)
         return lts
 
     def _describe(self, state: Tuple[int, ...]) -> str:

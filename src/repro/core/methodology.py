@@ -21,7 +21,7 @@ DPM — together with the high/low action sets and the performance measures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..aemilia.architecture import ArchiType
 from ..aemilia.semantics import generate_lts
@@ -30,12 +30,61 @@ from ..ctmc.measures import Measure, evaluate_measures
 from ..ctmc.steady_state import steady_state
 from ..errors import AnalysisError
 from ..lts.lts import LTS
+from ..runtime import (
+    ParallelExecutor,
+    StructuralStateSpaceCache,
+    Timer,
+    resolve_workers,
+)
 from ..sim.output import ReplicationResult, replicate
 from .noninterference import NoninterferenceResult, check_noninterference
 from .validation import ValidationReport, cross_validate
 
 #: The two variants every phase compares.
 VARIANTS = ("dpm", "nodpm")
+
+
+# ---------------------------------------------------------------------------
+# Parallel sweep workers (module-level so the process pool can pickle them
+# by reference; the heavy shared payload ships once per worker).
+# ---------------------------------------------------------------------------
+
+def _markov_point_cached(shared: Any, env: Mapping[str, object]) -> Dict[str, float]:
+    """Solve one Markovian sweep point by relabeling the shared skeleton."""
+    skeleton, measures, method = shared
+    lts = skeleton.relabel(env)
+    ctmc = build_ctmc(lts)
+    pi = steady_state(ctmc, method=method)
+    return evaluate_measures(ctmc, pi, measures)
+
+
+def _markov_point_fresh(shared: Any, overrides: Mapping[str, object]) -> Dict[str, float]:
+    """Solve one Markovian sweep point from scratch (structural parameter)."""
+    archi, measures, method, max_states = shared
+    lts = generate_lts(archi, overrides, max_states)
+    ctmc = build_ctmc(lts)
+    pi = steady_state(ctmc, method=method)
+    return evaluate_measures(ctmc, pi, measures)
+
+
+def _general_point_cached(shared: Any, env: Mapping[str, object]) -> Dict[str, float]:
+    """Simulate one general sweep point on a relabeled shared skeleton."""
+    skeleton, measures, run_length, runs, warmup, seed = shared
+    lts = skeleton.relabel(env)
+    replication = replicate(
+        lts, measures, run_length, runs=runs, warmup=warmup, seed=seed
+    )
+    return {name: est.mean for name, est in replication.estimates.items()}
+
+
+def _general_point_fresh(shared: Any, overrides: Mapping[str, object]) -> Dict[str, float]:
+    """Simulate one general sweep point from scratch (structural parameter)."""
+    archi, measures, run_length, runs, warmup, seed, max_states = shared
+    lts = generate_lts(archi, overrides, max_states)
+    replication = replicate(
+        lts, measures, run_length, runs=runs, warmup=warmup, seed=seed
+    )
+    return {name: est.mean for name, est in replication.estimates.items()}
 
 
 @dataclass
@@ -75,11 +124,29 @@ def solve_markovian_architecture(
 
 
 class IncrementalMethodology:
-    """Drives the paper's three assessment phases over a model family."""
+    """Drives the paper's three assessment phases over a model family.
 
-    def __init__(self, family: ModelFamily, max_states: int = 200_000):
+    ``workers`` sets the default parallelism of the sweep and replication
+    calls (1 = serial; ``None`` auto-detects).  Parallel runs are
+    bit-identical to serial ones.  State spaces are cached on two levels:
+    a concrete per-override cache (``build_lts`` returns the same object
+    for the same request) backed by a :class:`StructuralStateSpaceCache`
+    that re-labels rates instead of re-exploring when only rate-valued
+    parameters change.
+    """
+
+    def __init__(
+        self,
+        family: ModelFamily,
+        max_states: int = 200_000,
+        workers: Optional[int] = 1,
+        statespace_cache: Optional[StructuralStateSpaceCache] = None,
+    ):
         self.family = family
         self.max_states = max_states
+        self.workers = resolve_workers(workers)
+        self.cache = statespace_cache or StructuralStateSpaceCache()
+        self.timer = Timer()
         self._lts_cache: Dict[Tuple, LTS] = {}
 
     # -- shared helpers ------------------------------------------------------
@@ -97,6 +164,19 @@ class IncrementalMethodology:
             )
         return archi
 
+    def _executor(self, workers: Optional[int]) -> ParallelExecutor:
+        return ParallelExecutor(
+            self.workers if workers is None else workers
+        )
+
+    def runtime_stats(self) -> Dict[str, object]:
+        """Workers, cache counters and per-phase wall-clock so far."""
+        return {
+            "workers": self.workers,
+            "cache": self.cache.stats.as_dict(),
+            "timings": self.timer.as_dict(),
+        }
+
     def build_lts(
         self,
         kind: str,
@@ -112,7 +192,9 @@ class IncrementalMethodology:
         cached = self._lts_cache.get(key)
         if cached is None:
             archi = self._variant_archi(kind, variant)
-            cached = generate_lts(archi, const_overrides, self.max_states)
+            cached = self.cache.lts(
+                archi, const_overrides, self.max_states, timer=self.timer
+            )
             self._lts_cache[key] = cached
         return cached
 
@@ -141,9 +223,30 @@ class IncrementalMethodology:
     ) -> Dict[str, float]:
         """Analytic steady-state measure values for one variant."""
         lts = self.build_lts("markovian", variant, const_overrides)
-        ctmc = build_ctmc(lts)
-        pi = steady_state(ctmc, method=method)
-        return evaluate_measures(ctmc, pi, self.family.measures)
+        with self.timer.span("solve"):
+            ctmc = build_ctmc(lts)
+            pi = steady_state(ctmc, method=method)
+            return evaluate_measures(ctmc, pi, self.family.measures)
+
+    def _sweep_points(
+        self,
+        kind: str,
+        variant: str,
+        parameter: str,
+        values: Sequence[float],
+        const_overrides: Optional[Mapping[str, object]],
+    ) -> Tuple[ArchiType, List[Dict[str, object]], bool]:
+        """Per-point override dicts plus whether the skeleton is reusable."""
+        archi = self._variant_archi(kind, variant)
+        points = []
+        for value in values:
+            overrides = dict(const_overrides or {})
+            overrides[parameter] = value
+            points.append(overrides)
+        reusable = self.cache.enabled and self.cache.is_rate_only(
+            archi, parameter
+        )
+        return archi, points, reusable
 
     def sweep_markovian(
         self,
@@ -152,17 +255,42 @@ class IncrementalMethodology:
         variant: str = "dpm",
         const_overrides: Optional[Mapping[str, object]] = None,
         method: str = "direct",
+        workers: Optional[int] = None,
     ) -> Dict[str, List[float]]:
-        """Sweep a const parameter; returns series keyed by measure name."""
+        """Sweep a const parameter; returns series keyed by measure name.
+
+        When *parameter* is rate-only the state space is generated once
+        and every point re-labels the cached skeleton; points are then
+        distributed over the executor (``workers=None`` uses the
+        methodology default).  Parallel results are identical to serial.
+        """
+        archi, points, rate_only = self._sweep_points(
+            "markovian", variant, parameter, values, const_overrides
+        )
+        executor = self._executor(workers)
+        if rate_only:
+            skeleton = self.cache.skeleton(
+                archi, const_overrides, self.max_states, timer=self.timer
+            )
+            envs = [archi.bind_constants(p) for p in points]
+            self.cache.stats.relabels += sum(
+                1 for env in envs if env != skeleton.const_env
+            )
+            shared = (skeleton, self.family.measures, method)
+            with self.timer.span("solve"):
+                results = executor.map(_markov_point_cached, envs, shared)
+        else:
+            # Structural parameter: every point is a different state
+            # space, so each task generates its own from scratch.
+            shared = (archi, self.family.measures, method, self.max_states)
+            with self.timer.span("solve"):
+                results = executor.map(_markov_point_fresh, points, shared)
         series: Dict[str, List[float]] = {
             name: [] for name in self.family.measure_names()
         }
-        for value in values:
-            overrides = dict(const_overrides or {})
-            overrides[parameter] = value
-            results = self.solve_markovian(variant, overrides, method)
+        for point_result in results:
             for name in series:
-                series[name].append(results[name])
+                series[name].append(point_result[name])
         return series
 
     # -- phase 3: general ----------------------------------------------------------
@@ -176,18 +304,21 @@ class IncrementalMethodology:
         seed: int = 20040628,
         variant: str = "dpm",
         relative_tolerance: float = 0.10,
+        workers: Optional[int] = None,
     ) -> ValidationReport:
         """Cross-validate the general model per Sect. 5.1."""
         lts = self.build_lts("general", variant, const_overrides)
-        return cross_validate(
-            lts,
-            self.family.measures,
-            run_length,
-            runs=runs,
-            warmup=warmup,
-            seed=seed,
-            relative_tolerance=relative_tolerance,
-        )
+        with self.timer.span("simulate"):
+            return cross_validate(
+                lts,
+                self.family.measures,
+                run_length,
+                runs=runs,
+                warmup=warmup,
+                seed=seed,
+                relative_tolerance=relative_tolerance,
+                workers=self._executor(workers).workers,
+            )
 
     def simulate_general(
         self,
@@ -198,18 +329,21 @@ class IncrementalMethodology:
         warmup: float = 0.0,
         seed: int = 20040628,
         confidence: float = 0.90,
+        workers: Optional[int] = None,
     ) -> ReplicationResult:
         """Estimate the measures on the general model by simulation."""
         lts = self.build_lts("general", variant, const_overrides)
-        return replicate(
-            lts,
-            self.family.measures,
-            run_length,
-            runs=runs,
-            warmup=warmup,
-            seed=seed,
-            confidence=confidence,
-        )
+        with self.timer.span("simulate"):
+            return replicate(
+                lts,
+                self.family.measures,
+                run_length,
+                runs=runs,
+                warmup=warmup,
+                seed=seed,
+                confidence=confidence,
+                workers=self._executor(workers).workers,
+            )
 
     def sweep_general(
         self,
@@ -221,24 +355,46 @@ class IncrementalMethodology:
         runs: int = 10,
         warmup: float = 0.0,
         seed: int = 20040628,
+        workers: Optional[int] = None,
     ) -> Dict[str, List[float]]:
-        """Simulation sweep; returns mean series keyed by measure name."""
+        """Simulation sweep; returns mean series keyed by measure name.
+
+        Each sweep point is one task (a full serial replication batch),
+        so parallel means are bit-identical to the serial sweep.  A
+        rate-only parameter reuses one state-space skeleton across all
+        points.
+        """
+        archi, points, rate_only = self._sweep_points(
+            "general", variant, parameter, values, const_overrides
+        )
+        executor = self._executor(workers)
+        if rate_only:
+            skeleton = self.cache.skeleton(
+                archi, const_overrides, self.max_states, timer=self.timer
+            )
+            envs = [archi.bind_constants(p) for p in points]
+            self.cache.stats.relabels += sum(
+                1 for env in envs if env != skeleton.const_env
+            )
+            shared = (
+                skeleton, self.family.measures, run_length, runs, warmup,
+                seed,
+            )
+            with self.timer.span("simulate"):
+                results = executor.map(_general_point_cached, envs, shared)
+        else:
+            shared = (
+                archi, self.family.measures, run_length, runs, warmup,
+                seed, self.max_states,
+            )
+            with self.timer.span("simulate"):
+                results = executor.map(_general_point_fresh, points, shared)
         series: Dict[str, List[float]] = {
             name: [] for name in self.family.measure_names()
         }
-        for value in values:
-            overrides = dict(const_overrides or {})
-            overrides[parameter] = value
-            replication = self.simulate_general(
-                variant,
-                overrides,
-                run_length,
-                runs=runs,
-                warmup=warmup,
-                seed=seed,
-            )
+        for point_result in results:
             for name in series:
-                series[name].append(replication[name].mean)
+                series[name].append(point_result[name])
         return series
 
     # -- one-call driver ------------------------------------------------------

@@ -99,6 +99,7 @@ def cross_validate(
     seed: int = 20040628,
     confidence: float = 0.90,
     relative_tolerance: float = 0.10,
+    workers: int = 1,
 ) -> ValidationReport:
     """Validate the simulator against the analytic solution (Sect. 5.1).
 
@@ -118,6 +119,7 @@ def cross_validate(
         warmup=warmup,
         seed=seed,
         confidence=confidence,
+        workers=workers,
     )
     report: Dict[str, MeasureValidation] = {}
     for measure in measures:

@@ -60,6 +60,17 @@ def transient_distribution(
         accumulated_mass += weight
         if weight > 0:
             result = result + term * weight
+        if k > poisson_rate:
+            # Past the mode the pmf decays geometrically with ratio
+            # Lambda*t / (k+1) < 1, so the whole remaining tail is below
+            # weight * r / (1 - r).  For large Lambda*t the accumulated
+            # mass can round to just under 1 - epsilon and stall there
+            # while the weights underflow; the analytic bound terminates
+            # the series once the tail is provably negligible (the final
+            # normalisation absorbs it).
+            ratio = poisson_rate / (k + 1)
+            if weight * ratio < epsilon * (1.0 - ratio):
+                break
     # Normalise away the truncated tail.
     total = result.sum()
     if total <= 0:

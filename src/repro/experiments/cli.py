@@ -41,6 +41,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit ASCII charts from figure reports",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for sweeps/replications (0 = auto-detect; "
+            "results are identical to --workers 1)"
+        ),
+    )
     return parser
 
 
@@ -50,7 +60,9 @@ def _list_report() -> str:
     return format_table(["id", "paper artifact"], rows, "available experiments")
 
 
-def run_experiment(identifier: str, quick: bool, charts: bool = True) -> str:
+def run_experiment(
+    identifier: str, quick: bool, charts: bool = True, workers: int = 1
+) -> str:
     """Run one experiment and return its rendered report."""
     experiments = all_experiments()
     if identifier not in experiments:
@@ -58,7 +70,7 @@ def run_experiment(identifier: str, quick: bool, charts: bool = True) -> str:
         raise SystemExit(
             f"unknown experiment {identifier!r}; known: {known}"
         )
-    result = experiments[identifier].run(quick)
+    result = experiments[identifier].run(quick, workers)
     if hasattr(result, "report"):
         try:
             return result.report(charts=charts)
@@ -80,7 +92,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     for target in targets:
         started = time.time()
-        print(run_experiment(target, args.quick, charts=not args.no_charts))
+        print(
+            run_experiment(
+                target,
+                args.quick,
+                charts=not args.no_charts,
+                workers=args.workers,
+            )
+        )
         print(f"[{target} done in {time.time() - started:.1f}s]")
         print()
     return 0

@@ -21,7 +21,9 @@ class Experiment:
 
     id: str
     paper_artifact: str
-    run: Callable[[bool], object]  # quick -> result with .report()
+    #: (quick, workers) -> result with .report(); workers is ignored by
+    #: experiments with no sweep/replication phase.
+    run: Callable[[bool, int], object]
 
 
 class _ParamsTable:
@@ -71,88 +73,96 @@ def _experiments() -> List[Experiment]:
         Experiment(
             "sec3-rpc",
             "Sect. 3.1 noninterference check + distinguishing formula",
-            lambda quick: rpc_figures.sec3_noninterference(),
+            lambda quick, workers=1: rpc_figures.sec3_noninterference(),
         ),
         Experiment(
             "sec3-streaming",
             "Sect. 3.2 noninterference check (streaming)",
-            lambda quick: streaming_figures.sec3_noninterference(),
+            lambda quick, workers=1: streaming_figures.sec3_noninterference(),
         ),
         Experiment(
             "fig3-markov",
             "Fig. 3 left: rpc Markovian sweep",
-            lambda quick: rpc_figures.fig3_markov(
-                rpc_figures.QUICK_TIMEOUTS if quick else None
+            lambda quick, workers=1: rpc_figures.fig3_markov(
+                rpc_figures.QUICK_TIMEOUTS if quick else None,
+                workers=workers,
             ),
         ),
         Experiment(
             "fig3-general",
             "Fig. 3 right: rpc general-model sweep",
-            lambda quick: rpc_figures.fig3_general(
+            lambda quick, workers=1: rpc_figures.fig3_general(
                 rpc_figures.QUICK_TIMEOUTS if quick else None,
                 runs=4 if quick else 8,
                 run_length=10_000.0 if quick else 20_000.0,
+                workers=workers,
             ),
         ),
         Experiment(
             "fig4",
             "Fig. 4: streaming Markovian sweep",
-            lambda quick: streaming_figures.fig4_markov(
-                streaming_figures.QUICK_AWAKE_PERIODS if quick else None
+            lambda quick, workers=1: streaming_figures.fig4_markov(
+                streaming_figures.QUICK_AWAKE_PERIODS if quick else None,
+                workers=workers,
             ),
         ),
         Experiment(
             "fig5",
             "Fig. 5: validation of the rpc general model",
-            lambda quick: rpc_figures.fig5_validation(
+            lambda quick, workers=1: rpc_figures.fig5_validation(
                 [5.0, 15.0] if quick else None,
                 runs=8 if quick else 30,
                 run_length=10_000.0 if quick else 20_000.0,
+                workers=workers,
             ),
         ),
         Experiment(
             "fig6",
             "Fig. 6: streaming general-model sweep",
-            lambda quick: streaming_figures.fig6_general(
+            lambda quick, workers=1: streaming_figures.fig6_general(
                 streaming_figures.QUICK_AWAKE_PERIODS if quick else None,
                 runs=3 if quick else 6,
                 run_length=30_000.0 if quick else 60_000.0,
+                workers=workers,
             ),
         ),
         Experiment(
             "fig7",
             "Fig. 7: rpc energy/waiting trade-off",
-            lambda quick: rpc_figures.fig7_tradeoff(
+            lambda quick, workers=1: rpc_figures.fig7_tradeoff(
                 runs=4 if quick else 8,
                 run_length=10_000.0 if quick else 20_000.0,
+                workers=workers,
             ),
         ),
         Experiment(
             "fig8",
             "Fig. 8: streaming energy/miss trade-off",
-            lambda quick: streaming_figures.fig8_tradeoff(
+            lambda quick, workers=1: streaming_figures.fig8_tradeoff(
                 runs=3 if quick else 6,
                 run_length=30_000.0 if quick else 60_000.0,
+                workers=workers,
             ),
         ),
         Experiment(
             "streaming-validation",
             "Sect. 5.1 protocol applied to the streaming model",
-            lambda quick: streaming_figures.streaming_validation(
+            lambda quick, workers=1: streaming_figures.streaming_validation(
                 [50.0] if quick else None,
                 runs=6 if quick else 10,
                 run_length=20_000.0 if quick else 30_000.0,
+                workers=workers,
             ),
         ),
         Experiment(
             "tab-params",
             "Sect. 4.1/4.2 parameter sets",
-            lambda quick: _ParamsTable(),
+            lambda quick, workers=1: _ParamsTable(),
         ),
         Experiment(
             "ext-battery",
             "extension: battery lifetime by first-passage analysis",
-            lambda quick: extensions.battery_lifetime(
+            lambda quick, workers=1: extensions.battery_lifetime(
                 timeouts=(1.0, 5.0) if quick else (1.0, 5.0, 15.0),
                 capacity=15 if quick else 25,
             ),
@@ -160,7 +170,7 @@ def _experiments() -> List[Experiment]:
         Experiment(
             "ext-survival",
             "extension: battery survival curves by transient analysis",
-            lambda quick: extensions.battery_survival(
+            lambda quick, workers=1: extensions.battery_survival(
                 times=(
                     (50.0, 150.0, 300.0)
                     if quick
@@ -172,7 +182,7 @@ def _experiments() -> List[Experiment]:
         Experiment(
             "ext-sensitivity",
             "extension: DPM benefit vs workload parameters",
-            lambda quick: extensions.sensitivity(
+            lambda quick, workers=1: extensions.sensitivity(
                 values=(6.0, 9.7, 20.0) if quick else (3.0, 6.0, 9.7, 20.0, 40.0),
             ),
         ),

@@ -9,9 +9,60 @@ report; tests assert on the data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.reporting import ascii_chart, format_table
+
+
+@dataclass
+class RuntimeStats:
+    """How an experiment executed: workers, cache effectiveness, phases.
+
+    Snapshot of :meth:`IncrementalMethodology.runtime_stats` taken when
+    the figure finished; attached to result objects so reports (and the
+    runtime-scaling benchmark) can show where the time went.
+    """
+
+    workers: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_relabels: int = 0
+    timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @classmethod
+    def from_methodology(cls, methodology) -> "RuntimeStats":
+        snapshot = methodology.runtime_stats()
+        cache = snapshot["cache"]
+        return cls(
+            workers=snapshot["workers"],
+            cache_hits=cache["hits"],
+            cache_misses=cache["misses"],
+            cache_relabels=cache["relabels"],
+            timings=snapshot["timings"],
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "relabels": self.cache_relabels,
+            },
+            "timings": self.timings,
+        }
+
+    def describe(self) -> str:
+        phases = ", ".join(
+            f"{name} {info['seconds']:.2f}s"
+            for name, info in sorted(self.timings.items())
+        )
+        return (
+            f"runtime: workers={self.workers}, state-space cache "
+            f"hits={self.cache_hits} misses={self.cache_misses} "
+            f"relabels={self.cache_relabels}"
+            + (f"; {phases}" if phases else "")
+        )
 
 
 @dataclass
@@ -25,6 +76,7 @@ class FigureResult:
     dpm_series: Dict[str, List[float]]
     nodpm_series: Dict[str, List[float]] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    runtime: Optional[RuntimeStats] = None
 
     def series(self, measure: str, variant: str = "dpm") -> List[float]:
         """One plotted series."""
@@ -66,6 +118,9 @@ class FigureResult:
         if self.notes:
             lines.append("")
             lines.extend(f"note: {note}" for note in self.notes)
+        if self.runtime is not None:
+            lines.append("")
+            lines.append(self.runtime.describe())
         return "\n".join(lines)
 
 

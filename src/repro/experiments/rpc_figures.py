@@ -16,7 +16,12 @@ from ..core.methodology import IncrementalMethodology
 from ..core.noninterference import NoninterferenceResult, check_noninterference
 from ..core.tradeoff import TradeoffCurve
 from ..core.validation import ValidationReport
-from .results import FigureResult, constant_series, ratio_series
+from .results import (
+    FigureResult,
+    RuntimeStats,
+    constant_series,
+    ratio_series,
+)
 
 #: Paper sweep: DPM shutdown timeout in ms (0..25 in the paper; exactly 0
 #: would be an infinite exponential rate).
@@ -72,11 +77,16 @@ def _derive_rpc(series: Dict[str, List[float]]) -> Dict[str, List[float]]:
 def fig3_markov(
     timeouts: Optional[Sequence[float]] = None,
     methodology: Optional[IncrementalMethodology] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 3 (left): rpc Markovian comparison, DPM vs NO-DPM."""
     timeouts = list(timeouts if timeouts is not None else DEFAULT_TIMEOUTS)
-    methodology = methodology or IncrementalMethodology(rpc.family())
-    dpm = methodology.sweep_markovian("shutdown_timeout", timeouts, "dpm")
+    methodology = methodology or IncrementalMethodology(
+        rpc.family(), workers=workers if workers is not None else 1
+    )
+    dpm = methodology.sweep_markovian(
+        "shutdown_timeout", timeouts, "dpm", workers=workers
+    )
     nodpm_point = methodology.solve_markovian("nodpm")
     dpm = _derive_rpc(dpm)
     nodpm = _derive_rpc(
@@ -108,6 +118,7 @@ def fig3_markov(
             "never counterproductive in the Markovian model); all curves "
             "converge to NO-DPM as the timeout grows",
         ],
+        runtime=RuntimeStats.from_methodology(methodology),
     )
 
 
@@ -118,10 +129,13 @@ def fig3_general(
     runs: int = 8,
     warmup: float = 500.0,
     seed: int = 20040628,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 3 (right): rpc general model (deterministic + Gaussian delays)."""
     timeouts = list(timeouts if timeouts is not None else DEFAULT_TIMEOUTS)
-    methodology = methodology or IncrementalMethodology(rpc.family())
+    methodology = methodology or IncrementalMethodology(
+        rpc.family(), workers=workers if workers is not None else 1
+    )
     dpm = methodology.sweep_general(
         "shutdown_timeout",
         timeouts,
@@ -130,6 +144,7 @@ def fig3_general(
         runs=runs,
         warmup=warmup,
         seed=seed,
+        workers=workers,
     )
     nodpm_rep = methodology.simulate_general(
         "nodpm",
@@ -137,6 +152,7 @@ def fig3_general(
         runs=runs,
         warmup=warmup,
         seed=seed,
+        workers=workers,
     )
     nodpm_point = {
         name: nodpm_rep[name].mean for name in nodpm_rep.estimates
@@ -173,6 +189,7 @@ def fig3_general(
             f"(energy/request above NO-DPM) for timeouts just below the "
             f"idle period",
         ],
+        runtime=RuntimeStats.from_methodology(methodology),
     )
 
 
@@ -182,6 +199,7 @@ class ValidationFigure:
 
     timeouts: List[float]
     reports: Dict[float, ValidationReport]
+    runtime: Optional[RuntimeStats] = None
 
     @property
     def passed(self) -> bool:
@@ -198,6 +216,8 @@ class ValidationFigure:
         lines.append(
             "overall: " + ("PASSED" if self.passed else "FAILED")
         )
+        if self.runtime is not None:
+            lines.append(self.runtime.describe())
         return "\n".join(lines)
 
 
@@ -208,11 +228,14 @@ def fig5_validation(
     runs: int = 30,
     warmup: float = 500.0,
     seed: int = 20040628,
+    workers: Optional[int] = None,
 ) -> ValidationFigure:
     """Fig. 5: cross-validation at several shutdown timeouts (30 runs,
     90% confidence intervals, as in the paper)."""
     timeouts = list(timeouts if timeouts is not None else [5.0, 15.0, 25.0])
-    methodology = methodology or IncrementalMethodology(rpc.family())
+    methodology = methodology or IncrementalMethodology(
+        rpc.family(), workers=workers if workers is not None else 1
+    )
     reports = {}
     for timeout in timeouts:
         reports[timeout] = methodology.validate(
@@ -221,8 +244,13 @@ def fig5_validation(
             runs=runs,
             warmup=warmup,
             seed=seed,
+            workers=workers,
         )
-    return ValidationFigure(list(timeouts), reports)
+    return ValidationFigure(
+        list(timeouts),
+        reports,
+        runtime=RuntimeStats.from_methodology(methodology),
+    )
 
 
 @dataclass
@@ -249,10 +277,13 @@ class TradeoffFigure:
 def fig7_tradeoff(
     markov_figure: Optional[FigureResult] = None,
     general_figure: Optional[FigureResult] = None,
+    workers: Optional[int] = None,
     **general_kwargs,
 ) -> TradeoffFigure:
     """Fig. 7 from the fig3 sweeps (recomputing them if not supplied)."""
-    methodology = IncrementalMethodology(rpc.family())
+    methodology = IncrementalMethodology(
+        rpc.family(), workers=workers if workers is not None else 1
+    )
     if markov_figure is None:
         markov_figure = fig3_markov(methodology=methodology)
     if general_figure is None:

@@ -19,7 +19,12 @@ from ..core.methodology import IncrementalMethodology
 from ..core.noninterference import NoninterferenceResult, check_noninterference
 from ..core.tradeoff import TradeoffCurve
 from ..core.validation import ValidationReport
-from .results import FigureResult, constant_series, ratio_series
+from .results import (
+    FigureResult,
+    RuntimeStats,
+    constant_series,
+    ratio_series,
+)
 
 DEFAULT_AWAKE_PERIODS = streaming.AWAKE_PERIOD_SWEEP
 QUICK_AWAKE_PERIODS = [10.0, 50.0, 100.0, 200.0, 400.0, 800.0]
@@ -74,6 +79,7 @@ def _figure(
     dpm_raw: Dict[str, List[float]],
     nodpm_raw: Dict[str, float],
     notes: List[str],
+    runtime: Optional[RuntimeStats] = None,
 ) -> FigureResult:
     dpm = derive_streaming(dpm_raw)
     nodpm_derived = derive_streaming(
@@ -91,20 +97,24 @@ def _figure(
         dpm_series=dpm,
         nodpm_series=nodpm,
         notes=notes,
+        runtime=runtime,
     )
 
 
 def fig4_markov(
     awake_periods: Optional[Sequence[float]] = None,
     methodology: Optional[IncrementalMethodology] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 4: streaming Markovian comparison, DPM vs NO-DPM."""
     awake_periods = list(
         awake_periods if awake_periods is not None else DEFAULT_AWAKE_PERIODS
     )
-    methodology = methodology or IncrementalMethodology(streaming.family())
+    methodology = methodology or IncrementalMethodology(
+        streaming.family(), workers=workers if workers is not None else 1
+    )
     dpm_raw = methodology.sweep_markovian(
-        "awake_period", awake_periods, "dpm"
+        "awake_period", awake_periods, "dpm", workers=workers
     )
     nodpm_raw = methodology.solve_markovian("nodpm")
     return _figure(
@@ -121,6 +131,7 @@ def fig4_markov(
             "pressure); around 50 ms the DPM saves ~70% energy at small "
             "quality cost",
         ],
+        runtime=RuntimeStats.from_methodology(methodology),
     )
 
 
@@ -131,12 +142,15 @@ def fig6_general(
     runs: int = 6,
     warmup: float = 2_000.0,
     seed: int = 20040628,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 6: streaming general model (deterministic CBR video)."""
     awake_periods = list(
         awake_periods if awake_periods is not None else DEFAULT_AWAKE_PERIODS
     )
-    methodology = methodology or IncrementalMethodology(streaming.family())
+    methodology = methodology or IncrementalMethodology(
+        streaming.family(), workers=workers if workers is not None else 1
+    )
     dpm_raw = methodology.sweep_general(
         "awake_period",
         awake_periods,
@@ -145,6 +159,7 @@ def fig6_general(
         runs=runs,
         warmup=warmup,
         seed=seed,
+        workers=workers,
     )
     nodpm_rep = methodology.simulate_general(
         "nodpm",
@@ -152,6 +167,7 @@ def fig6_general(
         runs=runs,
         warmup=warmup,
         seed=seed,
+        workers=workers,
     )
     nodpm_raw = {name: nodpm_rep[name].mean for name in nodpm_rep.estimates}
     return _figure(
@@ -168,6 +184,7 @@ def fig6_general(
             "transparent at the Aironet 350's 100 ms setting; doubling "
             "to 200 ms degrades quality for negligible marginal saving",
         ],
+        runtime=RuntimeStats.from_methodology(methodology),
     )
 
 
@@ -177,6 +194,7 @@ class StreamingValidationFigure:
 
     awake_periods: List[float]
     reports: Dict[float, ValidationReport]
+    runtime: Optional[RuntimeStats] = None
 
     @property
     def passed(self) -> bool:
@@ -191,6 +209,8 @@ class StreamingValidationFigure:
             lines.append(f"-- awake period {period} ms:")
             lines.append(str(self.reports[period]))
         lines.append("overall: " + ("PASSED" if self.passed else "FAILED"))
+        if self.runtime is not None:
+            lines.append(self.runtime.describe())
         return "\n".join(lines)
 
 
@@ -201,12 +221,15 @@ def streaming_validation(
     runs: int = 10,
     warmup: float = 1_000.0,
     seed: int = 20040628,
+    workers: Optional[int] = None,
 ) -> StreamingValidationFigure:
     """Cross-validate the streaming general model at several periods."""
     awake_periods = list(
         awake_periods if awake_periods is not None else [50.0, 200.0]
     )
-    methodology = methodology or IncrementalMethodology(streaming.family())
+    methodology = methodology or IncrementalMethodology(
+        streaming.family(), workers=workers if workers is not None else 1
+    )
     reports = {}
     for period in awake_periods:
         reports[period] = methodology.validate(
@@ -216,8 +239,13 @@ def streaming_validation(
             warmup=warmup,
             seed=seed,
             relative_tolerance=0.15,
+            workers=workers,
         )
-    return StreamingValidationFigure(list(awake_periods), reports)
+    return StreamingValidationFigure(
+        list(awake_periods),
+        reports,
+        runtime=RuntimeStats.from_methodology(methodology),
+    )
 
 
 @dataclass
@@ -244,10 +272,13 @@ class StreamingTradeoffFigure:
 def fig8_tradeoff(
     markov_figure: Optional[FigureResult] = None,
     general_figure: Optional[FigureResult] = None,
+    workers: Optional[int] = None,
     **general_kwargs,
 ) -> StreamingTradeoffFigure:
     """Fig. 8 from the fig4/fig6 sweeps (recomputing if not supplied)."""
-    methodology = IncrementalMethodology(streaming.family())
+    methodology = IncrementalMethodology(
+        streaming.family(), workers=workers if workers is not None else 1
+    )
     if markov_figure is None:
         markov_figure = fig4_markov(methodology=methodology)
     if general_figure is None:

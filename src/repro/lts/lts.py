@@ -131,6 +131,17 @@ class LTS:
 
     # -- misc -------------------------------------------------------------
 
+    def copy_structure(self) -> "LTS":
+        """Copy of the states and their metadata, with no transitions.
+
+        Used by the sweep runtime to rebuild a cached state-space skeleton
+        with relabeled rates without re-exploring the state space.
+        """
+        clone = LTS(self.initial)
+        clone._num_states = self._num_states
+        clone._state_info = dict(self._state_info)
+        return clone
+
     def copy(self) -> "LTS":
         """Deep-enough copy (transitions are immutable)."""
         clone = LTS(self.initial)

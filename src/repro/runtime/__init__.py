@@ -1,0 +1,37 @@
+"""Parallel, cache-aware execution runtime for sweeps and replications.
+
+Three layers, threaded through the whole experiment stack:
+
+* :class:`ParallelExecutor` — deterministic process-pool map with a serial
+  fallback (``workers=1``), shared read-only payloads shipped once per
+  worker, and input-order results; parallel runs are bit-identical to
+  serial ones because every task derives its random stream from the master
+  seed by index (``SeedSequence`` spawn keys).
+* :class:`StructuralStateSpaceCache` — a sweep over a parameter that only
+  appears in rate expressions reuses one generated state-space skeleton
+  and relabels the rates per point instead of re-exploring.
+* :class:`Timer` — named wall-clock spans around the generate / relabel /
+  solve / simulate phases, surfaced in experiment reports and the
+  ``BENCH_runtime.json`` scaling benchmark.
+"""
+
+from .executor import ParallelExecutor, resolve_workers
+from .statespace_cache import (
+    CacheStats,
+    ParametricLTS,
+    StructuralStateSpaceCache,
+    generate_parametric,
+    structural_params,
+)
+from .timing import Timer
+
+__all__ = [
+    "CacheStats",
+    "ParallelExecutor",
+    "ParametricLTS",
+    "StructuralStateSpaceCache",
+    "Timer",
+    "generate_parametric",
+    "resolve_workers",
+    "structural_params",
+]

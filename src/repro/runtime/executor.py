@@ -1,0 +1,107 @@
+"""Deterministic parallel task execution for sweeps and replications.
+
+:class:`ParallelExecutor` wraps :class:`concurrent.futures.ProcessPoolExecutor`
+with the conventions the experiment stack needs:
+
+* **Serial fallback** — ``workers=1`` runs tasks inline with zero process
+  overhead and is the CI-deterministic default everywhere; any parallel
+  result is required (and tested) to be identical to the serial one.
+* **Shared payload** — large read-only inputs (a cached state-space
+  skeleton, the measure set) are shipped to each worker process *once* via
+  the pool initializer instead of being pickled per task.
+* **Deterministic ordering** — results always come back in input order
+  regardless of completion order.
+* **Chunked submission** — tasks are submitted in chunks so thousands of
+  tiny tasks (replication runs) don't drown in IPC overhead.
+
+Worker functions must be module-level callables of the form
+``fn(shared, item)`` so they can be pickled by reference.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import partial
+from typing import Any, Callable, List, Optional, Sequence
+
+#: Upper bound on auto-detected workers (sweeps rarely scale past this).
+_MAX_AUTO_WORKERS = 8
+
+_SHARED: Any = None
+
+
+def _init_shared(shared: Any) -> None:
+    global _SHARED
+    _SHARED = shared
+
+
+def _call_with_shared(fn: Callable[[Any, Any], Any], item: Any) -> Any:
+    return fn(_SHARED, item)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a worker-count request.
+
+    ``None``/``0`` auto-detect (``os.cpu_count()`` capped at
+    ``_MAX_AUTO_WORKERS``); explicit values pass through; anything below 1
+    falls back to serial.
+    """
+    if workers is None or workers == 0:
+        detected = os.cpu_count() or 1
+        return max(1, min(detected, _MAX_AUTO_WORKERS))
+    return max(1, int(workers))
+
+
+class ParallelExecutor:
+    """Process-pool map with serial fallback and shared payloads."""
+
+    def __init__(self, workers: Optional[int] = 1):
+        self.workers = resolve_workers(workers)
+
+    @property
+    def is_serial(self) -> bool:
+        """True when tasks run inline in this process."""
+        return self.workers == 1
+
+    def map(
+        self,
+        fn: Callable[[Any, Any], Any],
+        items: Sequence[Any],
+        shared: Any = None,
+        chunksize: Optional[int] = None,
+    ) -> List[Any]:
+        """Run ``fn(shared, item)`` over *items*, preserving input order.
+
+        The serial path calls *fn* inline; the parallel path ships *shared*
+        to each worker once and distributes *items* in chunks.  If the
+        platform refuses to fork worker processes the call degrades to the
+        serial path rather than failing.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.is_serial or len(items) == 1:
+            return [fn(shared, item) for item in items]
+        if chunksize is None:
+            chunksize = max(1, len(items) // (self.workers * 4))
+        # Imported lazily: merely importing the pool machinery is useless
+        # on the serial path, and some sandboxes forbid process creation.
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(items)),
+                initializer=_init_shared,
+                initargs=(shared,),
+            ) as pool:
+                return list(
+                    pool.map(
+                        partial(_call_with_shared, fn),
+                        items,
+                        chunksize=chunksize,
+                    )
+                )
+        except (OSError, PermissionError):
+            # Process creation unavailable (restricted sandbox): degrade
+            # to the serial path, which is always result-identical.
+            return [fn(shared, item) for item in items]

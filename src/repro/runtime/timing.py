@@ -1,0 +1,83 @@
+"""Phase timing instrumentation for the experiment runtime.
+
+A :class:`Timer` accumulates named wall-clock spans (``generate``,
+``relabel``, ``solve``, ``simulate``...) so every experiment can report
+where its time went and the scaling benchmark can emit machine-readable
+per-phase timings.  Spans nest and re-enter freely; re-entering a span
+already on the stack only counts the outermost occurrence.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping
+
+
+class Timer:
+    """Accumulator of named wall-clock spans."""
+
+    def __init__(self):
+        self._seconds: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._active: Dict[str, int] = {}
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under *name* (re-entrant)."""
+        depth = self._active.get(name, 0)
+        self._active[name] = depth + 1
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._active[name] = depth
+            if depth == 0:
+                self.add(name, elapsed)
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Record *seconds* of elapsed time under *name*."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + count
+
+    def merge(self, other: "Timer") -> None:
+        """Fold another timer's spans into this one (worker results)."""
+        for name, seconds in other._seconds.items():
+            self.add(name, seconds, other._counts.get(name, 1))
+
+    def merge_dict(self, spans: Mapping[str, float]) -> None:
+        """Fold a plain ``{name: seconds}`` mapping into this timer."""
+        for name, seconds in spans.items():
+            self.add(name, seconds)
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds of one span (0.0 when never entered)."""
+        return self._seconds.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Machine-readable view: ``{span: {seconds, count}}``."""
+        return {
+            name: {
+                "seconds": self._seconds[name],
+                "count": self._counts.get(name, 0),
+            }
+            for name in sorted(self._seconds)
+        }
+
+    def total(self) -> float:
+        """Sum of all span times (spans may overlap when nested)."""
+        return sum(self._seconds.values())
+
+    def reset(self) -> None:
+        """Drop all recorded spans."""
+        self._seconds.clear()
+        self._counts.clear()
+        self._active.clear()
+
+    def __str__(self) -> str:
+        parts = [
+            f"{name}={self._seconds[name]:.3f}s"
+            for name in sorted(self._seconds)
+        ]
+        return "Timer(" + ", ".join(parts) + ")"

@@ -20,7 +20,7 @@ from .output import (
     replicate_until,
     summarize,
 )
-from .random import make_generator, spawn_generators
+from .random import generator_for_run, make_generator, spawn_generators
 from .trace import TraceEntry, TraceRecorder
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "replicate",
     "replicate_until",
     "summarize",
+    "generator_for_run",
     "make_generator",
     "spawn_generators",
     "TraceEntry",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats
@@ -18,8 +18,9 @@ from scipy import stats
 from ..ctmc.measures import Measure
 from ..errors import SimulationError
 from ..lts.lts import LTS
+from ..runtime.executor import ParallelExecutor
 from .engine import Simulator
-from .random import spawn_generators
+from .random import generator_for_run, spawn_generators
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,56 @@ def summarize(
     return Estimate(mean, half_width, std_dev, runs, confidence)
 
 
+class _RunningStat:
+    """Welford running mean/variance — one instance per measure, updated
+    in place so the convergence loop never rebuilds estimator state."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def std_dev(self) -> float:
+        if self.count < 2:
+            return math.inf
+        return math.sqrt(self._m2 / (self.count - 1))
+
+
+#: Scale below which a mean is "about zero" and a *relative* half-width
+#: criterion stops being meaningful.
+_ZERO_SCALE = 1e-12
+
+# Per-process simulator reuse for parallel replications.  The shared
+# payload is pickled into each worker once; every task in the same batch
+# must then reuse the compiled simulator instead of rebuilding it per run.
+_WORKER_SIM: Optional[Tuple[Any, Simulator]] = None
+
+
+def _replication_run(shared: Any, run_index: int) -> Dict[str, float]:
+    """Run replication *run_index* of the batch described by *shared*.
+
+    Draws exactly the random stream the serial loop would assign to this
+    index, so a parallel batch is bit-identical to the serial one.
+    """
+    global _WORKER_SIM
+    lts, measures, clock_semantics, run_length, warmup, seed, start = shared
+    if _WORKER_SIM is None or _WORKER_SIM[0] is not shared:
+        _WORKER_SIM = (shared, Simulator(lts, measures, clock_semantics))
+    simulator = _WORKER_SIM[1]
+    rng = generator_for_run(seed, run_index)
+    result = simulator.run(run_length, rng, warmup, start_state=start)
+    return result.measures
+
+
 def replicate_until(
     lts: LTS,
     measures: Sequence[Measure],
@@ -96,13 +147,31 @@ def replicate_until(
     seed: int = 20040628,
     confidence: float = 0.90,
     clock_semantics: str = "enabling_memory",
+    workers: int = 1,
+    reuse_warmup_state: bool = True,
 ) -> ReplicationResult:
     """Sequential replication: run until every measure's confidence
     interval is tight enough (half-width below ``relative_half_width`` of
-    the mean, or the measure is ~zero), or ``max_runs`` is exhausted.
+    the mean), or ``max_runs`` is exhausted.
 
     Spends simulation effort where the variance is, instead of fixing the
-    replication count up front.
+    replication count up front.  Three behaviours worth knowing:
+
+    * A measure that is *exactly* constant across runs (zero sample
+      standard deviation — e.g. a probability that is identically 0)
+      counts as converged.  A measure that is merely *near* zero but
+      noisy does **not**: its relative criterion is undefined, so it
+      keeps the loop running rather than silently masking
+      non-convergence.
+    * With ``reuse_warmup_state`` (and ``warmup > 0``) the warm-up
+      transient is simulated once and every replication starts from the
+      resulting state instead of re-paying the warm-up per run.  The
+      warm-up trajectory uses stream index ``max_runs`` so it never
+      collides with a replication stream.
+    * ``workers > 1`` runs replications in worker-sized batches; the
+      sequential stopping rule is applied in run order and any runs past
+      the stopping point are discarded, so the estimates are identical
+      to a serial execution that stopped at the same run.
     """
     if not 0 < relative_half_width < 1:
         raise SimulationError(
@@ -114,27 +183,73 @@ def replicate_until(
             f"need 2 <= min_runs <= max_runs, got {min_runs}, {max_runs}"
         )
     simulator = Simulator(lts, measures, clock_semantics)
-    streams = spawn_generators(seed, max_runs)
-    samples: Dict[str, List[float]] = {m.name: [] for m in measures}
+    start_state: Optional[int] = None
+    run_warmup = warmup
+    if reuse_warmup_state and warmup > 0:
+        warm = simulator.run(warmup, generator_for_run(seed, max_runs), 0.0)
+        start_state = warm.final_state
+        run_warmup = 0.0
+
+    names = [m.name for m in measures]
+    samples: Dict[str, List[float]] = {name: [] for name in names}
+    running = {name: _RunningStat() for name in names}
+    criticals: Dict[int, float] = {}
+
+    def record(measured: Dict[str, float]) -> None:
+        for name in names:
+            value = measured[name]
+            samples[name].append(value)
+            running[name].add(value)
 
     def precise_enough() -> bool:
-        for values in samples.values():
-            estimate = summarize(values, confidence)
-            scale = abs(estimate.mean)
-            if scale < 1e-12:
-                continue  # treat ~zero measures as converged
-            if estimate.half_width > relative_half_width * scale:
+        for stat in running.values():
+            if stat.std_dev == 0.0:
+                continue  # exactly constant (e.g. identically zero)
+            scale = abs(stat.mean)
+            if scale < _ZERO_SCALE:
+                return False  # noisy around zero: never call it converged
+            critical = criticals.get(stat.count)
+            if critical is None:
+                critical = float(
+                    stats.t.ppf(0.5 + confidence / 2.0, stat.count - 1)
+                )
+                criticals[stat.count] = critical
+            half_width = critical * stat.std_dev / math.sqrt(stat.count)
+            if half_width > relative_half_width * scale:
                 return False
         return True
 
+    executor = ParallelExecutor(workers)
+    shared = (
+        lts, measures, clock_semantics, run_length, run_warmup, seed,
+        start_state,
+    )
     runs_done = 0
-    for rng in streams:
-        result = simulator.run(run_length, rng, warmup)
-        for name, value in result.measures.items():
-            samples[name].append(value)
-        runs_done += 1
-        if runs_done >= min_runs and precise_enough():
-            break
+    stop = False
+    while runs_done < max_runs and not stop:
+        if executor.is_serial:
+            batch = [
+                simulator.run(
+                    run_length,
+                    generator_for_run(seed, runs_done),
+                    run_warmup,
+                    start_state=start_state,
+                ).measures
+            ]
+        else:
+            span = min(executor.workers, max_runs - runs_done)
+            batch = executor.map(
+                _replication_run,
+                range(runs_done, runs_done + span),
+                shared=shared,
+                chunksize=1,
+            )
+        for measured in batch:
+            record(measured)
+            runs_done += 1
+            if runs_done >= min_runs and precise_enough():
+                stop = True
+                break  # runs past the stopping point are discarded
     estimates = {
         name: summarize(values, confidence)
         for name, values in samples.items()
@@ -152,22 +267,38 @@ def replicate(
     confidence: float = 0.90,
     clock_semantics: str = "enabling_memory",
     simulator: Optional[Simulator] = None,
+    workers: int = 1,
 ) -> ReplicationResult:
     """Independent-replications estimation of all measures.
 
     A :class:`Simulator` may be passed in to reuse its compiled schedules
-    across parameter sweeps that share the state space.
+    across parameter sweeps that share the state space (serial path only;
+    worker processes compile their own copy once per batch).
+
+    ``workers > 1`` distributes runs over a process pool.  Each run draws
+    its stream from the master seed by index, so the estimates are
+    bit-identical to the serial execution.
     """
     if runs < 2:
         raise SimulationError("need at least two runs for an interval")
-    if simulator is None:
-        simulator = Simulator(lts, measures, clock_semantics)
-    streams = spawn_generators(seed, runs)
     samples: Dict[str, List[float]] = {m.name: [] for m in measures}
-    for rng in streams:
-        result = simulator.run(run_length, rng, warmup)
-        for name, value in result.measures.items():
-            samples[name].append(value)
+    executor = ParallelExecutor(workers)
+    if executor.is_serial:
+        if simulator is None:
+            simulator = Simulator(lts, measures, clock_semantics)
+        for rng in spawn_generators(seed, runs):
+            result = simulator.run(run_length, rng, warmup)
+            for name, value in result.measures.items():
+                samples[name].append(value)
+    else:
+        shared = (
+            lts, measures, clock_semantics, run_length, warmup, seed, None,
+        )
+        for measured in executor.map(
+            _replication_run, range(runs), shared=shared, chunksize=1
+        ):
+            for name, value in measured.items():
+                samples[name].append(value)
     estimates = {
         name: summarize(values, confidence)
         for name, values in samples.items()

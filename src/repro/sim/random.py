@@ -19,6 +19,18 @@ def spawn_generators(seed: int, count: int) -> List[np.random.Generator]:
     return [np.random.Generator(np.random.PCG64(s)) for s in sequence.spawn(count)]
 
 
+def generator_for_run(seed: int, index: int) -> np.random.Generator:
+    """The *index*-th stream of :func:`spawn_generators`, derived directly.
+
+    ``SeedSequence.spawn`` gives child *i* the spawn key ``(i,)``, so any
+    single stream can be reconstructed without materialising its siblings.
+    This is what lets parallel workers draw exactly the random numbers the
+    serial replication loop would have drawn for the same run index.
+    """
+    child = np.random.SeedSequence(seed, spawn_key=(index,))
+    return np.random.Generator(np.random.PCG64(child))
+
+
 def make_generator(seed: int) -> np.random.Generator:
     """Single generator from a seed (PCG64)."""
     return np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
