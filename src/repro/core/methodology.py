@@ -31,10 +31,15 @@ from ..ctmc.steady_state import steady_state
 from ..errors import AnalysisError
 from ..lts.lts import LTS
 from ..runtime import (
+    FaultInjector,
     ParallelExecutor,
+    RetryPolicy,
     StructuralStateSpaceCache,
+    SweepCheckpoint,
     Timer,
+    TraceRecorder,
     resolve_workers,
+    sweep_fingerprint,
 )
 from ..sim.output import ReplicationResult, replicate
 from .noninterference import NoninterferenceResult, check_noninterference
@@ -141,13 +146,45 @@ class IncrementalMethodology:
         max_states: int = 200_000,
         workers: Optional[int] = 1,
         statespace_cache: Optional[StructuralStateSpaceCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultInjector] = None,
+        tracer: Optional[TraceRecorder] = None,
     ):
         self.family = family
         self.max_states = max_states
         self.workers = resolve_workers(workers)
         self.cache = statespace_cache or StructuralStateSpaceCache()
         self.timer = Timer()
+        self.retry = retry
+        self.faults = faults
+        self.tracer = tracer
         self._lts_cache: Dict[Tuple, LTS] = {}
+
+    def _resilience(self, checkpoint: Optional[SweepCheckpoint], phase: str):
+        """Executor kwargs engaging the fault-tolerant path when needed.
+
+        With no retry policy, fault injector, tracer or checkpoint
+        configured this returns ``{}`` and sweeps use the zero-overhead
+        fast path, exactly as before the reliability layer existed.
+        """
+        if (
+            self.retry is None
+            and self.faults is None
+            and self.tracer is None
+            and checkpoint is None
+        ):
+            return {}
+        if self.tracer is None:
+            # Lazily attach an in-memory recorder so retry/checkpoint
+            # counters always reach runtime_stats().
+            self.tracer = TraceRecorder()
+        return {
+            "retry": self.retry,
+            "faults": self.faults,
+            "tracer": self.tracer,
+            "checkpoint": checkpoint,
+            "phase": phase,
+        }
 
     # -- shared helpers ------------------------------------------------------
 
@@ -170,12 +207,46 @@ class IncrementalMethodology:
         )
 
     def runtime_stats(self) -> Dict[str, object]:
-        """Workers, cache counters and per-phase wall-clock so far."""
-        return {
+        """Workers, cache counters and per-phase wall-clock so far.
+
+        When the reliability layer is engaged (retry/faults/trace/
+        checkpoint) the snapshot also carries retry and checkpoint-hit
+        counters plus the aggregated trace.
+        """
+        stats: Dict[str, object] = {
             "workers": self.workers,
             "cache": self.cache.stats.as_dict(),
             "timings": self.timer.as_dict(),
         }
+        if self.tracer is not None:
+            stats["retries"] = self.tracer.retries
+            stats["checkpoint_hits"] = self.tracer.checkpoint_hits
+            stats["trace"] = self.tracer.summary()
+        return stats
+
+    def _sweep_checkpoint(
+        self,
+        checkpoint: Optional[str],
+        **definition: object,
+    ) -> Optional[SweepCheckpoint]:
+        """Open a sweep journal keyed by the full sweep definition.
+
+        The fingerprint covers everything that determines point results
+        (family, phase, parameter, values, overrides, solver/simulation
+        settings) and nothing that doesn't — notably not the worker
+        count, so a journal written under ``--workers 4`` resumes under
+        ``--workers 1`` and vice versa.
+        """
+        if checkpoint is None:
+            return None
+        return SweepCheckpoint(
+            checkpoint,
+            sweep_fingerprint(
+                family=self.family.name,
+                max_states=self.max_states,
+                **definition,
+            ),
+        )
 
     def build_lts(
         self,
@@ -256,6 +327,7 @@ class IncrementalMethodology:
         const_overrides: Optional[Mapping[str, object]] = None,
         method: str = "direct",
         workers: Optional[int] = None,
+        checkpoint: Optional[str] = None,
     ) -> Dict[str, List[float]]:
         """Sweep a const parameter; returns series keyed by measure name.
 
@@ -263,28 +335,52 @@ class IncrementalMethodology:
         and every point re-labels the cached skeleton; points are then
         distributed over the executor (``workers=None`` uses the
         methodology default).  Parallel results are identical to serial.
+        *checkpoint* names a journal file: completed points are replayed
+        from it and new completions appended, so an interrupted sweep
+        resumes bit-identically (docs/RELIABILITY.md).
         """
         archi, points, rate_only = self._sweep_points(
             "markovian", variant, parameter, values, const_overrides
         )
         executor = self._executor(workers)
-        if rate_only:
-            skeleton = self.cache.skeleton(
-                archi, const_overrides, self.max_states, timer=self.timer
-            )
-            envs = [archi.bind_constants(p) for p in points]
-            self.cache.stats.relabels += sum(
-                1 for env in envs if env != skeleton.const_env
-            )
-            shared = (skeleton, self.family.measures, method)
-            with self.timer.span("solve"):
-                results = executor.map(_markov_point_cached, envs, shared)
-        else:
-            # Structural parameter: every point is a different state
-            # space, so each task generates its own from scratch.
-            shared = (archi, self.family.measures, method, self.max_states)
-            with self.timer.span("solve"):
-                results = executor.map(_markov_point_fresh, points, shared)
+        journal = self._sweep_checkpoint(
+            checkpoint,
+            kind="markovian",
+            variant=variant,
+            parameter=parameter,
+            values=list(values),
+            const_overrides=sorted((const_overrides or {}).items()),
+            method=method,
+        )
+        resilience = self._resilience(journal, "solve")
+        try:
+            if rate_only:
+                skeleton = self.cache.skeleton(
+                    archi, const_overrides, self.max_states,
+                    timer=self.timer,
+                )
+                envs = [archi.bind_constants(p) for p in points]
+                self.cache.stats.relabels += sum(
+                    1 for env in envs if env != skeleton.const_env
+                )
+                shared = (skeleton, self.family.measures, method)
+                with self.timer.span("solve"):
+                    results = executor.map(
+                        _markov_point_cached, envs, shared, **resilience
+                    )
+            else:
+                # Structural parameter: every point is a different state
+                # space, so each task generates its own from scratch.
+                shared = (
+                    archi, self.family.measures, method, self.max_states,
+                )
+                with self.timer.span("solve"):
+                    results = executor.map(
+                        _markov_point_fresh, points, shared, **resilience
+                    )
+        finally:
+            if journal is not None:
+                journal.close()
         series: Dict[str, List[float]] = {
             name: [] for name in self.family.measure_names()
         }
@@ -318,6 +414,9 @@ class IncrementalMethodology:
                 seed=seed,
                 relative_tolerance=relative_tolerance,
                 workers=self._executor(workers).workers,
+                retry=self.retry,
+                faults=self.faults,
+                tracer=self.tracer,
             )
 
     def simulate_general(
@@ -343,6 +442,9 @@ class IncrementalMethodology:
                 seed=seed,
                 confidence=confidence,
                 workers=self._executor(workers).workers,
+                retry=self.retry,
+                faults=self.faults,
+                tracer=self.tracer,
             )
 
     def sweep_general(
@@ -356,39 +458,63 @@ class IncrementalMethodology:
         warmup: float = 0.0,
         seed: int = 20040628,
         workers: Optional[int] = None,
+        checkpoint: Optional[str] = None,
     ) -> Dict[str, List[float]]:
         """Simulation sweep; returns mean series keyed by measure name.
 
         Each sweep point is one task (a full serial replication batch),
         so parallel means are bit-identical to the serial sweep.  A
         rate-only parameter reuses one state-space skeleton across all
-        points.
+        points.  *checkpoint* names a journal file enabling bit-identical
+        resume after an interruption (docs/RELIABILITY.md).
         """
         archi, points, rate_only = self._sweep_points(
             "general", variant, parameter, values, const_overrides
         )
         executor = self._executor(workers)
-        if rate_only:
-            skeleton = self.cache.skeleton(
-                archi, const_overrides, self.max_states, timer=self.timer
-            )
-            envs = [archi.bind_constants(p) for p in points]
-            self.cache.stats.relabels += sum(
-                1 for env in envs if env != skeleton.const_env
-            )
-            shared = (
-                skeleton, self.family.measures, run_length, runs, warmup,
-                seed,
-            )
-            with self.timer.span("simulate"):
-                results = executor.map(_general_point_cached, envs, shared)
-        else:
-            shared = (
-                archi, self.family.measures, run_length, runs, warmup,
-                seed, self.max_states,
-            )
-            with self.timer.span("simulate"):
-                results = executor.map(_general_point_fresh, points, shared)
+        journal = self._sweep_checkpoint(
+            checkpoint,
+            kind="general",
+            variant=variant,
+            parameter=parameter,
+            values=list(values),
+            const_overrides=sorted((const_overrides or {}).items()),
+            run_length=run_length,
+            runs=runs,
+            warmup=warmup,
+            seed=seed,
+        )
+        resilience = self._resilience(journal, "simulate")
+        try:
+            if rate_only:
+                skeleton = self.cache.skeleton(
+                    archi, const_overrides, self.max_states,
+                    timer=self.timer,
+                )
+                envs = [archi.bind_constants(p) for p in points]
+                self.cache.stats.relabels += sum(
+                    1 for env in envs if env != skeleton.const_env
+                )
+                shared = (
+                    skeleton, self.family.measures, run_length, runs,
+                    warmup, seed,
+                )
+                with self.timer.span("simulate"):
+                    results = executor.map(
+                        _general_point_cached, envs, shared, **resilience
+                    )
+            else:
+                shared = (
+                    archi, self.family.measures, run_length, runs, warmup,
+                    seed, self.max_states,
+                )
+                with self.timer.span("simulate"):
+                    results = executor.map(
+                        _general_point_fresh, points, shared, **resilience
+                    )
+        finally:
+            if journal is not None:
+                journal.close()
         series: Dict[str, List[float]] = {
             name: [] for name in self.family.measure_names()
         }

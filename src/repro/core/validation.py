@@ -100,13 +100,18 @@ def cross_validate(
     confidence: float = 0.90,
     relative_tolerance: float = 0.10,
     workers: int = 1,
+    retry=None,
+    faults=None,
+    tracer=None,
 ) -> ValidationReport:
     """Validate the simulator against the analytic solution (Sect. 5.1).
 
     A measure validates when the analytic value falls inside the simulated
     confidence interval *or* within ``relative_tolerance`` of the mean (the
     second clause keeps near-zero measures, whose intervals collapse, from
-    failing on noise).
+    failing on noise).  *retry*/*faults*/*tracer* are forwarded to the
+    replication engine (docs/RELIABILITY.md); they cannot change the
+    verdict, only survive worker failures while reaching it.
     """
     plugin = exponential_plugin(general_lts)
     ctmc = build_ctmc(plugin)
@@ -120,6 +125,9 @@ def cross_validate(
         seed=seed,
         confidence=confidence,
         workers=workers,
+        retry=retry,
+        faults=faults,
+        tracer=tracer,
     )
     report: Dict[str, MeasureValidation] = {}
     for measure in measures:

@@ -79,3 +79,42 @@ class SimulationError(ReproError):
 
 class ValidationError(ReproError):
     """Cross-validation between general and Markovian models failed."""
+
+
+class RuntimeExecutionError(ReproError):
+    """The fault-tolerant execution layer could not complete a task set."""
+
+
+class WorkerFaultError(RuntimeExecutionError):
+    """A worker task failed (injected fault or real crash).
+
+    Transient by design: the executor retries the task until the retry
+    budget is exhausted.
+    """
+
+    def __init__(self, message: str, index: int = -1, attempt: int = 0):
+        super().__init__(message)
+        self.index = index
+        self.attempt = attempt
+
+
+class RetryBudgetExceededError(RuntimeExecutionError):
+    """A task kept failing after every allowed retry.
+
+    Carries the task index, how many attempts were made and the last
+    underlying error so chaos tests (and operators) can see exactly what
+    gave up where.
+    """
+
+    def __init__(self, index: int, attempts: int, last_error: Exception):
+        super().__init__(
+            f"task {index} failed after {attempts} attempt(s): "
+            f"{last_error!r}"
+        )
+        self.index = index
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CheckpointError(RuntimeExecutionError):
+    """A sweep checkpoint journal is unusable (wrong sweep or corrupt)."""

@@ -6,17 +6,93 @@ Usage::
     python -m repro.experiments fig3-markov
     python -m repro.experiments all --quick
     repro-experiments fig6            # console script
+
+Reliability tooling (docs/RELIABILITY.md)::
+
+    repro-experiments fig4 --workers 4 --chaos seed=7,poison=0.2 --retry 3
+    repro-experiments run-sweep --case rpc --phase markovian \
+        --parameter shutdown_timeout --values 0.5,2,11,25 \
+        --checkpoint journal.jsonl --output series.json
+    repro-experiments trace-summary trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
 
+from ..casestudies import rpc, streaming
+from ..core.methodology import IncrementalMethodology
 from ..core.reporting import format_table
+from ..runtime import (
+    FaultInjector,
+    RetryPolicy,
+    TraceRecorder,
+    read_trace,
+    render_summary,
+    summarize_events,
+)
 from .registry import all_experiments
+from .results import RunOptions
+
+_CASES = {"rpc": rpc.family, "streaming": streaming.family}
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by experiment runs and ``run-sweep``."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for sweeps/replications (0 = auto-detect; "
+            "results are identical to --workers 1)"
+        ),
+    )
+    parser.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "max attempts per sweep point / replication before raising "
+            "RetryBudgetExceededError (enables the fault-tolerant path)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault injection, e.g. "
+            "'seed=7,kill=0.1,poison=0.2,delay=0.5,delay-seconds=0.05' "
+            "(see FaultInjector.parse)"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="stream JSONL span records to FILE (see trace-summary)",
+    )
+
+
+def _run_options(args: argparse.Namespace) -> RunOptions:
+    """Build the RunOptions an argparse namespace describes."""
+    retry = None
+    if args.retry is not None:
+        retry = RetryPolicy(max_attempts=args.retry)
+    faults = FaultInjector.parse(args.chaos) if args.chaos else None
+    tracer = None
+    if args.trace or retry is not None or faults is not None:
+        tracer = TraceRecorder(args.trace)
+    return RunOptions(
+        workers=args.workers, retry=retry, faults=faults, tracer=tracer
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,16 +117,71 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit ASCII charts from figure reports",
     )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        metavar="N",
-        help=(
-            "worker processes for sweeps/replications (0 = auto-detect; "
-            "results are identical to --workers 1)"
+    _add_runtime_arguments(parser)
+    return parser
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments run-sweep",
+        description=(
+            "Run one checkpointable sweep of a case-study model; an "
+            "interrupted sweep rerun with the same --checkpoint resumes "
+            "from the last completed point, bit-identically"
         ),
     )
+    parser.add_argument(
+        "--case", choices=sorted(_CASES), required=True,
+        help="case-study model family",
+    )
+    parser.add_argument(
+        "--phase", choices=["markovian", "general"], default="markovian",
+        help="analytic (markovian) or simulated (general) sweep",
+    )
+    parser.add_argument(
+        "--parameter", required=True, metavar="NAME",
+        help="const parameter to sweep",
+    )
+    parser.add_argument(
+        "--values", required=True, metavar="V1,V2,...",
+        help="comma-separated sweep values",
+    )
+    parser.add_argument(
+        "--variant", default="dpm", help="model variant (default: dpm)"
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="JSONL journal of completed points (enables resume)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the series as JSON to FILE instead of only stdout",
+    )
+    parser.add_argument(
+        "--method", default="direct",
+        help="steady-state solver for markovian sweeps",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=10,
+        help="replications per point (general phase)",
+    )
+    parser.add_argument(
+        "--run-length", type=float, default=20_000.0,
+        help="simulated time per replication (general phase)",
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=0.0,
+        help="warm-up deletion per replication (general phase)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20040628,
+        help="master seed (general phase)",
+    )
+    parser.add_argument(
+        "--max-states", type=int, default=200_000,
+        help="state-space generation cap",
+    )
+    _add_runtime_arguments(parser)
     return parser
 
 
@@ -61,7 +192,11 @@ def _list_report() -> str:
 
 
 def run_experiment(
-    identifier: str, quick: bool, charts: bool = True, workers: int = 1
+    identifier: str,
+    quick: bool,
+    charts: bool = True,
+    workers: int = 1,
+    options: Optional[RunOptions] = None,
 ) -> str:
     """Run one experiment and return its rendered report."""
     experiments = all_experiments()
@@ -70,7 +205,8 @@ def run_experiment(
         raise SystemExit(
             f"unknown experiment {identifier!r}; known: {known}"
         )
-    result = experiments[identifier].run(quick, workers)
+    options = RunOptions.resolve(options, workers)
+    result = experiments[identifier].run(quick, options)
     if hasattr(result, "report"):
         try:
             return result.report(charts=charts)
@@ -79,8 +215,87 @@ def run_experiment(
     return str(result)
 
 
+def run_sweep(argv: List[str]) -> int:
+    """``run-sweep``: one resumable sweep, series printed as JSON."""
+    args = build_sweep_parser().parse_args(argv)
+    values = [float(v) for v in args.values.split(",") if v.strip()]
+    if not values:
+        raise SystemExit("--values must name at least one sweep value")
+    options = _run_options(args)
+    methodology = IncrementalMethodology(
+        _CASES[args.case](),
+        max_states=args.max_states,
+        **options.methodology_kwargs(),
+    )
+    started = time.time()
+    if args.phase == "markovian":
+        series = methodology.sweep_markovian(
+            args.parameter,
+            values,
+            variant=args.variant,
+            method=args.method,
+            checkpoint=args.checkpoint,
+        )
+    else:
+        series = methodology.sweep_general(
+            args.parameter,
+            values,
+            variant=args.variant,
+            run_length=args.run_length,
+            runs=args.runs,
+            warmup=args.warmup,
+            seed=args.seed,
+            checkpoint=args.checkpoint,
+        )
+    payload = {
+        "case": args.case,
+        "phase": args.phase,
+        "parameter": args.parameter,
+        "values": values,
+        "series": series,
+    }
+    # json round-trips floats exactly (repr-based), so two runs are
+    # bit-identical iff their series are.
+    rendered = json.dumps(payload, sort_keys=True, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    print(rendered)
+    stats = methodology.runtime_stats()
+    summary = (
+        f"[run-sweep done in {time.time() - started:.1f}s; "
+        f"workers={stats['workers']}"
+    )
+    if methodology.tracer is not None:
+        summary += (
+            f", retries={methodology.tracer.retries}"
+            f", checkpoint hits={methodology.tracer.checkpoint_hits}"
+        )
+        methodology.tracer.close()
+    print(summary + "]", file=sys.stderr)
+    return 0
+
+
+def trace_summary(argv: List[str]) -> int:
+    """``trace-summary``: aggregate a JSONL trace file into tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments trace-summary",
+        description="Summarise a --trace JSONL file (spans by phase/status)",
+    )
+    parser.add_argument("trace_file", help="JSONL file written by --trace")
+    args = parser.parse_args(argv)
+    events = read_trace(args.trace_file)
+    print(render_summary(summarize_events(events), title=args.trace_file))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "run-sweep":
+        return run_sweep(argv[1:])
+    if argv and argv[0] == "trace-summary":
+        return trace_summary(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print(_list_report())
@@ -90,6 +305,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.experiment == "all"
         else [args.experiment]
     )
+    options = _run_options(args)
     for target in targets:
         started = time.time()
         print(
@@ -97,11 +313,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 target,
                 args.quick,
                 charts=not args.no_charts,
-                workers=args.workers,
+                options=options,
             )
         )
         print(f"[{target} done in {time.time() - started:.1f}s]")
         print()
+    if options.tracer is not None:
+        options.tracer.close()
+        if args.trace:
+            print(f"[trace written to {args.trace}]")
     return 0
 
 

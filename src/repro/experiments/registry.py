@@ -13,6 +13,7 @@ from typing import Callable, Dict, List
 from ..casestudies import rpc, streaming
 from ..core.reporting import format_table
 from . import extensions, rpc_figures, streaming_figures
+from .results import RunOptions
 
 
 @dataclass(frozen=True)
@@ -21,9 +22,10 @@ class Experiment:
 
     id: str
     paper_artifact: str
-    #: (quick, workers) -> result with .report(); workers is ignored by
-    #: experiments with no sweep/replication phase.
-    run: Callable[[bool, int], object]
+    #: (quick, options) -> result with .report(); the RunOptions carry
+    #: workers / retry / fault-injection / tracing and are ignored by
+    #: experiments with no sweep or replication phase.
+    run: Callable[[bool, RunOptions], object]
 
 
 class _ParamsTable:
@@ -73,96 +75,96 @@ def _experiments() -> List[Experiment]:
         Experiment(
             "sec3-rpc",
             "Sect. 3.1 noninterference check + distinguishing formula",
-            lambda quick, workers=1: rpc_figures.sec3_noninterference(),
+            lambda quick, options=None: rpc_figures.sec3_noninterference(),
         ),
         Experiment(
             "sec3-streaming",
             "Sect. 3.2 noninterference check (streaming)",
-            lambda quick, workers=1: streaming_figures.sec3_noninterference(),
+            lambda quick, options=None: streaming_figures.sec3_noninterference(),
         ),
         Experiment(
             "fig3-markov",
             "Fig. 3 left: rpc Markovian sweep",
-            lambda quick, workers=1: rpc_figures.fig3_markov(
+            lambda quick, options=None: rpc_figures.fig3_markov(
                 rpc_figures.QUICK_TIMEOUTS if quick else None,
-                workers=workers,
+                options=options,
             ),
         ),
         Experiment(
             "fig3-general",
             "Fig. 3 right: rpc general-model sweep",
-            lambda quick, workers=1: rpc_figures.fig3_general(
+            lambda quick, options=None: rpc_figures.fig3_general(
                 rpc_figures.QUICK_TIMEOUTS if quick else None,
                 runs=4 if quick else 8,
                 run_length=10_000.0 if quick else 20_000.0,
-                workers=workers,
+                options=options,
             ),
         ),
         Experiment(
             "fig4",
             "Fig. 4: streaming Markovian sweep",
-            lambda quick, workers=1: streaming_figures.fig4_markov(
+            lambda quick, options=None: streaming_figures.fig4_markov(
                 streaming_figures.QUICK_AWAKE_PERIODS if quick else None,
-                workers=workers,
+                options=options,
             ),
         ),
         Experiment(
             "fig5",
             "Fig. 5: validation of the rpc general model",
-            lambda quick, workers=1: rpc_figures.fig5_validation(
+            lambda quick, options=None: rpc_figures.fig5_validation(
                 [5.0, 15.0] if quick else None,
                 runs=8 if quick else 30,
                 run_length=10_000.0 if quick else 20_000.0,
-                workers=workers,
+                options=options,
             ),
         ),
         Experiment(
             "fig6",
             "Fig. 6: streaming general-model sweep",
-            lambda quick, workers=1: streaming_figures.fig6_general(
+            lambda quick, options=None: streaming_figures.fig6_general(
                 streaming_figures.QUICK_AWAKE_PERIODS if quick else None,
                 runs=3 if quick else 6,
                 run_length=30_000.0 if quick else 60_000.0,
-                workers=workers,
+                options=options,
             ),
         ),
         Experiment(
             "fig7",
             "Fig. 7: rpc energy/waiting trade-off",
-            lambda quick, workers=1: rpc_figures.fig7_tradeoff(
+            lambda quick, options=None: rpc_figures.fig7_tradeoff(
                 runs=4 if quick else 8,
                 run_length=10_000.0 if quick else 20_000.0,
-                workers=workers,
+                options=options,
             ),
         ),
         Experiment(
             "fig8",
             "Fig. 8: streaming energy/miss trade-off",
-            lambda quick, workers=1: streaming_figures.fig8_tradeoff(
+            lambda quick, options=None: streaming_figures.fig8_tradeoff(
                 runs=3 if quick else 6,
                 run_length=30_000.0 if quick else 60_000.0,
-                workers=workers,
+                options=options,
             ),
         ),
         Experiment(
             "streaming-validation",
             "Sect. 5.1 protocol applied to the streaming model",
-            lambda quick, workers=1: streaming_figures.streaming_validation(
+            lambda quick, options=None: streaming_figures.streaming_validation(
                 [50.0] if quick else None,
                 runs=6 if quick else 10,
                 run_length=20_000.0 if quick else 30_000.0,
-                workers=workers,
+                options=options,
             ),
         ),
         Experiment(
             "tab-params",
             "Sect. 4.1/4.2 parameter sets",
-            lambda quick, workers=1: _ParamsTable(),
+            lambda quick, options=None: _ParamsTable(),
         ),
         Experiment(
             "ext-battery",
             "extension: battery lifetime by first-passage analysis",
-            lambda quick, workers=1: extensions.battery_lifetime(
+            lambda quick, options=None: extensions.battery_lifetime(
                 timeouts=(1.0, 5.0) if quick else (1.0, 5.0, 15.0),
                 capacity=15 if quick else 25,
             ),
@@ -170,7 +172,7 @@ def _experiments() -> List[Experiment]:
         Experiment(
             "ext-survival",
             "extension: battery survival curves by transient analysis",
-            lambda quick, workers=1: extensions.battery_survival(
+            lambda quick, options=None: extensions.battery_survival(
                 times=(
                     (50.0, 150.0, 300.0)
                     if quick
@@ -182,7 +184,7 @@ def _experiments() -> List[Experiment]:
         Experiment(
             "ext-sensitivity",
             "extension: DPM benefit vs workload parameters",
-            lambda quick, workers=1: extensions.sensitivity(
+            lambda quick, options=None: extensions.sensitivity(
                 values=(6.0, 9.7, 20.0) if quick else (3.0, 6.0, 9.7, 20.0, 40.0),
             ),
         ),

@@ -12,6 +12,43 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core.reporting import ascii_chart, format_table
+from ..runtime import FaultInjector, RetryPolicy, TraceRecorder
+
+
+@dataclass
+class RunOptions:
+    """Execution options threaded from the CLI into figure regeneration.
+
+    Bundles everything the reliability layer can vary — worker count,
+    retry policy, fault injection (chaos runs) and the trace recorder —
+    so the registry only ever forwards one object.  The defaults are the
+    plain fast path: serial, no retries, no faults, no trace file.
+    """
+
+    workers: int = 1
+    retry: Optional[RetryPolicy] = None
+    faults: Optional[FaultInjector] = None
+    tracer: Optional[TraceRecorder] = None
+
+    @classmethod
+    def resolve(
+        cls,
+        options: Optional["RunOptions"],
+        workers: Optional[int] = None,
+    ) -> "RunOptions":
+        """Normalise the (options, legacy workers argument) pair."""
+        if options is not None:
+            return options
+        return cls(workers=workers if workers is not None else 1)
+
+    def methodology_kwargs(self) -> Dict[str, object]:
+        """Constructor kwargs for :class:`IncrementalMethodology`."""
+        return {
+            "workers": self.workers,
+            "retry": self.retry,
+            "faults": self.faults,
+            "tracer": self.tracer,
+        }
 
 
 @dataclass
@@ -20,7 +57,9 @@ class RuntimeStats:
 
     Snapshot of :meth:`IncrementalMethodology.runtime_stats` taken when
     the figure finished; attached to result objects so reports (and the
-    runtime-scaling benchmark) can show where the time went.
+    runtime-scaling benchmark) can show where the time went.  When the
+    reliability layer was engaged the snapshot also carries retry /
+    checkpoint counters and the aggregated trace.
     """
 
     workers: int = 1
@@ -28,6 +67,9 @@ class RuntimeStats:
     cache_misses: int = 0
     cache_relabels: int = 0
     timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    retries: int = 0
+    checkpoint_hits: int = 0
+    trace: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_methodology(cls, methodology) -> "RuntimeStats":
@@ -39,10 +81,13 @@ class RuntimeStats:
             cache_misses=cache["misses"],
             cache_relabels=cache["relabels"],
             timings=snapshot["timings"],
+            retries=snapshot.get("retries", 0),
+            checkpoint_hits=snapshot.get("checkpoint_hits", 0),
+            trace=snapshot.get("trace"),
         )
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        result: Dict[str, object] = {
             "workers": self.workers,
             "cache": {
                 "hits": self.cache_hits,
@@ -50,17 +95,29 @@ class RuntimeStats:
                 "relabels": self.cache_relabels,
             },
             "timings": self.timings,
+            "retries": self.retries,
+            "checkpoint_hits": self.checkpoint_hits,
         }
+        if self.trace is not None:
+            result["trace"] = self.trace
+        return result
 
     def describe(self) -> str:
         phases = ", ".join(
             f"{name} {info['seconds']:.2f}s"
             for name, info in sorted(self.timings.items())
         )
+        reliability = ""
+        if self.retries or self.checkpoint_hits:
+            reliability = (
+                f", retries={self.retries} "
+                f"checkpoint hits={self.checkpoint_hits}"
+            )
         return (
             f"runtime: workers={self.workers}, state-space cache "
             f"hits={self.cache_hits} misses={self.cache_misses} "
             f"relabels={self.cache_relabels}"
+            + reliability
             + (f"; {phases}" if phases else "")
         )
 

@@ -18,6 +18,7 @@ from ..core.tradeoff import TradeoffCurve
 from ..core.validation import ValidationReport
 from .results import (
     FigureResult,
+    RunOptions,
     RuntimeStats,
     constant_series,
     ratio_series,
@@ -78,11 +79,13 @@ def fig3_markov(
     timeouts: Optional[Sequence[float]] = None,
     methodology: Optional[IncrementalMethodology] = None,
     workers: Optional[int] = None,
+    options: Optional[RunOptions] = None,
 ) -> FigureResult:
     """Fig. 3 (left): rpc Markovian comparison, DPM vs NO-DPM."""
     timeouts = list(timeouts if timeouts is not None else DEFAULT_TIMEOUTS)
+    options = RunOptions.resolve(options, workers)
     methodology = methodology or IncrementalMethodology(
-        rpc.family(), workers=workers if workers is not None else 1
+        rpc.family(), **options.methodology_kwargs()
     )
     dpm = methodology.sweep_markovian(
         "shutdown_timeout", timeouts, "dpm", workers=workers
@@ -130,11 +133,13 @@ def fig3_general(
     warmup: float = 500.0,
     seed: int = 20040628,
     workers: Optional[int] = None,
+    options: Optional[RunOptions] = None,
 ) -> FigureResult:
     """Fig. 3 (right): rpc general model (deterministic + Gaussian delays)."""
     timeouts = list(timeouts if timeouts is not None else DEFAULT_TIMEOUTS)
+    options = RunOptions.resolve(options, workers)
     methodology = methodology or IncrementalMethodology(
-        rpc.family(), workers=workers if workers is not None else 1
+        rpc.family(), **options.methodology_kwargs()
     )
     dpm = methodology.sweep_general(
         "shutdown_timeout",
@@ -229,12 +234,14 @@ def fig5_validation(
     warmup: float = 500.0,
     seed: int = 20040628,
     workers: Optional[int] = None,
+    options: Optional[RunOptions] = None,
 ) -> ValidationFigure:
     """Fig. 5: cross-validation at several shutdown timeouts (30 runs,
     90% confidence intervals, as in the paper)."""
     timeouts = list(timeouts if timeouts is not None else [5.0, 15.0, 25.0])
+    options = RunOptions.resolve(options, workers)
     methodology = methodology or IncrementalMethodology(
-        rpc.family(), workers=workers if workers is not None else 1
+        rpc.family(), **options.methodology_kwargs()
     )
     reports = {}
     for timeout in timeouts:
@@ -278,11 +285,13 @@ def fig7_tradeoff(
     markov_figure: Optional[FigureResult] = None,
     general_figure: Optional[FigureResult] = None,
     workers: Optional[int] = None,
+    options: Optional[RunOptions] = None,
     **general_kwargs,
 ) -> TradeoffFigure:
     """Fig. 7 from the fig3 sweeps (recomputing them if not supplied)."""
+    options = RunOptions.resolve(options, workers)
     methodology = IncrementalMethodology(
-        rpc.family(), workers=workers if workers is not None else 1
+        rpc.family(), **options.methodology_kwargs()
     )
     if markov_figure is None:
         markov_figure = fig3_markov(methodology=methodology)

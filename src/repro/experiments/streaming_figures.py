@@ -21,6 +21,7 @@ from ..core.tradeoff import TradeoffCurve
 from ..core.validation import ValidationReport
 from .results import (
     FigureResult,
+    RunOptions,
     RuntimeStats,
     constant_series,
     ratio_series,
@@ -105,13 +106,15 @@ def fig4_markov(
     awake_periods: Optional[Sequence[float]] = None,
     methodology: Optional[IncrementalMethodology] = None,
     workers: Optional[int] = None,
+    options: Optional[RunOptions] = None,
 ) -> FigureResult:
     """Fig. 4: streaming Markovian comparison, DPM vs NO-DPM."""
     awake_periods = list(
         awake_periods if awake_periods is not None else DEFAULT_AWAKE_PERIODS
     )
+    options = RunOptions.resolve(options, workers)
     methodology = methodology or IncrementalMethodology(
-        streaming.family(), workers=workers if workers is not None else 1
+        streaming.family(), **options.methodology_kwargs()
     )
     dpm_raw = methodology.sweep_markovian(
         "awake_period", awake_periods, "dpm", workers=workers
@@ -143,13 +146,15 @@ def fig6_general(
     warmup: float = 2_000.0,
     seed: int = 20040628,
     workers: Optional[int] = None,
+    options: Optional[RunOptions] = None,
 ) -> FigureResult:
     """Fig. 6: streaming general model (deterministic CBR video)."""
     awake_periods = list(
         awake_periods if awake_periods is not None else DEFAULT_AWAKE_PERIODS
     )
+    options = RunOptions.resolve(options, workers)
     methodology = methodology or IncrementalMethodology(
-        streaming.family(), workers=workers if workers is not None else 1
+        streaming.family(), **options.methodology_kwargs()
     )
     dpm_raw = methodology.sweep_general(
         "awake_period",
@@ -222,13 +227,15 @@ def streaming_validation(
     warmup: float = 1_000.0,
     seed: int = 20040628,
     workers: Optional[int] = None,
+    options: Optional[RunOptions] = None,
 ) -> StreamingValidationFigure:
     """Cross-validate the streaming general model at several periods."""
     awake_periods = list(
         awake_periods if awake_periods is not None else [50.0, 200.0]
     )
+    options = RunOptions.resolve(options, workers)
     methodology = methodology or IncrementalMethodology(
-        streaming.family(), workers=workers if workers is not None else 1
+        streaming.family(), **options.methodology_kwargs()
     )
     reports = {}
     for period in awake_periods:
@@ -273,11 +280,13 @@ def fig8_tradeoff(
     markov_figure: Optional[FigureResult] = None,
     general_figure: Optional[FigureResult] = None,
     workers: Optional[int] = None,
+    options: Optional[RunOptions] = None,
     **general_kwargs,
 ) -> StreamingTradeoffFigure:
     """Fig. 8 from the fig4/fig6 sweeps (recomputing if not supplied)."""
+    options = RunOptions.resolve(options, workers)
     methodology = IncrementalMethodology(
-        streaming.family(), workers=workers if workers is not None else 1
+        streaming.family(), **options.methodology_kwargs()
     )
     if markov_figure is None:
         markov_figure = fig4_markov(methodology=methodology)

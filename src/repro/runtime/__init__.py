@@ -13,9 +13,32 @@ Three layers, threaded through the whole experiment stack:
 * :class:`Timer` — named wall-clock spans around the generate / relabel /
   solve / simulate phases, surfaced in experiment reports and the
   ``BENCH_runtime.json`` scaling benchmark.
+
+Plus a fault-tolerance and observability layer (see docs/RELIABILITY.md):
+
+* :class:`RetryPolicy` — bounded per-task retries with exponential
+  backoff; exhaustion raises the typed
+  :class:`~repro.errors.RetryBudgetExceededError`.
+* :class:`FaultInjector` — deterministic, seeded kill/poison/delay fault
+  injection for chaos tests; a broken process pool is rebuilt and, after
+  repeated worker deaths, execution degrades gracefully to serial.
+* :class:`SweepCheckpoint` — an append-only JSONL journal of completed
+  sweep points; an interrupted sweep resumes bit-identically.
+* :class:`TraceRecorder` — structured span records (phase, point index,
+  worker, retries, wall/cpu time, cache and checkpoint hits) kept
+  in memory and optionally streamed to JSONL for the
+  ``repro-experiments trace-summary`` CLI.
 """
 
-from .executor import ParallelExecutor, resolve_workers
+from .checkpoint import SweepCheckpoint, sweep_fingerprint
+from .executor import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    ParallelExecutor,
+    RetryPolicy,
+    resolve_workers,
+)
+from .faults import FaultInjector
 from .statespace_cache import (
     CacheStats,
     ParametricLTS,
@@ -24,14 +47,25 @@ from .statespace_cache import (
     structural_params,
 )
 from .timing import Timer
+from .trace import TraceRecorder, read_trace, render_summary, summarize_events
 
 __all__ = [
     "CacheStats",
+    "DEFAULT_RETRY",
+    "FaultInjector",
+    "NO_RETRY",
     "ParallelExecutor",
     "ParametricLTS",
+    "RetryPolicy",
     "StructuralStateSpaceCache",
+    "SweepCheckpoint",
     "Timer",
+    "TraceRecorder",
     "generate_parametric",
+    "read_trace",
+    "render_summary",
     "resolve_workers",
     "structural_params",
+    "summarize_events",
+    "sweep_fingerprint",
 ]

@@ -1,4 +1,4 @@
-"""Deterministic parallel task execution for sweeps and replications.
+"""Deterministic, fault-tolerant parallel task execution.
 
 :class:`ParallelExecutor` wraps :class:`concurrent.futures.ProcessPoolExecutor`
 with the conventions the experiment stack needs:
@@ -13,16 +13,34 @@ with the conventions the experiment stack needs:
   regardless of completion order.
 * **Chunked submission** — tasks are submitted in chunks so thousands of
   tiny tasks (replication runs) don't drown in IPC overhead.
+* **Fault tolerance** — with a :class:`RetryPolicy`, each task gets a
+  bounded number of attempts with exponential backoff; a broken process
+  pool (a worker died) is rebuilt, and after ``max_pool_restarts``
+  breakages the executor degrades gracefully to the serial path, which is
+  always result-identical.  Typed failures come from
+  :mod:`repro.errors` (:class:`~repro.errors.RetryBudgetExceededError`).
+* **Checkpoint / trace hooks** — completed tasks can be journaled to a
+  :class:`~repro.runtime.checkpoint.SweepCheckpoint` (so an interrupted
+  sweep resumes bit-identically) and every attempt can emit a span on a
+  :class:`~repro.runtime.trace.TraceRecorder`.
 
 Worker functions must be module-level callables of the form
-``fn(shared, item)`` so they can be pickled by reference.
+``fn(shared, item)`` so they can be pickled by reference.  Tasks must be
+pure functions of ``(shared, item)``: that is what makes retries, pool
+rebuilds and serial degradation invisible in the results.
 """
 
 from __future__ import annotations
 
 import os
+import time
+from dataclasses import dataclass
 from functools import partial
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import RetryBudgetExceededError
+from . import trace as trace_mod
+from .faults import KILL, FaultInjector
 
 #: Upper bound on auto-detected workers (sweeps rarely scale past this).
 _MAX_AUTO_WORKERS = 8
@@ -39,6 +57,27 @@ def _call_with_shared(fn: Callable[[Any, Any], Any], item: Any) -> Any:
     return fn(_SHARED, item)
 
 
+def _resilient_call(
+    fn: Callable[[Any, Any], Any],
+    faults: Optional[FaultInjector],
+    index: int,
+    attempt: int,
+    item: Any,
+):
+    """Worker-side wrapper: apply planned faults, run, report metrics."""
+    wall_started = time.perf_counter()
+    cpu_started = time.process_time()
+    if faults is not None:
+        faults.apply(index, attempt, in_worker=True)
+    value = fn(_SHARED, item)
+    meta = {
+        "worker": os.getpid(),
+        "wall": time.perf_counter() - wall_started,
+        "cpu": time.process_time() - cpu_started,
+    }
+    return value, meta
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalise a worker-count request.
 
@@ -52,11 +91,51 @@ def resolve_workers(workers: Optional[int]) -> int:
     return max(1, int(workers))
 
 
-class ParallelExecutor:
-    """Process-pool map with serial fallback and shared payloads."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff.
 
-    def __init__(self, workers: Optional[int] = 1):
+    ``max_attempts`` counts every execution of a task, so ``1`` means "no
+    retries".  The backoff before retry attempt *k* (1-based) is
+    ``backoff * backoff_factor**(k-1)`` capped at ``max_backoff`` — kept
+    small by default because our tasks are compute-bound, not remote.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.01
+    backoff_factor: float = 2.0
+    max_backoff: float = 1.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay_before(self, attempt: int) -> float:
+        """Seconds to wait before (1-based retry) *attempt*."""
+        if attempt <= 0:
+            return 0.0
+        return min(
+            self.backoff * self.backoff_factor ** (attempt - 1),
+            self.max_backoff,
+        )
+
+
+#: Retrying is the default as soon as the resilient path is engaged.
+DEFAULT_RETRY = RetryPolicy()
+#: Fail fast: a single attempt per task.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+class ParallelExecutor:
+    """Process-pool map with serial fallback, retries and shared payloads."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        max_pool_restarts: int = 2,
+    ):
         self.workers = resolve_workers(workers)
+        self.max_pool_restarts = max_pool_restarts
 
     @property
     def is_serial(self) -> bool:
@@ -69,17 +148,57 @@ class ParallelExecutor:
         items: Sequence[Any],
         shared: Any = None,
         chunksize: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultInjector] = None,
+        checkpoint: Optional[Any] = None,
+        tracer: Optional[trace_mod.TraceRecorder] = None,
+        phase: str = "task",
     ) -> List[Any]:
         """Run ``fn(shared, item)`` over *items*, preserving input order.
 
-        The serial path calls *fn* inline; the parallel path ships *shared*
-        to each worker once and distributes *items* in chunks.  If the
-        platform refuses to fork worker processes the call degrades to the
-        serial path rather than failing.
+        With none of *retry*/*faults*/*checkpoint*/*tracer* set this is the
+        zero-overhead fast path (chunked ``pool.map`` or an inline loop).
+        Setting any of them engages the resilient path: per-task attempts
+        under *retry* (default :data:`DEFAULT_RETRY`), planned faults from
+        *faults*, completed tasks journaled to *checkpoint* (and replayed
+        from it instead of recomputed), spans recorded on *tracer*.
+
+        Either way the results are bit-identical to the plain serial
+        ``[fn(shared, item) for item in items]`` — tasks are pure, retries
+        recompute the same value, and checkpoints replay exact values.
+        If the platform refuses to fork worker processes the call degrades
+        to the serial path rather than failing.
         """
         items = list(items)
         if not items:
             return []
+        resilient = (
+            retry is not None
+            or faults is not None
+            or checkpoint is not None
+            or tracer is not None
+        )
+        if not resilient:
+            return self._map_fast(fn, items, shared, chunksize)
+        retry = retry or DEFAULT_RETRY
+        tracer = tracer or trace_mod.TraceRecorder()
+        if self.is_serial or len(items) == 1:
+            return self._map_serial(
+                fn, items, shared, retry, faults, checkpoint, tracer, phase
+            )
+        return self._map_parallel(
+            fn, items, shared, retry, faults, checkpoint, tracer, phase
+        )
+
+    # -- fast path (no retry/trace/checkpoint machinery) -------------------
+
+    def _map_fast(
+        self,
+        fn: Callable[[Any, Any], Any],
+        items: List[Any],
+        shared: Any,
+        chunksize: Optional[int],
+    ) -> List[Any]:
         if self.is_serial or len(items) == 1:
             return [fn(shared, item) for item in items]
         if chunksize is None:
@@ -105,3 +224,247 @@ class ParallelExecutor:
             # Process creation unavailable (restricted sandbox): degrade
             # to the serial path, which is always result-identical.
             return [fn(shared, item) for item in items]
+
+    # -- resilient serial path ---------------------------------------------
+
+    def _map_serial(
+        self,
+        fn: Callable[[Any, Any], Any],
+        items: List[Any],
+        shared: Any,
+        retry: RetryPolicy,
+        faults: Optional[FaultInjector],
+        checkpoint: Optional[Any],
+        tracer: trace_mod.TraceRecorder,
+        phase: str,
+    ) -> List[Any]:
+        results: List[Any] = [None] * len(items)
+        for index, item in enumerate(items):
+            if checkpoint is not None and index in checkpoint.completed:
+                results[index] = checkpoint.completed[index]
+                tracer.record(
+                    phase, index=index,
+                    status=trace_mod.STATUS_CHECKPOINT_HIT,
+                )
+                continue
+            results[index] = self._attempt_serial(
+                fn, shared, item, index, retry, faults, tracer, phase,
+                checkpoint,
+            )
+        return results
+
+    def _attempt_serial(
+        self,
+        fn: Callable[[Any, Any], Any],
+        shared: Any,
+        item: Any,
+        index: int,
+        retry: RetryPolicy,
+        faults: Optional[FaultInjector],
+        tracer: trace_mod.TraceRecorder,
+        phase: str,
+        checkpoint: Optional[Any],
+        first_attempt: int = 0,
+    ) -> Any:
+        last_error: Optional[Exception] = None
+        for attempt in range(first_attempt, retry.max_attempts):
+            if attempt > first_attempt:
+                time.sleep(retry.delay_before(attempt - first_attempt))
+            wall_started = time.perf_counter()
+            cpu_started = time.process_time()
+            try:
+                if faults is not None:
+                    faults.apply(index, attempt, in_worker=False)
+                value = fn(shared, item)
+            except Exception as error:  # noqa: BLE001 — retry any task error
+                last_error = error
+                exhausted = attempt + 1 >= retry.max_attempts
+                tracer.record(
+                    phase,
+                    index=index,
+                    attempt=attempt,
+                    status=(
+                        trace_mod.STATUS_FAILED
+                        if exhausted
+                        else trace_mod.STATUS_RETRY
+                    ),
+                    wall=time.perf_counter() - wall_started,
+                    cpu=time.process_time() - cpu_started,
+                    error=repr(error),
+                )
+                continue
+            wall = time.perf_counter() - wall_started
+            tracer.record(
+                phase,
+                index=index,
+                attempt=attempt,
+                status=trace_mod.STATUS_OK,
+                wall=wall,
+                cpu=time.process_time() - cpu_started,
+            )
+            if checkpoint is not None:
+                checkpoint.record(index, value, elapsed=wall)
+            return value
+        raise RetryBudgetExceededError(
+            index, retry.max_attempts - first_attempt, last_error
+        )
+
+    # -- resilient parallel path -------------------------------------------
+
+    def _map_parallel(
+        self,
+        fn: Callable[[Any, Any], Any],
+        items: List[Any],
+        shared: Any,
+        retry: RetryPolicy,
+        faults: Optional[FaultInjector],
+        checkpoint: Optional[Any],
+        tracer: trace_mod.TraceRecorder,
+        phase: str,
+    ) -> List[Any]:
+        """Submit-per-task pool execution in rounds.
+
+        Each round submits every still-pending task to a fresh pool; task
+        failures consume one attempt of that task's budget, a broken pool
+        (worker death) consumes one pool restart — and one attempt for
+        exactly the tasks whose fault plan called for a kill, which the
+        parent recomputes from the (deterministic) injector instead of
+        waiting for a report from a dead process.  After
+        ``max_pool_restarts`` breakages the remaining tasks run serially.
+        """
+        from concurrent.futures import as_completed
+        from concurrent.futures.process import BrokenProcessPool
+
+        results: Dict[int, Any] = {}
+        attempts: Dict[int, int] = {}
+        pending: List[int] = []
+        for index in range(len(items)):
+            if checkpoint is not None and index in checkpoint.completed:
+                results[index] = checkpoint.completed[index]
+                tracer.record(
+                    phase, index=index,
+                    status=trace_mod.STATUS_CHECKPOINT_HIT,
+                )
+            else:
+                attempts[index] = 0
+                pending.append(index)
+
+        pool_restarts = 0
+        while pending:
+            if pool_restarts > self.max_pool_restarts:
+                tracer.record(
+                    phase,
+                    event="pool",
+                    status=trace_mod.STATUS_DEGRADED,
+                    pool_restarts=pool_restarts,
+                )
+                for index in pending:
+                    results[index] = self._attempt_serial(
+                        fn, shared, items[index], index, retry, faults,
+                        tracer, phase, checkpoint,
+                        first_attempt=attempts[index],
+                    )
+                pending = []
+                break
+            backoff = max(
+                (
+                    retry.delay_before(attempts[index])
+                    for index in pending
+                ),
+                default=0.0,
+            )
+            if backoff > 0.0:
+                time.sleep(backoff)
+            pool_broken = False
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(pending)),
+                    initializer=_init_shared,
+                    initargs=(shared,),
+                )
+            except (OSError, PermissionError):
+                # Process creation unavailable: finish serially.
+                pool_restarts = self.max_pool_restarts + 1
+                continue
+            try:
+                futures = {
+                    pool.submit(
+                        _resilient_call,
+                        fn, faults, index, attempts[index], items[index],
+                    ): index
+                    for index in pending
+                }
+                still_pending: List[int] = []
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        value, meta = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        if (
+                            faults is not None
+                            and faults.plan(index, attempts[index]) == KILL
+                        ):
+                            # The kill consumed this task's attempt; tasks
+                            # merely caught in the pool collapse retry for
+                            # free.
+                            tracer.record(
+                                phase,
+                                index=index,
+                                attempt=attempts[index],
+                                status=trace_mod.STATUS_RETRY,
+                                error="worker killed",
+                            )
+                            attempts[index] += 1
+                            if attempts[index] >= retry.max_attempts:
+                                raise RetryBudgetExceededError(
+                                    index,
+                                    retry.max_attempts,
+                                    BrokenProcessPool(
+                                        "worker killed repeatedly"
+                                    ),
+                                )
+                        still_pending.append(index)
+                        continue
+                    except Exception as error:  # noqa: BLE001
+                        attempts[index] += 1
+                        exhausted = attempts[index] >= retry.max_attempts
+                        tracer.record(
+                            phase,
+                            index=index,
+                            attempt=attempts[index] - 1,
+                            status=(
+                                trace_mod.STATUS_FAILED
+                                if exhausted
+                                else trace_mod.STATUS_RETRY
+                            ),
+                            error=repr(error),
+                        )
+                        if exhausted:
+                            raise RetryBudgetExceededError(
+                                index, retry.max_attempts, error
+                            )
+                        still_pending.append(index)
+                        continue
+                    results[index] = value
+                    tracer.record(
+                        phase,
+                        index=index,
+                        attempt=attempts[index],
+                        status=trace_mod.STATUS_OK,
+                        worker=meta["worker"],
+                        wall=meta["wall"],
+                        cpu=meta["cpu"],
+                    )
+                    if checkpoint is not None:
+                        checkpoint.record(
+                            index, value, elapsed=meta["wall"]
+                        )
+                pending = still_pending
+            finally:
+                pool.shutdown(wait=not pool_broken)
+            if pool_broken:
+                pool_restarts += 1
+        return [results[index] for index in range(len(items))]

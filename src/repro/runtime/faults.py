@@ -1,0 +1,145 @@
+"""Deterministic fault injection for chaos testing the runtime.
+
+A :class:`FaultInjector` decides, purely from its seed and the task's
+``(index, attempt)`` pair, whether a worker task is killed, poisoned or
+delayed.  Determinism is the point: a chaos run can be replayed exactly,
+a test can predict which tasks will fault, and the parent process can
+compute — without hearing back from a dead worker — whether a task that
+vanished with its pool had a kill planned for it.
+
+Fault kinds:
+
+* ``kill``   — the worker process dies abruptly (``os._exit`` in a pool
+  worker, so the whole pool breaks; a raised
+  :class:`~repro.errors.WorkerFaultError` on the serial path).
+* ``poison`` — the task raises :class:`~repro.errors.WorkerFaultError`,
+  which travels back to the parent like any application error.
+* ``delay``  — the task sleeps for ``delay_seconds`` before running.
+
+By default a task faults on its first ``max_faults_per_task`` attempts
+only, so a retrying executor always converges; raise the limit (or use
+probability 1.0 with a large limit) to test retry-budget exhaustion.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..errors import WorkerFaultError
+
+KILL = "kill"
+POISON = "poison"
+DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Seeded, replayable source of worker faults.
+
+    Probabilities partition a deterministic uniform draw per
+    ``(seed, index, attempt)``; explicit ``kill_indices`` /
+    ``poison_indices`` force a fault on those task indices regardless of
+    the draw (first attempts only, per ``max_faults_per_task``).
+    """
+
+    seed: int = 0
+    kill: float = 0.0
+    poison: float = 0.0
+    delay: float = 0.0
+    delay_seconds: float = 0.005
+    max_faults_per_task: int = 1
+    kill_indices: FrozenSet[int] = field(default_factory=frozenset)
+    poison_indices: FrozenSet[int] = field(default_factory=frozenset)
+
+    def _draw(self, index: int, attempt: int) -> float:
+        payload = f"{self.seed}:{index}:{attempt}".encode()
+        digest = hashlib.sha256(payload).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def plan(self, index: int, attempt: int) -> Optional[str]:
+        """The fault (if any) this task attempt will suffer."""
+        if attempt >= self.max_faults_per_task:
+            return None
+        if index in self.kill_indices:
+            return KILL
+        if index in self.poison_indices:
+            return POISON
+        draw = self._draw(index, attempt)
+        if draw < self.kill:
+            return KILL
+        if draw < self.kill + self.poison:
+            return POISON
+        if draw < self.kill + self.poison + self.delay:
+            return DELAY
+        return None
+
+    def apply(self, index: int, attempt: int, in_worker: bool) -> None:
+        """Execute the planned fault for this attempt, if any.
+
+        Called at the start of every task attempt.  ``in_worker`` selects
+        the kill mechanics: a pool worker dies for real (``os._exit``),
+        the serial path raises instead (there is no process to kill).
+        """
+        planned = self.plan(index, attempt)
+        if planned is None:
+            return
+        if planned == DELAY:
+            time.sleep(self.delay_seconds)
+            return
+        if planned == KILL and in_worker:
+            os._exit(1)
+        raise WorkerFaultError(
+            f"injected {planned} fault on task {index} "
+            f"(attempt {attempt})",
+            index=index,
+            attempt=attempt,
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultInjector":
+        """Build an injector from a ``key=value,...`` CLI spec.
+
+        Example: ``"seed=7,kill=0.1,poison=0.1,delay=0.3,delay-seconds=0.2"``.
+        """
+        kwargs = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            key = key.strip().replace("-", "_")
+            value = value.strip()
+            if key in ("seed", "max_faults_per_task"):
+                kwargs[key] = int(value)
+            elif key in ("kill", "poison", "delay", "delay_seconds"):
+                kwargs[key] = float(value)
+            elif key in ("kill_indices", "poison_indices"):
+                kwargs[key] = frozenset(
+                    int(v) for v in value.split("+") if v
+                )
+            else:
+                raise ValueError(f"unknown fault spec key {key!r}")
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for name in ("kill", "poison", "delay"):
+            probability = getattr(self, name)
+            if probability:
+                parts.append(f"{name}={probability}")
+        if self.kill_indices:
+            parts.append(f"kill_indices={sorted(self.kill_indices)}")
+        if self.poison_indices:
+            parts.append(f"poison_indices={sorted(self.poison_indices)}")
+        return "FaultInjector(" + ", ".join(parts) + ")"
+
+
+def plan_preview(
+    injector: FaultInjector, count: int, attempt: int = 0
+) -> Tuple[Optional[str], ...]:
+    """Planned faults for the first *count* task indices (tests/chaos UX)."""
+    return tuple(injector.plan(index, attempt) for index in range(count))

@@ -1,0 +1,193 @@
+"""Structured tracing for the experiment runtime.
+
+Every unit of work the runtime performs — a sweep point, a replication
+run, a state-space generation, a relabel — emits one span record per
+attempt: which phase it belongs to, which point index and attempt it was,
+which worker ran it, how long it took (wall and CPU), and how it ended
+(``ok``, ``retry``, ``failed``, ``cache_hit``, ``checkpoint_hit``,
+``degraded``).  Records accumulate in memory on a :class:`TraceRecorder`
+(aggregate counters are always maintained, so tracing is cheap enough to
+leave on) and optionally stream to a JSONL file for chaos runs and CI
+artifacts.
+
+Span record schema (one JSON object per line in the JSONL file)::
+
+    {"phase": "simulate", "event": "point", "index": 3, "attempt": 1,
+     "status": "ok", "worker": 12345, "wall": 0.41, "cpu": 0.40,
+     "ts": 1722870000.123}
+
+``repro-experiments trace-summary <file>`` renders the aggregate view.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Span statuses with a fixed meaning across the runtime.
+STATUS_OK = "ok"
+STATUS_RETRY = "retry"          # attempt failed, another one is coming
+STATUS_FAILED = "failed"        # attempt failed and the budget is gone
+STATUS_CACHE_HIT = "cache_hit"
+STATUS_CACHE_MISS = "cache_miss"
+STATUS_CHECKPOINT_HIT = "checkpoint_hit"
+STATUS_DEGRADED = "degraded"    # process pool abandoned for serial
+
+
+class TraceRecorder:
+    """Collector of span records with always-on aggregate counters.
+
+    ``path=None`` keeps records in memory only; with a path every record
+    is also appended to a JSONL file as it happens, so a killed process
+    leaves a usable trace behind.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.events: List[Dict[str, Any]] = []
+        self._handle = None
+        self._aggregate: Dict[str, Dict[str, float]] = {}
+        self._status_counts: Dict[str, int] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def record(
+        self,
+        phase: str,
+        event: str = "point",
+        index: int = -1,
+        attempt: int = 0,
+        status: str = STATUS_OK,
+        worker: Optional[int] = None,
+        wall: float = 0.0,
+        cpu: float = 0.0,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """Emit one span record (returned for convenience)."""
+        record = {
+            "phase": phase,
+            "event": event,
+            "index": index,
+            "attempt": attempt,
+            "status": status,
+            "worker": worker if worker is not None else os.getpid(),
+            "wall": round(wall, 6),
+            "cpu": round(cpu, 6),
+            "ts": time.time(),
+        }
+        record.update(extra)
+        self.events.append(record)
+        self._aggregate_record(record)
+        if self.path is not None:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        return record
+
+    def _aggregate_record(self, record: Dict[str, Any]) -> None:
+        phase = self._aggregate.setdefault(
+            record["phase"],
+            {"spans": 0, "wall": 0.0, "cpu": 0.0, "retries": 0},
+        )
+        phase["spans"] += 1
+        phase["wall"] += record["wall"]
+        phase["cpu"] += record["cpu"]
+        if record["status"] == STATUS_RETRY:
+            phase["retries"] += 1
+        status = record["status"]
+        self._status_counts[status] = self._status_counts.get(status, 0) + 1
+
+    # -- aggregate views ---------------------------------------------------
+
+    def count(self, status: str) -> int:
+        """Number of recorded spans with the given status."""
+        return self._status_counts.get(status, 0)
+
+    @property
+    def retries(self) -> int:
+        return self.count(STATUS_RETRY)
+
+    @property
+    def checkpoint_hits(self) -> int:
+        return self.count(STATUS_CHECKPOINT_HIT)
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregated machine-readable view of everything recorded."""
+        return {
+            "statuses": dict(sorted(self._status_counts.items())),
+            "phases": {
+                name: dict(stats)
+                for name, stats in sorted(self._aggregate.items())
+            },
+        }
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load the span records of a JSONL trace file (torn tail tolerated)."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    for position, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if position == len(lines) - 1:
+                continue  # a kill mid-write tears at most the last line
+            raise
+    return events
+
+
+def summarize_events(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate raw span records into the :meth:`TraceRecorder.summary`
+    shape (used by ``trace-summary`` on a file written by another run)."""
+    recorder = TraceRecorder()
+    for event in events:
+        known = {
+            key: event[key]
+            for key in (
+                "phase", "event", "index", "attempt", "status", "worker",
+                "wall", "cpu",
+            )
+            if key in event
+        }
+        recorder.record(**known)
+    return recorder.summary()
+
+
+def render_summary(summary: Dict[str, Any], title: str = "trace summary") -> str:
+    """Plain-text report of an aggregated trace."""
+    from ..core.reporting import format_table
+
+    lines = [f"=== {title} ==="]
+    phase_rows = [
+        [
+            name,
+            int(stats["spans"]),
+            int(stats["retries"]),
+            f"{stats['wall']:.3f}",
+            f"{stats['cpu']:.3f}",
+        ]
+        for name, stats in summary["phases"].items()
+    ]
+    lines.append(
+        format_table(
+            ["phase", "spans", "retries", "wall [s]", "cpu [s]"],
+            phase_rows,
+        )
+    )
+    status_rows = [
+        [status, count] for status, count in summary["statuses"].items()
+    ]
+    lines.append("")
+    lines.append(format_table(["status", "spans"], status_rows))
+    return "\n".join(lines)

@@ -18,7 +18,9 @@ from scipy import stats
 from ..ctmc.measures import Measure
 from ..errors import SimulationError
 from ..lts.lts import LTS
-from ..runtime.executor import ParallelExecutor
+from ..runtime.executor import ParallelExecutor, RetryPolicy
+from ..runtime.faults import FaultInjector
+from ..runtime.trace import TraceRecorder
 from .engine import Simulator
 from .random import generator_for_run, spawn_generators
 
@@ -124,7 +126,10 @@ def _replication_run(shared: Any, run_index: int) -> Dict[str, float]:
     """Run replication *run_index* of the batch described by *shared*.
 
     Draws exactly the random stream the serial loop would assign to this
-    index, so a parallel batch is bit-identical to the serial one.
+    index, so a parallel batch is bit-identical to the serial one — and a
+    *retried* run is bit-identical to a first-try run, because the stream
+    is derived from ``(seed, run_index)`` alone, never from how many
+    attempts it took to get here.
     """
     global _WORKER_SIM
     lts, measures, clock_semantics, run_length, warmup, seed, start = shared
@@ -134,6 +139,12 @@ def _replication_run(shared: Any, run_index: int) -> Dict[str, float]:
     rng = generator_for_run(seed, run_index)
     result = simulator.run(run_length, rng, warmup, start_state=start)
     return result.measures
+
+
+def _seed_worker_sim(shared: Any, simulator: Simulator) -> None:
+    """Pre-populate this process's simulator memo (serial path reuse)."""
+    global _WORKER_SIM
+    _WORKER_SIM = (shared, simulator)
 
 
 def replicate_until(
@@ -149,13 +160,22 @@ def replicate_until(
     clock_semantics: str = "enabling_memory",
     workers: int = 1,
     reuse_warmup_state: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultInjector] = None,
+    tracer: Optional[TraceRecorder] = None,
 ) -> ReplicationResult:
     """Sequential replication: run until every measure's confidence
     interval is tight enough (half-width below ``relative_half_width`` of
     the mean), or ``max_runs`` is exhausted.
 
     Spends simulation effort where the variance is, instead of fixing the
-    replication count up front.  Three behaviours worth knowing:
+    replication count up front.  With *retry*/*faults* set, a run that
+    fails is re-executed (same stream index, hence the same value) before
+    anything is recorded: the Welford accumulators and the convergence
+    check only ever see each replication index **once**, so a retried run
+    can neither double-count nor shift the stopping point — the estimates
+    are identical to a fault-free execution.  Three more behaviours worth
+    knowing:
 
     * A measure that is *exactly* constant across runs (zero sample
       standard deviation — e.g. a probability that is identically 0)
@@ -224,10 +244,19 @@ def replicate_until(
         lts, measures, clock_semantics, run_length, run_warmup, seed,
         start_state,
     )
+    resilience = {}
+    if retry is not None or faults is not None or tracer is not None:
+        resilience = {
+            "retry": retry, "faults": faults, "tracer": tracer,
+            "phase": "replicate",
+        }
+        # The resilient serial path routes through _replication_run in
+        # this very process: hand it the already-compiled simulator.
+        _seed_worker_sim(shared, simulator)
     runs_done = 0
     stop = False
     while runs_done < max_runs and not stop:
-        if executor.is_serial:
+        if executor.is_serial and not resilience:
             batch = [
                 simulator.run(
                     run_length,
@@ -237,14 +266,22 @@ def replicate_until(
                 ).measures
             ]
         else:
-            span = min(executor.workers, max_runs - runs_done)
+            span = (
+                1
+                if executor.is_serial
+                else min(executor.workers, max_runs - runs_done)
+            )
             batch = executor.map(
                 _replication_run,
                 range(runs_done, runs_done + span),
                 shared=shared,
                 chunksize=1,
+                **resilience,
             )
         for measured in batch:
+            # A run reaches this point exactly once: failed attempts are
+            # retried *before* the result is surfaced, so the Welford
+            # accumulators never see a replayed replication twice.
             record(measured)
             runs_done += 1
             if runs_done >= min_runs and precise_enough():
@@ -268,6 +305,9 @@ def replicate(
     clock_semantics: str = "enabling_memory",
     simulator: Optional[Simulator] = None,
     workers: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultInjector] = None,
+    tracer: Optional[TraceRecorder] = None,
 ) -> ReplicationResult:
     """Independent-replications estimation of all measures.
 
@@ -277,13 +317,22 @@ def replicate(
 
     ``workers > 1`` distributes runs over a process pool.  Each run draws
     its stream from the master seed by index, so the estimates are
-    bit-identical to the serial execution.
+    bit-identical to the serial execution.  *retry*/*faults*/*tracer*
+    engage the fault-tolerant executor path: failed runs are re-executed
+    on the same stream index (same value), so faults and retries cannot
+    change the estimates.
     """
     if runs < 2:
         raise SimulationError("need at least two runs for an interval")
     samples: Dict[str, List[float]] = {m.name: [] for m in measures}
     executor = ParallelExecutor(workers)
-    if executor.is_serial:
+    resilience = {}
+    if retry is not None or faults is not None or tracer is not None:
+        resilience = {
+            "retry": retry, "faults": faults, "tracer": tracer,
+            "phase": "replicate",
+        }
+    if executor.is_serial and not resilience:
         if simulator is None:
             simulator = Simulator(lts, measures, clock_semantics)
         for rng in spawn_generators(seed, runs):
@@ -294,8 +343,14 @@ def replicate(
         shared = (
             lts, measures, clock_semantics, run_length, warmup, seed, None,
         )
+        if executor.is_serial and simulator is not None:
+            _seed_worker_sim(shared, simulator)
         for measured in executor.map(
-            _replication_run, range(runs), shared=shared, chunksize=1
+            _replication_run,
+            range(runs),
+            shared=shared,
+            chunksize=1,
+            **resilience,
         ):
             for name, value in measured.items():
                 samples[name].append(value)
