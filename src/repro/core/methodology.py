@@ -27,7 +27,8 @@ from ..aemilia.architecture import ArchiType
 from ..aemilia.semantics import generate_lts
 from ..ctmc.build import build_ctmc
 from ..ctmc.measures import Measure, evaluate_measures
-from ..ctmc.steady_state import steady_state
+from ..ctmc.solvers import resolve_method
+from ..ctmc.steady_state import steady_state, steady_state_solution
 from ..errors import AnalysisError
 from ..lts.lts import LTS
 from ..runtime import (
@@ -49,27 +50,62 @@ from .validation import ValidationReport, cross_validate
 VARIANTS = ("dpm", "nodpm")
 
 
+def summarize_solver_records(
+    records: Sequence[Mapping[str, object]],
+) -> Dict[str, object]:
+    """Aggregate per-point solver reports into one runtime-stats entry.
+
+    ``backends`` counts how many points each backend solved, and the
+    residual/mass-defect maxima bound the numerical quality of the whole
+    sweep: the acceptance contract is ``max_residual < 1e-8``.
+    """
+    backends: Dict[str, int] = {}
+    for record in records:
+        name = str(record.get("method", "?"))
+        backends[name] = backends.get(name, 0) + 1
+    return {
+        "points": len(records),
+        "backends": backends,
+        "max_residual": max(
+            (float(r.get("residual", 0.0)) for r in records), default=0.0
+        ),
+        "max_mass_defect": max(
+            (float(r.get("mass_defect", 0.0)) for r in records),
+            default=0.0,
+        ),
+        "total_iterations": sum(
+            int(r.get("iterations", 0)) for r in records
+        ),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Parallel sweep workers (module-level so the process pool can pickle them
 # by reference; the heavy shared payload ships once per worker).
 # ---------------------------------------------------------------------------
 
-def _markov_point_cached(shared: Any, env: Mapping[str, object]) -> Dict[str, float]:
+def _markov_point_cached(shared: Any, env: Mapping[str, object]) -> Dict[str, object]:
     """Solve one Markovian sweep point by relabeling the shared skeleton."""
     skeleton, measures, method = shared
     lts = skeleton.relabel(env)
     ctmc = build_ctmc(lts)
-    pi = steady_state(ctmc, method=method)
-    return evaluate_measures(ctmc, pi, measures)
+    solution = steady_state_solution(ctmc, method=method)
+    return {
+        "measures": evaluate_measures(ctmc, solution.pi, measures),
+        "solver": solution.report.as_dict(),
+    }
 
 
-def _markov_point_fresh(shared: Any, overrides: Mapping[str, object]) -> Dict[str, float]:
+def _markov_point_fresh(shared: Any, overrides: Mapping[str, object]) -> Dict[str, object]:
     """Solve one Markovian sweep point from scratch (structural parameter)."""
     archi, measures, method, max_states = shared
     lts = generate_lts(archi, overrides, max_states)
     ctmc = build_ctmc(lts)
-    pi = steady_state(ctmc, method=method)
-    return evaluate_measures(ctmc, pi, measures)
+    solution = steady_state_solution(ctmc, method=method)
+    return {
+        "measures": evaluate_measures(ctmc, solution.pi, measures),
+        "solver": solution.report.as_dict(),
+    }
 
 
 def _general_point_cached(shared: Any, env: Mapping[str, object]) -> Dict[str, float]:
@@ -119,7 +155,7 @@ def solve_markovian_architecture(
     measures: Sequence[Measure],
     const_overrides: Optional[Mapping[str, object]] = None,
     max_states: int = 200_000,
-    method: str = "direct",
+    method: Optional[str] = None,
 ) -> Dict[str, float]:
     """Generate, build the CTMC, solve, and evaluate the measures."""
     lts = generate_lts(archi, const_overrides, max_states)
@@ -149,6 +185,7 @@ class IncrementalMethodology:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultInjector] = None,
         tracer: Optional[TraceRecorder] = None,
+        solver: Optional[str] = None,
     ):
         self.family = family
         self.max_states = max_states
@@ -158,7 +195,24 @@ class IncrementalMethodology:
         self.retry = retry
         self.faults = faults
         self.tracer = tracer
+        #: Default steady-state backend for every Markovian solve
+        #: (``None`` resolves through ``$REPRO_SOLVER`` to ``auto``).
+        self.solver = solver
+        #: Per-point solver reports of every Markovian solve so far,
+        #: in execution order (see runtime_stats()["solver"]).
+        self.solver_records: List[Dict[str, object]] = []
         self._lts_cache: Dict[Tuple, LTS] = {}
+
+    def _solver_method(self, method: Optional[str]) -> str:
+        """Resolve a per-call method request against the default chain.
+
+        Explicit *method* wins over the methodology's ``solver`` which
+        wins over ``$REPRO_SOLVER`` which defaults to ``auto``; the
+        resolved name is what sweep fingerprints and workers see.
+        """
+        return resolve_method(
+            method if method is not None else self.solver
+        )
 
     def _resilience(self, checkpoint: Optional[SweepCheckpoint], phase: str):
         """Executor kwargs engaging the fault-tolerant path when needed.
@@ -218,6 +272,8 @@ class IncrementalMethodology:
             "cache": self.cache.stats.as_dict(),
             "timings": self.timer.as_dict(),
         }
+        if self.solver_records:
+            stats["solver"] = summarize_solver_records(self.solver_records)
         if self.tracer is not None:
             stats["retries"] = self.tracer.retries
             stats["checkpoint_hits"] = self.tracer.checkpoint_hits
@@ -290,14 +346,19 @@ class IncrementalMethodology:
         self,
         variant: str = "dpm",
         const_overrides: Optional[Mapping[str, object]] = None,
-        method: str = "direct",
+        method: Optional[str] = None,
     ) -> Dict[str, float]:
         """Analytic steady-state measure values for one variant."""
         lts = self.build_lts("markovian", variant, const_overrides)
         with self.timer.span("solve"):
             ctmc = build_ctmc(lts)
-            pi = steady_state(ctmc, method=method)
-            return evaluate_measures(ctmc, pi, self.family.measures)
+            solution = steady_state_solution(
+                ctmc, method=self._solver_method(method)
+            )
+            self.solver_records.append(solution.report.as_dict())
+            return evaluate_measures(
+                ctmc, solution.pi, self.family.measures
+            )
 
     def _sweep_points(
         self,
@@ -325,7 +386,7 @@ class IncrementalMethodology:
         values: Sequence[float],
         variant: str = "dpm",
         const_overrides: Optional[Mapping[str, object]] = None,
-        method: str = "direct",
+        method: Optional[str] = None,
         workers: Optional[int] = None,
         checkpoint: Optional[str] = None,
     ) -> Dict[str, List[float]]:
@@ -337,8 +398,11 @@ class IncrementalMethodology:
         methodology default).  Parallel results are identical to serial.
         *checkpoint* names a journal file: completed points are replayed
         from it and new completions appended, so an interrupted sweep
-        resumes bit-identically (docs/RELIABILITY.md).
+        resumes bit-identically (docs/RELIABILITY.md).  Every point's
+        solver backend and residual are appended to
+        :attr:`solver_records`.
         """
+        method = self._solver_method(method)
         archi, points, rate_only = self._sweep_points(
             "markovian", variant, parameter, values, const_overrides
         )
@@ -385,8 +449,10 @@ class IncrementalMethodology:
             name: [] for name in self.family.measure_names()
         }
         for point_result in results:
+            measures = point_result["measures"]
+            self.solver_records.append(point_result["solver"])
             for name in series:
-                series[name].append(point_result[name])
+                series[name].append(measures[name])
         return series
 
     # -- phase 3: general ----------------------------------------------------------

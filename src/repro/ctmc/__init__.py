@@ -20,7 +20,18 @@ from .rewards import (
     accumulated_state_reward,
     mean_time_to_absorption,
 )
-from .steady_state import steady_state
+from .solvers import (
+    SolverReport,
+    SteadyStateSolution,
+    available_solvers,
+    register_solver,
+    resolve_method,
+    select_method,
+    solve_steady_state,
+    solver_choices,
+    unregister_solver,
+)
+from .steady_state import steady_state, steady_state_solution
 from .transient import expected_state_reward_at, transient_distribution
 
 __all__ = [
@@ -44,6 +55,16 @@ __all__ = [
     "accumulated_state_reward",
     "mean_time_to_absorption",
     "steady_state",
+    "steady_state_solution",
+    "SolverReport",
+    "SteadyStateSolution",
+    "available_solvers",
+    "register_solver",
+    "unregister_solver",
+    "resolve_method",
+    "select_method",
+    "solve_steady_state",
+    "solver_choices",
     "expected_state_reward_at",
     "transient_distribution",
 ]

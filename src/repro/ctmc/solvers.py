@@ -1,0 +1,640 @@
+"""Pluggable sparse steady-state solver backends (docs/SOLVERS.md).
+
+Every backend solves the singular system ``pi Q = 0, sum(pi) = 1`` on the
+recurrent class of a CTMC, given the generator submatrix ``Q`` restricted
+to that class.  Backends are registered by name:
+
+* ``direct`` — sparse LU on the anchored system: the *most diagonally
+  dominant* balance equation (the redundant one whose removal loses the
+  least information) is replaced by the unit row ``pi[anchor] = 1``,
+  which keeps the matrix fully sparse — no dense normalisation row — and
+  the solution is renormalised afterwards;
+* ``gmres`` — restarted GMRES with an ILU preconditioner on the same
+  anchored system, for chains too large to factorise;
+* ``sor`` (alias ``gauss_seidel``) — vectorized Gauss-Seidel/SOR sweeps:
+  the lower-triangular part ``D + omega L`` of ``Q^T`` is factorised once
+  and each sweep is one compiled triangular solve plus one sparse
+  mat-vec, replacing the historical pure-Python per-row loop;
+* ``power`` — power iteration on the uniformised DTMC.
+
+``auto`` (the default) selects a backend from the chain's size and
+sparsity (:func:`select_method`) and falls back along a deterministic
+chain when the preferred backend fails; the environment variable
+``REPRO_SOLVER`` overrides the default method for every solve that does
+not name one explicitly (this is how the CI solver matrix forces each
+backend through the full test suite).
+
+**Convergence contract** (shared by all iterative backends): an iterate
+is converged only when *both*
+
+* the per-entry relative change ``|pi_i - old_i| / max(|pi_i|, floor)``
+  is below ``tolerance`` for every state — an absolute test would declare
+  victory while tiny-probability states (exactly the DPM sleep states the
+  paper's energy measures weight) still carry large relative error — and
+* the residual ``||pi Q||_inf`` is below ``residual_tolerance`` scaled by
+  the magnitude of ``Q`` (``max(1, max|q_ii|)``).
+
+Every solve — direct ones included — reports a
+:class:`SolverReport` carrying the final residual, the probability mass
+clipped from negative round-off entries, and the iteration count; a
+residual above tolerance raises :class:`~repro.errors.SolverError` with
+the diagnostics attached instead of silently clipping the solution into
+shape.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from ..errors import SolverError
+
+#: Environment variable forcing a default backend (see docs/SOLVERS.md).
+SOLVER_ENV_VAR = "REPRO_SOLVER"
+
+DEFAULT_TOLERANCE = 1e-12
+DEFAULT_RESIDUAL_TOLERANCE = 1e-10
+DEFAULT_MAX_ITERATIONS = 200_000
+
+#: Entries below ``peak * _RELATIVE_FLOOR`` are compared on the floor
+#: instead: below ~1e-14 of the peak a double holds no relative digits.
+_RELATIVE_FLOOR = 1e-14
+
+#: Negative round-off mass above this fraction of the total is an error,
+#: not something to clip quietly.
+_NEGATIVE_MASS_LIMIT = 1e-8
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Shared convergence contract for every backend."""
+
+    tolerance: float = DEFAULT_TOLERANCE
+    residual_tolerance: float = DEFAULT_RESIDUAL_TOLERANCE
+    max_iterations: int = DEFAULT_MAX_ITERATIONS
+
+    def __post_init__(self):
+        if self.tolerance <= 0 or self.residual_tolerance <= 0:
+            raise SolverError("solver tolerances must be positive")
+        if self.max_iterations < 1:
+            raise SolverError("max_iterations must be >= 1")
+
+
+@dataclass(frozen=True)
+class SolverReport:
+    """Diagnostics attached to every steady-state solve."""
+
+    method: str
+    size: int
+    nnz: int
+    iterations: int
+    #: ``||pi Q||_inf`` of the returned (normalised) distribution.
+    residual: float
+    #: Probability mass clipped from negative round-off entries,
+    #: relative to the total mass — 0.0 for a clean solve.
+    mass_defect: float
+    #: Backends that failed before this one succeeded (``auto`` only).
+    fallbacks: Tuple[str, ...] = ()
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (sweep records, runtime stats)."""
+        return {
+            "method": self.method,
+            "size": self.size,
+            "nnz": self.nnz,
+            "iterations": self.iterations,
+            "residual": self.residual,
+            "mass_defect": self.mass_defect,
+            "fallbacks": list(self.fallbacks),
+        }
+
+
+@dataclass(frozen=True)
+class SteadyStateSolution:
+    """A steady-state distribution plus the report of how it was solved."""
+
+    pi: np.ndarray
+    report: SolverReport
+
+
+class _Problem:
+    """Shared per-solve view of the generator submatrix."""
+
+    def __init__(self, q: sparse.csr_matrix):
+        self.q = q.tocsr()
+        self.a = self.q.transpose().tocsr()  # A x = (pi Q)^T
+        self.size = q.shape[0]
+        self.nnz = int(self.q.nnz)
+        self.diagonal = self.q.diagonal()
+        #: Residuals are judged relative to the magnitude of Q.
+        self.scale = max(1.0, float(np.abs(self.diagonal).max(initial=0.0)))
+
+    def residual(self, x: np.ndarray) -> float:
+        """``||x Q||_inf`` for a (normalised) candidate distribution."""
+        return float(np.abs(self.a @ x).max(initial=0.0))
+
+
+def _converged(
+    x: np.ndarray,
+    old: np.ndarray,
+    residual: float,
+    problem: _Problem,
+    options: SolverOptions,
+) -> bool:
+    """The shared combined relative-change + residual test."""
+    peak = float(np.abs(x).max(initial=0.0))
+    if peak <= 0.0:
+        return False
+    floor = peak * _RELATIVE_FLOOR
+    relative_change = float(
+        np.max(np.abs(x - old) / np.maximum(np.abs(x), floor))
+    )
+    return (
+        relative_change <= options.tolerance
+        and residual <= options.residual_tolerance * problem.scale
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: A backend maps (problem, options) to (raw solution, iterations used).
+SolverBackend = Callable[[_Problem, SolverOptions], Tuple[np.ndarray, int]]
+
+_REGISTRY: Dict[str, SolverBackend] = {}
+_ALIASES: Dict[str, str] = {"gauss_seidel": "sor"}
+
+#: Tried in order when ``auto``'s preferred backend fails.
+_FALLBACK_CHAIN = ("direct", "sor", "power")
+
+
+def register_solver(name: str) -> Callable[[SolverBackend], SolverBackend]:
+    """Decorator registering a steady-state backend under *name*."""
+
+    def decorate(backend: SolverBackend) -> SolverBackend:
+        _REGISTRY[name] = backend
+        return backend
+
+    return decorate
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a registered backend (used by tests injecting fakes)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_solvers() -> Tuple[str, ...]:
+    """Canonical backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def solver_choices() -> Tuple[str, ...]:
+    """Every accepted method name: ``auto``, backends and aliases."""
+    return ("auto", *available_solvers(), *sorted(_ALIASES))
+
+
+def resolve_method(method: Optional[str] = None) -> str:
+    """Normalise a method request: None -> $REPRO_SOLVER -> ``auto``.
+
+    Aliases are canonicalised; unknown names raise
+    :class:`~repro.errors.SolverError`.
+    """
+    if method is None:
+        method = os.environ.get(SOLVER_ENV_VAR) or "auto"
+    name = _ALIASES.get(method, method)
+    if name != "auto" and name not in _REGISTRY:
+        known = ", ".join(solver_choices())
+        raise SolverError(
+            f"unknown steady-state method {method!r} (use one of: {known})"
+        )
+    return name
+
+
+def select_method(size: int, nnz: int) -> str:
+    """Automatic backend selection by chain size and sparsity.
+
+    Small chains are factorised directly; mid-sized sparse chains go to
+    the ILU-preconditioned Krylov solver; mid-sized chains with dense
+    rows stay direct (the factorisation amortises better than Krylov
+    iterations over dense mat-vecs); very large chains fall back to the
+    low-memory vectorized Gauss-Seidel sweeps.
+    """
+    if size <= 2_000:
+        return "direct"
+    average_degree = nnz / max(size, 1)
+    if size <= 50_000:
+        return "gmres" if average_degree <= 16.0 else "direct"
+    return "sor"
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+def _anchor_row(problem: _Problem) -> int:
+    """Index of the most diagonally dominant row of ``A = Q^T``.
+
+    That balance equation is the safest one to sacrifice for the scale
+    anchor: its information is best represented in the rest of the
+    system, so replacing it perturbs the conditioning least.
+    """
+    absolute_row_sums = np.asarray(
+        abs(problem.a).sum(axis=1)
+    ).ravel()
+    dominance = 2.0 * np.abs(problem.a.diagonal()) - absolute_row_sums
+    return int(np.argmax(dominance))
+
+
+def _anchored_system(
+    problem: _Problem,
+) -> Tuple[sparse.csr_matrix, np.ndarray, int]:
+    """``A`` with the anchor equation replaced by ``x[anchor] = 1``.
+
+    The replacement row is a *unit* row, not the dense all-ones
+    normalisation row of textbook presentations: sparsity is fully
+    preserved and the scale is fixed at the anchor state instead
+    (renormalisation happens afterwards).  The dropped equation is
+    linearly dependent on the remaining ones (the rows of ``Q^T`` sum to
+    zero), so no information is lost, and the post-hoc residual check
+    covers the ill-conditioned cases where floating point disagrees.
+    """
+    anchor = _anchor_row(problem)
+    coo = problem.a.tocoo()
+    keep = coo.row != anchor
+    rows = np.append(coo.row[keep], anchor)
+    cols = np.append(coo.col[keep], anchor)
+    data = np.append(coo.data[keep], problem.scale)
+    system = sparse.csr_matrix(
+        (data, (rows, cols)), shape=problem.a.shape
+    )
+    rhs = np.zeros(problem.size)
+    rhs[anchor] = problem.scale
+    return system, rhs, anchor
+
+
+@register_solver("direct")
+def _solve_direct(
+    problem: _Problem, options: SolverOptions
+) -> Tuple[np.ndarray, int]:
+    """Sparse LU factorisation of the anchored balance equations."""
+    system, rhs, _ = _anchored_system(problem)
+    try:
+        solution = sparse_linalg.spsolve(system, rhs)
+    except Exception as error:  # scipy raises various internal types
+        raise SolverError(
+            f"direct steady-state solve failed: {error}", method="direct"
+        ) from error
+    return solution, 1
+
+
+@register_solver("gmres")
+def _solve_gmres(
+    problem: _Problem, options: SolverOptions
+) -> Tuple[np.ndarray, int]:
+    """ILU-preconditioned restarted GMRES on the anchored system."""
+    system, rhs, _ = _anchored_system(problem)
+    preconditioner = None
+    try:
+        ilu = sparse_linalg.spilu(
+            system.tocsc(), drop_tol=1e-6, fill_factor=20.0
+        )
+        preconditioner = sparse_linalg.LinearOperator(
+            system.shape, matvec=ilu.solve
+        )
+    except Exception:
+        # Singular/zero pivots in the incomplete factorisation: run
+        # unpreconditioned, the post-hoc residual check still guards.
+        preconditioner = None
+    iterations = 0
+
+    def count(_):
+        nonlocal iterations
+        iterations += 1
+
+    try:
+        solution, info = sparse_linalg.gmres(
+            system,
+            rhs,
+            rtol=min(options.tolerance, 1e-10),
+            atol=0.0,
+            restart=min(problem.size, 64),
+            maxiter=options.max_iterations,
+            M=preconditioner,
+            callback=count,
+            callback_type="pr_norm",
+        )
+    except Exception as error:
+        raise SolverError(
+            f"GMRES steady-state solve failed: {error}", method="gmres"
+        ) from error
+    if info < 0:
+        raise SolverError(
+            f"GMRES received an illegal input (info={info})",
+            method="gmres",
+        )
+    if info > 0:
+        # The inner stopping rule works on the *anchored* system, whose
+        # solution norm can dwarf the normalised distribution (the
+        # anchor may be a tiny-probability state), making the requested
+        # rtol unattainable in absolute terms.  What matters is the
+        # residual of the normalised pi — accept the stalled iterate if
+        # it passes that gate, otherwise report the failure.
+        total = solution.sum()
+        normalised = solution / total if total > 0.0 else solution
+        residual = problem.residual(normalised)
+        if not (
+            total > 0.0
+            and np.all(np.isfinite(solution))
+            and residual <= options.residual_tolerance * problem.scale
+        ):
+            raise SolverError(
+                f"GMRES did not converge within {info} iterations",
+                method="gmres",
+                residual=residual,
+                iterations=iterations,
+            )
+    return solution, max(iterations, 1)
+
+
+def _sor_sweep_operator(
+    problem: _Problem, omega: float
+) -> Tuple[sparse_linalg.SuperLU, sparse.csr_matrix, Optional[np.ndarray]]:
+    """Factorise the SOR sweep ``(D/omega + L) x_new = rhs(x_old)``.
+
+    The sweep matrix is lower triangular and constant across iterations,
+    so it is factorised once (with natural ordering the LU of a
+    triangular matrix is itself) and every sweep costs one sparse
+    mat-vec plus one compiled triangular solve — the vectorized
+    replacement of the historical O(iterations x nnz) pure-Python loop.
+    """
+    diagonal = problem.a.diagonal()
+    if np.any(diagonal == 0.0):
+        raise SolverError(
+            "Gauss-Seidel needs non-zero diagonal entries "
+            "(absorbing state?)",
+            method="sor",
+        )
+    lower = sparse.tril(problem.a, k=0, format="csc")
+    if omega != 1.0:
+        lower = (
+            lower + sparse.diags(diagonal * (1.0 / omega - 1.0))
+        ).tocsc()
+    upper = sparse.triu(problem.a, k=1, format="csr")
+    relaxation = (
+        diagonal * (1.0 / omega - 1.0) if omega != 1.0 else None
+    )
+    try:
+        factor = sparse_linalg.splu(lower, permc_spec="NATURAL")
+    except Exception as error:
+        raise SolverError(
+            f"Gauss-Seidel sweep factorisation failed: {error}",
+            method="sor",
+        ) from error
+    return factor, upper, relaxation
+
+
+@register_solver("sor")
+def _solve_sor(
+    problem: _Problem, options: SolverOptions, omega: float = 1.0
+) -> Tuple[np.ndarray, int]:
+    """Vectorized Gauss-Seidel (``omega=1``) / SOR sweeps on ``Q^T``.
+
+    Sweeps in state order with in-place updates, exactly like the
+    classic per-row formulation — the fixed point is identical — but
+    each sweep runs in compiled sparse kernels.
+    """
+    factor, upper, relaxation = _sor_sweep_operator(problem, omega)
+    x = np.full(problem.size, 1.0 / problem.size)
+    for iteration in range(1, options.max_iterations + 1):
+        old = x
+        rhs = -(upper @ x)
+        if relaxation is not None:
+            rhs += relaxation * x
+        x = factor.solve(rhs)
+        total = x.sum()
+        if not np.isfinite(total) or total <= 0.0:
+            raise SolverError(
+                "Gauss-Seidel diverged to a non-positive vector",
+                method="sor",
+                iterations=iteration,
+            )
+        x /= total
+        if _converged(x, old, problem.residual(x), problem, options):
+            return x, iteration
+    raise SolverError(
+        f"Gauss-Seidel did not converge within "
+        f"{options.max_iterations} iterations",
+        method="sor",
+        iterations=options.max_iterations,
+        residual=problem.residual(x),
+    )
+
+
+@register_solver("power")
+def _solve_power(
+    problem: _Problem, options: SolverOptions
+) -> Tuple[np.ndarray, int]:
+    """Power iteration on the uniformised DTMC of the recurrent class."""
+    exit_rates = -problem.diagonal
+    uniformization_rate = float(exit_rates.max(initial=0.0)) * 1.02
+    if uniformization_rate <= 0:
+        raise SolverError(
+            "power iteration needs a positive exit rate", method="power"
+        )
+    off_diagonal = problem.q - sparse.diags(problem.diagonal)
+    transition_t = (off_diagonal / uniformization_rate).transpose().tocsr()
+    stay = 1.0 - exit_rates / uniformization_rate
+    x = np.full(problem.size, 1.0 / problem.size)
+    for iteration in range(1, options.max_iterations + 1):
+        updated = transition_t @ x + stay * x
+        total = updated.sum()
+        if not np.isfinite(total) or total <= 0.0:
+            raise SolverError(
+                "power iteration diverged to a non-positive vector",
+                method="power",
+                iterations=iteration,
+            )
+        updated /= total
+        if _converged(
+            updated, x, problem.residual(updated), problem, options
+        ):
+            return updated, iteration
+        x = updated
+    raise SolverError(
+        f"power iteration did not converge within "
+        f"{options.max_iterations} iterations",
+        method="power",
+        iterations=options.max_iterations,
+        residual=problem.residual(x),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation (kept for regression tests and benchmarks)
+# ---------------------------------------------------------------------------
+
+
+def gauss_seidel_reference(
+    q: sparse.csr_matrix,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> np.ndarray:
+    """The historical pure-Python Gauss-Seidel sweep, verbatim.
+
+    Not registered as a backend: it exists so tests can pin that the
+    vectorized ``sor`` backend reaches the identical fixed point, and so
+    ``benchmarks/bench_solvers.py`` can quantify the speedup.  Note it
+    retains the historical *absolute* convergence test.
+    """
+    size = q.shape[0]
+    qt = q.transpose().tocsr()
+    diag = qt.diagonal()
+    if np.any(diag == 0):
+        raise SolverError(
+            "Gauss-Seidel needs non-zero diagonal entries (absorbing state?)"
+        )
+    pi = np.full(size, 1.0 / size)
+    indptr, indices, data = qt.indptr, qt.indices, qt.data
+    for _ in range(max_iterations):
+        old = pi.copy()
+        for row in range(size):
+            acc = 0.0
+            for position in range(indptr[row], indptr[row + 1]):
+                column = indices[position]
+                if column != row:
+                    acc += data[position] * pi[column]
+            pi[row] = -acc / diag[row]
+        total = pi.sum()
+        if total <= 0:
+            raise SolverError("Gauss-Seidel diverged to a non-positive vector")
+        pi /= total
+        if np.max(np.abs(pi - old)) < tolerance:
+            return pi
+    raise SolverError(
+        f"Gauss-Seidel did not converge within {max_iterations} iterations"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def _finalize(
+    raw: np.ndarray,
+    iterations: int,
+    method: str,
+    problem: _Problem,
+    options: SolverOptions,
+    fallbacks: Tuple[str, ...],
+) -> SteadyStateSolution:
+    """Validate a backend's raw output and attach its report.
+
+    Raises :class:`~repro.errors.SolverError` (with diagnostics) on
+    non-finite values, significant negative mass, a zero vector, or a
+    final residual above tolerance — nothing is clipped silently.
+    """
+    raw = np.asarray(raw, float)
+    if raw.shape != (problem.size,) or np.any(~np.isfinite(raw)):
+        raise SolverError(
+            "steady-state solve produced non-finite values",
+            method=method,
+            iterations=iterations,
+        )
+    magnitude = float(np.abs(raw).sum())
+    if magnitude <= 0.0:
+        raise SolverError(
+            "steady-state solve produced a zero vector",
+            method=method,
+            iterations=iterations,
+        )
+    negative_mass = float(-raw[raw < 0.0].sum())
+    if negative_mass > _NEGATIVE_MASS_LIMIT * magnitude:
+        raise SolverError(
+            f"steady-state solve produced significant negative "
+            f"probability mass ({negative_mass / magnitude:.3e} of the "
+            f"total); the chain is too ill-conditioned for this backend",
+            method=method,
+            iterations=iterations,
+        )
+    pi = np.maximum(raw, 0.0)
+    total = pi.sum()
+    if total <= 0.0:
+        raise SolverError(
+            "steady-state solve produced a zero vector",
+            method=method,
+            iterations=iterations,
+        )
+    pi = pi / total
+    residual = problem.residual(pi)
+    if residual > options.residual_tolerance * problem.scale:
+        raise SolverError(
+            f"steady-state residual ||pi Q||_inf = {residual:.3e} exceeds "
+            f"tolerance {options.residual_tolerance:.1e} * "
+            f"{problem.scale:.3g}",
+            method=method,
+            residual=residual,
+            iterations=iterations,
+        )
+    report = SolverReport(
+        method=method,
+        size=problem.size,
+        nnz=problem.nnz,
+        iterations=iterations,
+        residual=residual,
+        mass_defect=negative_mass / magnitude,
+        fallbacks=fallbacks,
+    )
+    return SteadyStateSolution(pi, report)
+
+
+def solve_steady_state(
+    q: sparse.csr_matrix,
+    method: Optional[str] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    residual_tolerance: float = DEFAULT_RESIDUAL_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> SteadyStateSolution:
+    """Solve ``pi Q = 0, sum(pi) = 1`` on an irreducible generator.
+
+    *method* is a registry name, an alias, ``auto`` or ``None``
+    (= ``$REPRO_SOLVER`` or ``auto``).  ``auto`` selects by size and
+    sparsity and falls back along :data:`_FALLBACK_CHAIN` when the
+    preferred backend fails; a named method never falls back.
+    """
+    name = resolve_method(method)
+    options = SolverOptions(tolerance, residual_tolerance, max_iterations)
+    problem = _Problem(q)
+    if name != "auto":
+        raw, iterations = _REGISTRY[name](problem, options)
+        return _finalize(raw, iterations, name, problem, options, ())
+    preferred = select_method(problem.size, problem.nnz)
+    candidates = [preferred]
+    candidates.extend(
+        fallback
+        for fallback in _FALLBACK_CHAIN
+        if fallback not in candidates
+    )
+    failed: list = []
+    last_error: Optional[SolverError] = None
+    for candidate in candidates:
+        try:
+            raw, iterations = _REGISTRY[candidate](problem, options)
+            return _finalize(
+                raw, iterations, candidate, problem, options,
+                tuple(failed),
+            )
+        except SolverError as error:
+            failed.append(candidate)
+            last_error = error
+    raise SolverError(
+        f"every backend failed on this chain "
+        f"(tried {', '.join(failed)}); last error: {last_error}"
+    ) from last_error

@@ -1,40 +1,53 @@
 """Steady-state solution of CTMCs.
 
-Three solvers are provided (benchmarked against each other in the ablation
-benches):
+The numerical work lives in the pluggable backend registry of
+:mod:`repro.ctmc.solvers` (``direct``, ``gmres``, ``sor``/
+``gauss_seidel``, ``power``, or ``auto`` selection by chain size and
+sparsity — see docs/SOLVERS.md).  This module handles the chain
+structure: all solvers operate on the recurrent class of the chain, the
+steady-state distribution assigns probability zero to transient states,
+and chains with several bottom strongly connected components have no
+unique steady state and are rejected with a descriptive error.
 
-* ``direct`` — sparse LU factorisation of the normalised balance equations;
-  exact up to floating point, the default for the case-study chains;
-* ``gauss_seidel`` — classic iterative sweep, low memory;
-* ``power`` — power iteration on the uniformised DTMC.
-
-All solvers operate on the recurrent class of the chain: the steady-state
-distribution assigns probability zero to transient states.  Chains with
-several bottom strongly connected components have no unique steady state
-and are rejected with a descriptive error.
+:func:`steady_state` returns the bare distribution;
+:func:`steady_state_solution` additionally returns the
+:class:`~repro.ctmc.solvers.SolverReport` — which backend solved the
+chain, at what residual ``||pi Q||_inf``, in how many iterations — that
+the sweep runtime records per point.
 """
 
 from __future__ import annotations
 
+from typing import Optional
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse import linalg as sparse_linalg
 
 from ..errors import SolverError
 from .chain import CTMC
+from .solvers import (
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_RESIDUAL_TOLERANCE,
+    DEFAULT_TOLERANCE,
+    SolverReport,
+    SteadyStateSolution,
+    solve_steady_state,
+)
 
 
-def steady_state(
+def steady_state_solution(
     ctmc: CTMC,
-    method: str = "direct",
-    tolerance: float = 1e-12,
-    max_iterations: int = 200_000,
-) -> np.ndarray:
-    """Compute the steady-state distribution of *ctmc*.
+    method: Optional[str] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    residual_tolerance: float = DEFAULT_RESIDUAL_TOLERANCE,
+) -> SteadyStateSolution:
+    """Steady-state distribution of *ctmc* plus solver diagnostics.
 
-    Returns a probability vector over all states; transient states get
-    probability zero.
+    ``method=None`` resolves through ``$REPRO_SOLVER`` to ``auto``.  The
+    returned distribution covers all states (transient states get
+    probability zero); the report's residual is measured on the
+    recurrent class.
     """
     bsccs = ctmc.bottom_strongly_connected_components()
     if len(bsccs) == 0:
@@ -50,24 +63,50 @@ def steady_state(
     if len(recurrent) == 1:
         pi = np.zeros(ctmc.num_states)
         pi[recurrent[0]] = 1.0
-        return pi
+        report = SolverReport(
+            method="closed_form",
+            size=1,
+            nnz=0,
+            iterations=0,
+            residual=0.0,
+            mass_defect=0.0,
+        )
+        return SteadyStateSolution(pi, report)
     index = {state: i for i, state in enumerate(recurrent)}
     sub_q = _submatrix(ctmc, recurrent, index)
-    if method == "direct":
-        sub_pi = _solve_direct(sub_q)
-    elif method == "gauss_seidel":
-        sub_pi = _solve_gauss_seidel(sub_q, tolerance, max_iterations)
-    elif method == "power":
-        sub_pi = _solve_power(ctmc, recurrent, index, tolerance, max_iterations)
-    else:
-        raise SolverError(
-            f"unknown steady-state method {method!r} "
-            f"(use direct, gauss_seidel or power)"
-        )
+    solution = solve_steady_state(
+        sub_q,
+        method=method,
+        tolerance=tolerance,
+        residual_tolerance=residual_tolerance,
+        max_iterations=max_iterations,
+    )
     pi = np.zeros(ctmc.num_states)
     for state, position in index.items():
-        pi[state] = sub_pi[position]
-    return pi
+        pi[state] = solution.pi[position]
+    return SteadyStateSolution(pi, solution.report)
+
+
+def steady_state(
+    ctmc: CTMC,
+    method: Optional[str] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    residual_tolerance: float = DEFAULT_RESIDUAL_TOLERANCE,
+) -> np.ndarray:
+    """Compute the steady-state distribution of *ctmc*.
+
+    Returns a probability vector over all states; transient states get
+    probability zero.  Use :func:`steady_state_solution` to also obtain
+    the solver report (backend, residual, iterations).
+    """
+    return steady_state_solution(
+        ctmc,
+        method=method,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+        residual_tolerance=residual_tolerance,
+    ).pi
 
 
 def _submatrix(ctmc: CTMC, recurrent, index) -> sparse.csr_matrix:
@@ -87,91 +126,3 @@ def _submatrix(ctmc: CTMC, recurrent, index) -> sparse.csr_matrix:
         cols.append(position)
         data.append(diagonal[position])
     return sparse.csr_matrix((data, (rows, cols)), shape=(size, size))
-
-
-def _solve_direct(q: sparse.csr_matrix) -> np.ndarray:
-    """Solve ``pi Q = 0, sum(pi) = 1`` by replacing one balance equation."""
-    size = q.shape[0]
-    system = q.transpose().tolil()
-    system[size - 1, :] = np.ones(size)
-    rhs = np.zeros(size)
-    rhs[size - 1] = 1.0
-    try:
-        solution = sparse_linalg.spsolve(system.tocsr(), rhs)
-    except Exception as error:  # scipy raises various internal types
-        raise SolverError(f"direct steady-state solve failed: {error}") from error
-    if np.any(~np.isfinite(solution)):
-        raise SolverError("direct steady-state solve produced non-finite values")
-    solution = np.maximum(solution, 0.0)
-    total = solution.sum()
-    if total <= 0:
-        raise SolverError("direct steady-state solve produced a zero vector")
-    return solution / total
-
-
-def _solve_gauss_seidel(
-    q: sparse.csr_matrix, tolerance: float, max_iterations: int
-) -> np.ndarray:
-    """Gauss-Seidel sweeps on ``Q^T pi^T = 0`` with renormalisation."""
-    size = q.shape[0]
-    qt = q.transpose().tocsr()
-    diag = qt.diagonal()
-    if np.any(diag == 0):
-        raise SolverError(
-            "Gauss-Seidel needs non-zero diagonal entries (absorbing state?)"
-        )
-    pi = np.full(size, 1.0 / size)
-    indptr, indices, data = qt.indptr, qt.indices, qt.data
-    for iteration in range(max_iterations):
-        old = pi.copy()
-        for row in range(size):
-            acc = 0.0
-            for position in range(indptr[row], indptr[row + 1]):
-                column = indices[position]
-                if column != row:
-                    acc += data[position] * pi[column]
-            pi[row] = -acc / diag[row]
-        total = pi.sum()
-        if total <= 0:
-            raise SolverError("Gauss-Seidel diverged to a non-positive vector")
-        pi /= total
-        if np.max(np.abs(pi - old)) < tolerance:
-            return pi
-    raise SolverError(
-        f"Gauss-Seidel did not converge within {max_iterations} iterations"
-    )
-
-
-def _solve_power(
-    ctmc: CTMC, recurrent, index, tolerance: float, max_iterations: int
-) -> np.ndarray:
-    """Power iteration on the uniformised DTMC restricted to the BSCC."""
-    size = len(recurrent)
-    exit_rates = np.zeros(size)
-    rows, cols, data = [], [], []
-    for state in recurrent:
-        for transition in ctmc.outgoing(state):
-            if transition.target == state:
-                continue
-            exit_rates[index[state]] += transition.rate
-            rows.append(index[state])
-            cols.append(index[transition.target])
-            data.append(transition.rate)
-    uniformization_rate = float(exit_rates.max()) * 1.02
-    if uniformization_rate <= 0:
-        raise SolverError("power iteration needs a positive exit rate")
-    probability_matrix = sparse.csr_matrix(
-        ([d / uniformization_rate for d in data], (rows, cols)),
-        shape=(size, size),
-    )
-    stay = 1.0 - exit_rates / uniformization_rate
-    pi = np.full(size, 1.0 / size)
-    for iteration in range(max_iterations):
-        updated = pi @ probability_matrix + pi * stay
-        updated /= updated.sum()
-        if np.max(np.abs(updated - pi)) < tolerance:
-            return updated
-        pi = updated
-    raise SolverError(
-        f"power iteration did not converge within {max_iterations} iterations"
-    )

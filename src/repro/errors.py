@@ -70,7 +70,35 @@ class ImmediateCycleError(MarkovianError):
 
 
 class SolverError(ReproError):
-    """A numerical solver failed to produce a solution."""
+    """A numerical solver failed to produce a solution.
+
+    Carries the solver diagnostics when they are known: which backend
+    failed, the residual ``||pi Q||_inf`` it reached, and how many
+    iterations it spent — appended to the message so logs show them even
+    through plain ``str(error)``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        method: "str | None" = None,
+        residual: "float | None" = None,
+        iterations: "int | None" = None,
+    ):
+        details = []
+        if method is not None:
+            details.append(f"method={method}")
+        if residual is not None:
+            details.append(f"residual={residual:.3e}")
+        if iterations is not None:
+            details.append(f"iterations={iterations}")
+        if details:
+            message = f"{message} [{' '.join(details)}]"
+        super().__init__(message)
+        self.method = method
+        self.residual = residual
+        self.iterations = iterations
 
 
 class SimulationError(ReproError):

@@ -27,6 +27,7 @@ from typing import List, Optional
 from ..casestudies import rpc, streaming
 from ..core.methodology import IncrementalMethodology
 from ..core.reporting import format_table
+from ..ctmc.solvers import solver_choices
 from ..runtime import (
     FaultInjector,
     RetryPolicy,
@@ -79,6 +80,16 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="stream JSONL span records to FILE (see trace-summary)",
     )
+    parser.add_argument(
+        "--solver",
+        default=None,
+        choices=solver_choices(),
+        help=(
+            "steady-state backend for Markovian solves (default: "
+            "$REPRO_SOLVER or 'auto' size/sparsity selection; every "
+            "solve records its backend and residual — docs/SOLVERS.md)"
+        ),
+    )
 
 
 def _run_options(args: argparse.Namespace) -> RunOptions:
@@ -91,7 +102,11 @@ def _run_options(args: argparse.Namespace) -> RunOptions:
     if args.trace or retry is not None or faults is not None:
         tracer = TraceRecorder(args.trace)
     return RunOptions(
-        workers=args.workers, retry=retry, faults=faults, tracer=tracer
+        workers=args.workers,
+        retry=retry,
+        faults=faults,
+        tracer=tracer,
+        solver=args.solver,
     )
 
 
@@ -158,8 +173,11 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="write the series as JSON to FILE instead of only stdout",
     )
     parser.add_argument(
-        "--method", default="direct",
-        help="steady-state solver for markovian sweeps",
+        "--method", default=None,
+        help=(
+            "steady-state solver for markovian sweeps (overrides "
+            "--solver; default: --solver, then $REPRO_SOLVER, then auto)"
+        ),
     )
     parser.add_argument(
         "--runs", type=int, default=10,
@@ -266,6 +284,16 @@ def run_sweep(argv: List[str]) -> int:
         f"[run-sweep done in {time.time() - started:.1f}s; "
         f"workers={stats['workers']}"
     )
+    if "solver" in stats:
+        solver_stats = stats["solver"]
+        backends = "+".join(
+            f"{name}x{count}"
+            for name, count in sorted(solver_stats["backends"].items())
+        )
+        summary += (
+            f", solver {backends} "
+            f"max residual={solver_stats['max_residual']:.2e}"
+        )
     if methodology.tracer is not None:
         summary += (
             f", retries={methodology.tracer.retries}"

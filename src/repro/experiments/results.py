@@ -29,6 +29,9 @@ class RunOptions:
     retry: Optional[RetryPolicy] = None
     faults: Optional[FaultInjector] = None
     tracer: Optional[TraceRecorder] = None
+    #: Steady-state backend for Markovian solves (``--solver``); ``None``
+    #: resolves through ``$REPRO_SOLVER`` to automatic selection.
+    solver: Optional[str] = None
 
     @classmethod
     def resolve(
@@ -48,6 +51,7 @@ class RunOptions:
             "retry": self.retry,
             "faults": self.faults,
             "tracer": self.tracer,
+            "solver": self.solver,
         }
 
 
@@ -70,6 +74,9 @@ class RuntimeStats:
     retries: int = 0
     checkpoint_hits: int = 0
     trace: Optional[Dict[str, object]] = None
+    #: Aggregated steady-state solver reports (backend counts, residual
+    #: maxima) when the experiment had a Markovian phase.
+    solver: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_methodology(cls, methodology) -> "RuntimeStats":
@@ -84,6 +91,7 @@ class RuntimeStats:
             retries=snapshot.get("retries", 0),
             checkpoint_hits=snapshot.get("checkpoint_hits", 0),
             trace=snapshot.get("trace"),
+            solver=snapshot.get("solver"),
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -100,6 +108,8 @@ class RuntimeStats:
         }
         if self.trace is not None:
             result["trace"] = self.trace
+        if self.solver is not None:
+            result["solver"] = self.solver
         return result
 
     def describe(self) -> str:
@@ -113,11 +123,22 @@ class RuntimeStats:
                 f", retries={self.retries} "
                 f"checkpoint hits={self.checkpoint_hits}"
             )
+        solver = ""
+        if self.solver:
+            backends = "+".join(
+                f"{name}x{count}"
+                for name, count in sorted(self.solver["backends"].items())
+            )
+            solver = (
+                f", solver {backends} "
+                f"max residual={self.solver['max_residual']:.2e}"
+            )
         return (
             f"runtime: workers={self.workers}, state-space cache "
             f"hits={self.cache_hits} misses={self.cache_misses} "
             f"relabels={self.cache_relabels}"
             + reliability
+            + solver
             + (f"; {phases}" if phases else "")
         )
 

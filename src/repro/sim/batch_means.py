@@ -74,14 +74,16 @@ def batch_means(
     simulator = Simulator(lts, measures, clock_semantics)
     rng = make_generator(seed)
 
-    # Run batch by batch, carrying the state over by restarting each
-    # batch from the final state of the previous one.  Clocks are not
-    # carried over (a batch boundary acts like a regeneration point for
-    # scheduling); for exponential models this is exact, for general
-    # models it adds a small boundary perturbation that shrinks with the
-    # batch length.
+    # Run batch by batch, carrying both the state and the residual event
+    # clocks across batch boundaries: the concatenated batches form ONE
+    # trajectory of the model.  Discarding the clocks (as earlier
+    # versions did) silently turned every boundary into a regeneration
+    # point — exact for exponential models, but systematically biased
+    # for deterministic/Gaussian timers longer than a batch, which then
+    # never fired at all.
     samples: Dict[str, List[float]] = {m.name: [] for m in measures}
     state = None
+    clocks: Dict[str, float] = {}
     first = True
     for _ in range(batches):
         result = simulator.run(
@@ -89,9 +91,11 @@ def batch_means(
             rng,
             warmup=warmup if first else 0.0,
             start_state=state,
+            start_clocks=clocks,
         )
         first = False
         state = result.final_state
+        clocks = result.final_clocks
         for name, value in result.measures.items():
             samples[name].append(value)
     estimates = {

@@ -26,7 +26,7 @@ distribution.  The ablation benchmark compares against restart semantics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -75,6 +75,12 @@ class SimulationResult:
     events_fired: int
     final_state: int
     deadlocked: bool
+    #: Residual clocks of the events enabled when the horizon was
+    #: reached.  Feeding them back via ``run(..., start_clocks=...)``
+    #: continues the trajectory without perturbing enabling-memory
+    #: schedules — what batch-means needs so a batch boundary is not a
+    #: spurious regeneration point for deterministic/Gaussian timers.
+    final_clocks: Dict[str, float] = field(default_factory=dict)
 
 
 class Simulator:
@@ -201,6 +207,7 @@ class Simulator:
         warmup: float = 0.0,
         start_state: Optional[int] = None,
         observer=None,
+        start_clocks: Optional[Dict[str, float]] = None,
     ) -> SimulationResult:
         """Simulate one trajectory and estimate the measures.
 
@@ -208,6 +215,9 @@ class Simulator:
         ``warmup + run_length`` model time units and statistics collected
         during the warm-up are discarded.  An optional *observer* callable
         receives ``(time, label, target_state)`` at every firing.
+        ``start_clocks`` (with ``start_state``) resumes a trajectory from
+        a previous run's ``final_clocks``: events still enabled keep
+        their residual clocks instead of being resampled.
         """
         if run_length <= 0:
             raise SimulationError(f"run_length must be positive, got {run_length}")
@@ -217,7 +227,7 @@ class Simulator:
         state = self.lts.initial if start_state is None else start_state
         now = 0.0
         end = warmup + run_length
-        clocks: Dict[str, float] = {}
+        clocks: Dict[str, float] = dict(start_clocks or {})
         fired = 0
         immediate_chain = 0
         deadlocked = False
@@ -268,10 +278,15 @@ class Simulator:
             winner = min(clocks, key=lambda name: clocks[name])
             elapsed = clocks[winner]
             if now + elapsed >= end:
-                # Horizon reached before the next firing.
+                # Horizon reached before the next firing: let the
+                # remaining clocks run down to the horizon so a resumed
+                # run carries the correct residuals.
+                remaining = end - now
                 self._accumulate_time(
-                    accumulators, state, now, end - now, warmup
+                    accumulators, state, now, remaining, warmup
                 )
+                for name in clocks:
+                    clocks[name] -= remaining
                 now = end
                 break
             self._accumulate_time(accumulators, state, now, elapsed, warmup)
@@ -294,7 +309,9 @@ class Simulator:
             accumulator.measure.name: accumulator.value(run_length)
             for accumulator in accumulators
         }
-        return SimulationResult(values, run_length, fired, state, deadlocked)
+        return SimulationResult(
+            values, run_length, fired, state, deadlocked, dict(clocks)
+        )
 
     @staticmethod
     def _accumulate_time(

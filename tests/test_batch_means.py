@@ -74,6 +74,55 @@ class TestBatchMeans:
         with pytest.raises(SimulationError):
             batch_means(two_state_lts(), MEASURES, batch_length=0.0)
 
+    def test_clock_carry_regression_deterministic_timer(self):
+        """Batch boundaries must not act as regeneration points.
+
+        Earlier versions discarded the residual event clocks at every
+        batch boundary.  For a deterministic timer longer than a batch
+        the timer then NEVER fired: each batch resampled the full delay
+        and ran out of horizon before it elapsed, so the estimate was
+        systematically biased (here: 1.0 instead of 0.75) — a bias that
+        no amount of batches shrinks.  With the clocks carried through
+        ``simulator.run(..., start_clocks=...)`` the concatenated
+        batches are one trajectory and the deterministic cycle is exact.
+        """
+        lts, m = self._deterministic_cycle()
+        result = batch_means(
+            lts, [m], batch_length=100.0, batches=8, seed=11
+        )
+        # Cycle: 150 time units with the long timer armed, 50 without.
+        assert result["armed"].mean == pytest.approx(0.75, abs=1e-9)
+
+    def test_clock_carry_agrees_with_replications(self):
+        """On the deterministic-delay model batch means and independent
+        replications now estimate the same (exact) value; the old
+        clock-discarding batch means did not."""
+        lts, m = self._deterministic_cycle()
+        batch = batch_means(
+            lts, [m], batch_length=100.0, batches=8, seed=11
+        )
+        repl = replicate(lts, [m], run_length=800.0, runs=3, seed=11)
+        assert batch["armed"].mean == pytest.approx(
+            repl["armed"].mean, abs=1e-9
+        )
+
+    @staticmethod
+    def _deterministic_cycle():
+        """0 --tick Det(150)--> 1 --tock Det(50)--> 0."""
+        from repro.aemilia.rates import GeneralRate
+        from repro.distributions import Deterministic
+
+        lts = LTS(0)
+        for _ in range(2):
+            lts.add_state()
+        lts.add_transition(
+            0, "tick", 1, GeneralRate(Deterministic(150.0)), "tick"
+        )
+        lts.add_transition(
+            1, "tock", 0, GeneralRate(Deterministic(50.0)), "tock"
+        )
+        return lts, measure("armed", state_clause("tick", 1.0))
+
     def test_warmup_applies_once(self):
         """With a deterministic boot phase, only the first batch is
         affected unless the warm-up removes it."""

@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.methodology import IncrementalMethodology
+from repro.ctmc.solvers import resolve_method
 from repro.errors import (
     CheckpointError,
     ReproError,
@@ -207,7 +208,7 @@ class TestCheckpointJournal:
                 family=rpc_family.name, max_states=200_000,
                 kind="markovian", variant="dpm",
                 parameter="shutdown_timeout", values=values,
-                const_overrides=[], method="direct",
+                const_overrides=[], method=resolve_method(None),
             )
         )
         survivor.load()

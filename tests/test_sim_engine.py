@@ -189,6 +189,59 @@ class TestClockSemantics:
             Simulator(lts, [], clock_semantics="quantum")
 
 
+class TestClockCarryAcrossRuns:
+    """``final_clocks`` / ``start_clocks``: resuming a trajectory keeps
+    the residual event clocks instead of resampling them."""
+
+    @staticmethod
+    def _cycle():
+        lts = LTS(0)
+        for _ in range(2):
+            lts.add_state()
+        lts.add_transition(
+            0, "tick", 1, GeneralRate(Deterministic(150.0)), "tick"
+        )
+        lts.add_transition(
+            1, "tock", 0, GeneralRate(Deterministic(50.0)), "tock"
+        )
+        return lts
+
+    def test_final_clocks_hold_the_residuals(self):
+        lts = self._cycle()
+        m = measure("armed", state_clause("tick", 1.0))
+        simulator = Simulator(lts, [m])
+        result = simulator.run(100.0, make_generator(1))
+        assert result.final_state == 0
+        assert result.final_clocks == pytest.approx({"tick": 50.0})
+
+    def test_resumed_run_matches_one_long_run(self):
+        lts = self._cycle()
+        m = measure("armed", state_clause("tick", 1.0))
+        simulator = Simulator(lts, [m])
+        rng = make_generator(1)
+        state, clocks = None, None
+        firings = []
+        offset = 0.0
+
+        def observe(time, label, target):
+            firings.append((offset + time, label))
+
+        for _ in range(5):
+            result = simulator.run(
+                90.0, rng, start_state=state, start_clocks=clocks,
+                observer=observe,
+            )
+            state = result.final_state
+            clocks = result.final_clocks
+            offset += 90.0
+        # One uninterrupted trajectory: tick at 150, tock at 200, ...
+        assert [
+            (pytest.approx(t), label) for t, label in
+            [(150.0, "tick"), (200.0, "tock"), (350.0, "tick"),
+             (400.0, "tock")]
+        ] == firings
+
+
 class TestAgainstAnalyticSolution:
     def test_exponential_model_matches_ctmc(self, mm1k):
         """Statistical agreement between the simulator and the solver."""
