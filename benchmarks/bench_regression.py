@@ -1,0 +1,221 @@
+"""Regression gate against the committed benchmark baselines.
+
+Re-measures the cheap, deterministic core of the two committed baseline
+files and fails when the numbers drift outside tolerance bands:
+
+* ``BENCH_solvers.json`` — every steady-state backend on every case
+  chain: iteration counts must stay within a 2x band of the baseline
+  (the direct solve exactly 1), residuals must stay small, probability
+  mass must stay normalised.
+* ``BENCH_runtime.json`` — the fig3 Markovian sweep must still hit the
+  structural cache exactly as recorded (one skeleton miss, every
+  further point a relabel) over the same number of points.
+
+Wall-clock is reported but never gated — CI machines are too noisy for
+timing assertions, and the committed ``seconds`` fields are documentation,
+not contracts.  Run as a script (``python benchmarks/bench_regression.py
+[--out report.json]``, exit 0/1) or through pytest
+(``pytest benchmarks/bench_regression.py``).  See docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.casestudies import rpc
+from repro.core.methodology import IncrementalMethodology
+from repro.ctmc.steady_state import steady_state_solution
+
+from bench_solvers import CASES, _build_ctmc
+
+ROOT = Path(__file__).resolve().parent.parent
+SOLVERS_BASELINE = ROOT / "BENCH_solvers.json"
+RUNTIME_BASELINE = ROOT / "BENCH_runtime.json"
+
+#: Iteration counts may drift with library versions (ILU fill, GMRES
+#: restarts) but an honest reimplementation stays within a 2x band.
+ITERATION_RATIO_BAND = (0.5, 2.0)
+
+#: A residual is acceptable when it is small in absolute terms or no
+#: more than 10x the committed baseline (whichever is looser).
+RESIDUAL_ABS_FLOOR = 1e-9
+RESIDUAL_RATIO = 10.0
+
+MASS_DEFECT_LIMIT = 1e-8
+
+
+def _check(failures: List[str], condition: bool, message: str) -> None:
+    if not condition:
+        failures.append(message)
+
+
+def _solver_regressions(baseline: dict, failures: List[str]) -> dict:
+    """Fresh per-backend solves compared against ``BENCH_solvers.json``."""
+    report: Dict[str, dict] = {}
+    for name, family_fn, overrides in CASES:
+        base_case = baseline["cases"].get(name)
+        if base_case is None:
+            failures.append(f"{name}: case missing from baseline file")
+            continue
+        ctmc = _build_ctmc(family_fn, overrides)
+        _check(
+            failures,
+            ctmc.num_states == base_case["states"],
+            f"{name}: state space changed "
+            f"({ctmc.num_states} vs baseline {base_case['states']})",
+        )
+        backends: Dict[str, dict] = {}
+        for method, base in sorted(base_case["backends"].items()):
+            started = time.perf_counter()
+            solution = steady_state_solution(ctmc, method=method)
+            seconds = time.perf_counter() - started
+            measured = solution.report
+            backends[method] = {
+                "iterations": measured.iterations,
+                "baseline_iterations": base["iterations"],
+                "residual": measured.residual,
+                "baseline_residual": base["residual"],
+                "mass_defect": measured.mass_defect,
+                "seconds": round(seconds, 5),
+                "baseline_seconds": base["seconds"],
+            }
+            if method == "direct":
+                _check(
+                    failures,
+                    measured.iterations == 1,
+                    f"{name}/direct: expected exactly 1 iteration, "
+                    f"got {measured.iterations}",
+                )
+            else:
+                low, high = ITERATION_RATIO_BAND
+                ratio = measured.iterations / max(base["iterations"], 1)
+                _check(
+                    failures,
+                    low <= ratio <= high,
+                    f"{name}/{method}: iterations {measured.iterations} "
+                    f"outside [{low}, {high}]x of baseline "
+                    f"{base['iterations']}",
+                )
+            residual_limit = max(
+                RESIDUAL_RATIO * base["residual"], RESIDUAL_ABS_FLOOR
+            )
+            _check(
+                failures,
+                measured.residual <= residual_limit,
+                f"{name}/{method}: residual {measured.residual:.3e} "
+                f"exceeds {residual_limit:.3e}",
+            )
+            _check(
+                failures,
+                abs(measured.mass_defect) <= MASS_DEFECT_LIMIT,
+                f"{name}/{method}: mass defect "
+                f"{measured.mass_defect:.3e} exceeds "
+                f"{MASS_DEFECT_LIMIT:.0e}",
+            )
+        report[name] = {"states": ctmc.num_states, "backends": backends}
+    return report
+
+
+def _runtime_regressions(baseline: dict, failures: List[str]) -> dict:
+    """A fresh fig3 Markovian sweep compared against the committed cache
+    counters of ``BENCH_runtime.json`` — the structural-cache contract
+    (one miss, then relabels only) must not silently degrade."""
+    base = baseline["sweeps"]["fig3-markov"]
+    values = list(rpc.SHUTDOWN_TIMEOUT_SWEEP)
+    methodology = IncrementalMethodology(rpc.family())
+    started = time.perf_counter()
+    methodology.sweep_markovian(base["parameter"], values)
+    seconds = time.perf_counter() - started
+    cache = methodology.cache.stats.as_dict()
+    measured = {
+        "points": len(values),
+        "cache": cache,
+        "seconds": round(seconds, 4),
+        "baseline_cache": base["cache"],
+        "baseline_points": base["points"],
+    }
+    _check(
+        failures,
+        len(values) == base["points"],
+        f"fig3-markov: sweep has {len(values)} points, "
+        f"baseline recorded {base['points']}",
+    )
+    for counter in ("hits", "misses", "relabels"):
+        _check(
+            failures,
+            cache[counter] == base["cache"][counter],
+            f"fig3-markov: cache {counter}={cache[counter]} differs "
+            f"from baseline {base['cache'][counter]}",
+        )
+    return measured
+
+
+def collect() -> dict:
+    """Run every regression check; the report carries the failures."""
+    failures: List[str] = []
+    if not SOLVERS_BASELINE.exists() or not RUNTIME_BASELINE.exists():
+        raise FileNotFoundError(
+            "committed baselines BENCH_solvers.json / BENCH_runtime.json "
+            "not found next to the repo root"
+        )
+    solvers_baseline = json.loads(SOLVERS_BASELINE.read_text())
+    runtime_baseline = json.loads(RUNTIME_BASELINE.read_text())
+    return {
+        "solvers": _solver_regressions(solvers_baseline, failures),
+        "runtime": {
+            "fig3-markov": _runtime_regressions(runtime_baseline, failures)
+        },
+        "failures": failures,
+        "passed": not failures,
+    }
+
+
+def test_bench_regression():
+    report = collect()
+    assert report["passed"], "\n".join(report["failures"])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regression gate vs committed benchmark baselines"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the full report JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    report = collect()
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.out}")
+    for name, case in report["solvers"].items():
+        times = ", ".join(
+            f"{method} {record['iterations']} it "
+            f"(baseline {record['baseline_iterations']})"
+            for method, record in sorted(case["backends"].items())
+        )
+        print(f"  {name} ({case['states']} states): {times}")
+    fig3 = report["runtime"]["fig3-markov"]
+    print(
+        f"  fig3-markov: {fig3['points']} points, cache {fig3['cache']} "
+        f"in {fig3['seconds']}s"
+    )
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("bench-regression: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,13 +19,13 @@ import sys
 from repro.casestudies import streaming
 from repro.core import IncrementalMethodology
 from repro.experiments import streaming_figures
-from repro.sim import TraceRecorder, make_generator
+from repro.sim import EventTraceRecorder, make_generator
 
 
 def show_trace(methodology):
     print("event-trace excerpt (awake period 100 ms):")
     lts = methodology.build_lts("general", "dpm", {"awake_period": 100.0})
-    recorder = TraceRecorder(lts, capacity=25)
+    recorder = EventTraceRecorder(lts, capacity=25)
     recorder.run(2_000.0, make_generator(7), warmup=0.0)
     interesting = [
         entry

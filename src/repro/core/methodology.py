@@ -31,6 +31,8 @@ from ..ctmc.solvers import resolve_method
 from ..ctmc.steady_state import steady_state, steady_state_solution
 from ..errors import AnalysisError
 from ..lts.lts import LTS
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
 from ..runtime import (
     FaultInjector,
     ParallelExecutor,
@@ -48,6 +50,17 @@ from .validation import ValidationReport, cross_validate
 
 #: The two variants every phase compares.
 VARIANTS = ("dpm", "nodpm")
+
+_LOG = obs_log.get_logger("methodology")
+
+
+def _count_sweep_points(case: str, kind: str, count: int) -> None:
+    """Bump ``repro_sweep_points_total`` for one completed sweep."""
+    registry = obs_metrics.get_registry()
+    if registry.enabled and count:
+        obs_metrics.SWEEP_POINTS.on(registry).labels(
+            case=case, kind=kind
+        ).inc(count)
 
 
 def summarize_solver_records(
@@ -406,6 +419,12 @@ class IncrementalMethodology:
         archi, points, rate_only = self._sweep_points(
             "markovian", variant, parameter, values, const_overrides
         )
+        _LOG.info(
+            "markovian sweep: %s over %s (%d points, %s, workers=%d)",
+            self.family.name, parameter, len(points),
+            "cached skeleton" if rate_only else "fresh state spaces",
+            self.workers if workers is None else resolve_workers(workers),
+        )
         executor = self._executor(workers)
         journal = self._sweep_checkpoint(
             checkpoint,
@@ -424,8 +443,8 @@ class IncrementalMethodology:
                     timer=self.timer,
                 )
                 envs = [archi.bind_constants(p) for p in points]
-                self.cache.stats.relabels += sum(
-                    1 for env in envs if env != skeleton.const_env
+                self.cache.stats.relabel(
+                    sum(1 for env in envs if env != skeleton.const_env)
                 )
                 shared = (skeleton, self.family.measures, method)
                 with self.timer.span("solve"):
@@ -445,6 +464,7 @@ class IncrementalMethodology:
         finally:
             if journal is not None:
                 journal.close()
+        _count_sweep_points(self.family.name, "markovian", len(results))
         series: Dict[str, List[float]] = {
             name: [] for name in self.family.measure_names()
         }
@@ -537,6 +557,11 @@ class IncrementalMethodology:
         archi, points, rate_only = self._sweep_points(
             "general", variant, parameter, values, const_overrides
         )
+        _LOG.info(
+            "general sweep: %s over %s (%d points, %d runs each, %s)",
+            self.family.name, parameter, len(points), runs,
+            "cached skeleton" if rate_only else "fresh state spaces",
+        )
         executor = self._executor(workers)
         journal = self._sweep_checkpoint(
             checkpoint,
@@ -558,8 +583,8 @@ class IncrementalMethodology:
                     timer=self.timer,
                 )
                 envs = [archi.bind_constants(p) for p in points]
-                self.cache.stats.relabels += sum(
-                    1 for env in envs if env != skeleton.const_env
+                self.cache.stats.relabel(
+                    sum(1 for env in envs if env != skeleton.const_env)
                 )
                 shared = (
                     skeleton, self.family.measures, run_length, runs,
@@ -581,6 +606,7 @@ class IncrementalMethodology:
         finally:
             if journal is not None:
                 journal.close()
+        _count_sweep_points(self.family.name, "general", len(results))
         series: Dict[str, List[float]] = {
             name: [] for name in self.family.measure_names()
         }

@@ -40,19 +40,32 @@ clipped from negative round-off entries, and the iteration count; a
 residual above tolerance raises :class:`~repro.errors.SolverError` with
 the diagnostics attached instead of silently clipping the solution into
 shape.
+
+**Observability** (docs/OBSERVABILITY.md): every solve increments the
+``repro_solver_*`` metrics on the default registry (solves, cumulative
+iterations, residual and wall-clock histograms, fallbacks — all
+labelled by backend).  Per-iteration residual/relative-change *time
+series* are opt-in: pass ``track_iterations=True`` to get them attached
+to the :class:`SolverReport`, or ``iteration_callback=...`` (any
+``(iteration, residual, relative_change)`` callable, e.g.
+:class:`repro.obs.IterationSeries`) to watch convergence live.  Neither
+hook perturbs the numerics — observers only read values the iteration
+already produced.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
 from scipy.sparse import linalg as sparse_linalg
 
 from ..errors import SolverError
+from ..obs import metrics as obs_metrics
 
 #: Environment variable forcing a default backend (see docs/SOLVERS.md).
 SOLVER_ENV_VAR = "REPRO_SOLVER"
@@ -100,10 +113,23 @@ class SolverReport:
     mass_defect: float
     #: Backends that failed before this one succeeded (``auto`` only).
     fallbacks: Tuple[str, ...] = ()
+    #: Per-iteration convergence series — ``(iteration, residual,
+    #: relative_change)`` triples, with ``None`` where a backend does
+    #: not expose the quantity (GMRES reports its preconditioned
+    #: residual norm and no relative change).  Empty unless the solve
+    #: was made with ``track_iterations=True``: the series costs one
+    #: tuple per iteration, so it stays opt-in while the aggregate
+    #: metrics stay always-on.
+    iteration_trace: Tuple[Tuple[int, float, Optional[float]], ...] = ()
 
     def as_dict(self) -> Dict[str, object]:
-        """JSON-serialisable form (sweep records, runtime stats)."""
-        return {
+        """JSON-serialisable form (sweep records, runtime stats).
+
+        The opt-in iteration trace is included only when present, so
+        journals and baselines written without tracking keep their
+        historical shape.
+        """
+        out: Dict[str, object] = {
             "method": self.method,
             "size": self.size,
             "nnz": self.nnz,
@@ -112,6 +138,17 @@ class SolverReport:
             "mass_defect": self.mass_defect,
             "fallbacks": list(self.fallbacks),
         }
+        if self.iteration_trace:
+            out["iteration_trace"] = [
+                {
+                    "iteration": iteration,
+                    "residual": residual,
+                    "relative_change": relative_change,
+                }
+                for iteration, residual, relative_change
+                in self.iteration_trace
+            ]
+        return out
 
 
 @dataclass(frozen=True)
@@ -123,7 +160,14 @@ class SteadyStateSolution:
 
 
 class _Problem:
-    """Shared per-solve view of the generator submatrix."""
+    """Shared per-solve view of the generator submatrix.
+
+    Also the conduit of the opt-in per-iteration observation: the
+    driver attaches ``track``/``callback`` before invoking a backend,
+    and iterative backends report each iterate through
+    :meth:`observe_iteration` — the observation happens *after* the
+    iterate is computed, so it can never perturb the numerics.
+    """
 
     def __init__(self, q: sparse.csr_matrix):
         self.q = q.tocsr()
@@ -133,27 +177,53 @@ class _Problem:
         self.diagonal = self.q.diagonal()
         #: Residuals are judged relative to the magnitude of Q.
         self.scale = max(1.0, float(np.abs(self.diagonal).max(initial=0.0)))
+        #: Opt-in iteration observation (docs/OBSERVABILITY.md).
+        self.track = False
+        self.callback: Optional[Callable] = None
+        self.iterations: List[Tuple[int, float, Optional[float]]] = []
 
     def residual(self, x: np.ndarray) -> float:
         """``||x Q||_inf`` for a (normalised) candidate distribution."""
         return float(np.abs(self.a @ x).max(initial=0.0))
 
+    def observe_iteration(
+        self,
+        iteration: int,
+        residual: float,
+        relative_change: Optional[float],
+    ) -> None:
+        """Record one iteration for the trace and/or live callback."""
+        if self.track:
+            self.iterations.append((iteration, residual, relative_change))
+        if self.callback is not None:
+            self.callback(iteration, residual, relative_change)
+
+    @property
+    def observed(self) -> bool:
+        """True when backends should bother reporting iterations."""
+        return self.track or self.callback is not None
+
+    def reset_observation(self) -> None:
+        """Drop recorded iterations (between ``auto`` fallback tries)."""
+        self.iterations = []
+
+
+def _relative_change(x: np.ndarray, old: np.ndarray) -> float:
+    """Worst per-entry relative change between successive iterates."""
+    peak = float(np.abs(x).max(initial=0.0))
+    if peak <= 0.0:
+        return float("inf")
+    floor = peak * _RELATIVE_FLOOR
+    return float(np.max(np.abs(x - old) / np.maximum(np.abs(x), floor)))
+
 
 def _converged(
-    x: np.ndarray,
-    old: np.ndarray,
+    relative_change: float,
     residual: float,
     problem: _Problem,
     options: SolverOptions,
 ) -> bool:
     """The shared combined relative-change + residual test."""
-    peak = float(np.abs(x).max(initial=0.0))
-    if peak <= 0.0:
-        return False
-    floor = peak * _RELATIVE_FLOOR
-    relative_change = float(
-        np.max(np.abs(x - old) / np.maximum(np.abs(x), floor))
-    )
     return (
         relative_change <= options.tolerance
         and residual <= options.residual_tolerance * problem.scale
@@ -314,9 +384,13 @@ def _solve_gmres(
         preconditioner = None
     iterations = 0
 
-    def count(_):
+    def count(pr_norm):
         nonlocal iterations
         iterations += 1
+        if problem.observed:
+            # GMRES exposes its preconditioned residual norm only; it
+            # has no notion of a per-entry relative change.
+            problem.observe_iteration(iterations, float(pr_norm), None)
 
     try:
         solution, info = sparse_linalg.gmres(
@@ -426,7 +500,11 @@ def _solve_sor(
                 iterations=iteration,
             )
         x /= total
-        if _converged(x, old, problem.residual(x), problem, options):
+        residual = problem.residual(x)
+        change = _relative_change(x, old)
+        if problem.observed:
+            problem.observe_iteration(iteration, residual, change)
+        if _converged(change, residual, problem, options):
             return x, iteration
     raise SolverError(
         f"Gauss-Seidel did not converge within "
@@ -462,9 +540,11 @@ def _solve_power(
                 iterations=iteration,
             )
         updated /= total
-        if _converged(
-            updated, x, problem.residual(updated), problem, options
-        ):
+        residual = problem.residual(updated)
+        change = _relative_change(updated, x)
+        if problem.observed:
+            problem.observe_iteration(iteration, residual, change)
+        if _converged(change, residual, problem, options):
             return updated, iteration
         x = updated
     raise SolverError(
@@ -591,8 +671,33 @@ def _finalize(
         residual=residual,
         mass_defect=negative_mass / magnitude,
         fallbacks=fallbacks,
+        iteration_trace=tuple(problem.iterations) if problem.track else (),
     )
     return SteadyStateSolution(pi, report)
+
+
+def _record_solve_metrics(
+    report: SolverReport, elapsed: float
+) -> None:
+    """Always-on aggregate metrics for one completed solve."""
+    registry = obs_metrics.get_registry()
+    if not registry.enabled:
+        return
+    labels = {"method": report.method}
+    obs_metrics.SOLVER_SOLVES.on(registry).labels(**labels).inc()
+    obs_metrics.SOLVER_ITERATIONS.on(registry).labels(**labels).inc(
+        report.iterations
+    )
+    obs_metrics.SOLVER_RESIDUAL.on(registry).labels(**labels).observe(
+        report.residual
+    )
+    obs_metrics.SOLVER_SECONDS.on(registry).labels(**labels).observe(
+        elapsed
+    )
+    for fallback in report.fallbacks:
+        obs_metrics.SOLVER_FALLBACKS.on(registry).labels(
+            method=fallback
+        ).inc()
 
 
 def solve_steady_state(
@@ -601,6 +706,8 @@ def solve_steady_state(
     tolerance: float = DEFAULT_TOLERANCE,
     residual_tolerance: float = DEFAULT_RESIDUAL_TOLERANCE,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    track_iterations: bool = False,
+    iteration_callback: Optional[Callable] = None,
 ) -> SteadyStateSolution:
     """Solve ``pi Q = 0, sum(pi) = 1`` on an irreducible generator.
 
@@ -608,13 +715,26 @@ def solve_steady_state(
     (= ``$REPRO_SOLVER`` or ``auto``).  ``auto`` selects by size and
     sparsity and falls back along :data:`_FALLBACK_CHAIN` when the
     preferred backend fails; a named method never falls back.
+
+    With ``track_iterations=True`` the per-iteration convergence series
+    is attached to the report (``SolverReport.iteration_trace``);
+    *iteration_callback* — any ``(iteration, residual,
+    relative_change)`` callable — is invoked live instead/as well.
+    Neither affects the computed distribution.
     """
     name = resolve_method(method)
     options = SolverOptions(tolerance, residual_tolerance, max_iterations)
     problem = _Problem(q)
+    problem.track = track_iterations
+    problem.callback = iteration_callback
+    started = time.perf_counter()
     if name != "auto":
         raw, iterations = _REGISTRY[name](problem, options)
-        return _finalize(raw, iterations, name, problem, options, ())
+        solution = _finalize(raw, iterations, name, problem, options, ())
+        _record_solve_metrics(
+            solution.report, time.perf_counter() - started
+        )
+        return solution
     preferred = select_method(problem.size, problem.nnz)
     candidates = [preferred]
     candidates.extend(
@@ -625,12 +745,17 @@ def solve_steady_state(
     failed: list = []
     last_error: Optional[SolverError] = None
     for candidate in candidates:
+        problem.reset_observation()
         try:
             raw, iterations = _REGISTRY[candidate](problem, options)
-            return _finalize(
+            solution = _finalize(
                 raw, iterations, candidate, problem, options,
                 tuple(failed),
             )
+            _record_solve_metrics(
+                solution.report, time.perf_counter() - started
+            )
+            return solution
         except SolverError as error:
             failed.append(candidate)
             last_error = error

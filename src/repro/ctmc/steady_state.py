@@ -41,13 +41,18 @@ def steady_state_solution(
     tolerance: float = DEFAULT_TOLERANCE,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     residual_tolerance: float = DEFAULT_RESIDUAL_TOLERANCE,
+    track_iterations: bool = False,
+    iteration_callback=None,
 ) -> SteadyStateSolution:
     """Steady-state distribution of *ctmc* plus solver diagnostics.
 
     ``method=None`` resolves through ``$REPRO_SOLVER`` to ``auto``.  The
     returned distribution covers all states (transient states get
     probability zero); the report's residual is measured on the
-    recurrent class.
+    recurrent class.  ``track_iterations`` / ``iteration_callback``
+    enable the opt-in per-iteration convergence observation of
+    :func:`repro.ctmc.solvers.solve_steady_state` (no-ops for the
+    single-state closed form).
     """
     bsccs = ctmc.bottom_strongly_connected_components()
     if len(bsccs) == 0:
@@ -80,6 +85,8 @@ def steady_state_solution(
         tolerance=tolerance,
         residual_tolerance=residual_tolerance,
         max_iterations=max_iterations,
+        track_iterations=track_iterations,
+        iteration_callback=iteration_callback,
     )
     pi = np.zeros(ctmc.num_states)
     for state, position in index.items():

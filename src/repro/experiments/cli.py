@@ -14,6 +14,17 @@ Reliability tooling (docs/RELIABILITY.md)::
         --parameter shutdown_timeout --values 0.5,2,11,25 \
         --checkpoint journal.jsonl --output series.json
     repro-experiments trace-summary trace.jsonl
+
+Observability tooling (docs/OBSERVABILITY.md)::
+
+    repro-experiments fig4 --metrics-out out/fig4   # + out/fig4.{prom,json}
+    repro-experiments metrics                       # metric catalog
+    repro-experiments metrics out/fig4.json         # inspect an export
+    repro-experiments fig4 -vv                      # debug logging (stderr)
+
+*Product* output (reports, JSON series, tables) goes to stdout;
+diagnostics go through the ``repro.*`` logger on stderr
+(``--verbose`` / ``$REPRO_LOG``), so piped output stays clean.
 """
 
 from __future__ import annotations
@@ -28,6 +39,16 @@ from ..casestudies import rpc, streaming
 from ..core.methodology import IncrementalMethodology
 from ..core.reporting import format_table
 from ..ctmc.solvers import solver_choices
+from ..errors import CheckpointError
+from ..obs import (
+    CATALOG,
+    configure_logging,
+    emit,
+    get_logger,
+    get_registry,
+    load_json_export,
+    write_exports,
+)
 from ..runtime import (
     FaultInjector,
     RetryPolicy,
@@ -40,6 +61,8 @@ from .registry import all_experiments
 from .results import RunOptions
 
 _CASES = {"rpc": rpc.family, "streaming": streaming.family}
+
+_LOG = get_logger("cli")
 
 
 def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
@@ -90,10 +113,33 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
             "solve records its backend and residual — docs/SOLVERS.md)"
         ),
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PREFIX",
+        help=(
+            "export the run's metrics as PREFIX.prom (Prometheus text) "
+            "and PREFIX.json when done (docs/OBSERVABILITY.md)"
+        ),
+    )
+    parser.add_argument(
+        "-v", "--verbose",
+        action="count",
+        default=0,
+        help=(
+            "diagnostic logging on stderr (-v info, -vv debug; "
+            "baseline via $REPRO_LOG)"
+        ),
+    )
 
 
 def _run_options(args: argparse.Namespace) -> RunOptions:
-    """Build the RunOptions an argparse namespace describes."""
+    """Build the RunOptions an argparse namespace describes.
+
+    Also installs the logging configuration the namespace asks for —
+    every command path funnels through here before doing work.
+    """
+    configure_logging(args.verbose)
     retry = None
     if args.retry is not None:
         retry = RetryPolicy(max_attempts=args.retry)
@@ -107,7 +153,19 @@ def _run_options(args: argparse.Namespace) -> RunOptions:
         faults=faults,
         tracer=tracer,
         solver=args.solver,
+        metrics_out=args.metrics_out,
+        verbose=args.verbose,
     )
+
+
+def _export_metrics(options: RunOptions) -> None:
+    """Write the ``--metrics-out`` exports from the default registry."""
+    if options.metrics_out is None:
+        return
+    prom_path, json_path = write_exports(
+        get_registry(), options.metrics_out
+    )
+    emit(f"[metrics written to {prom_path} and {json_path}]")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -246,25 +304,29 @@ def run_sweep(argv: List[str]) -> int:
         **options.methodology_kwargs(),
     )
     started = time.time()
-    if args.phase == "markovian":
-        series = methodology.sweep_markovian(
-            args.parameter,
-            values,
-            variant=args.variant,
-            method=args.method,
-            checkpoint=args.checkpoint,
-        )
-    else:
-        series = methodology.sweep_general(
-            args.parameter,
-            values,
-            variant=args.variant,
-            run_length=args.run_length,
-            runs=args.runs,
-            warmup=args.warmup,
-            seed=args.seed,
-            checkpoint=args.checkpoint,
-        )
+    try:
+        if args.phase == "markovian":
+            series = methodology.sweep_markovian(
+                args.parameter,
+                values,
+                variant=args.variant,
+                method=args.method,
+                checkpoint=args.checkpoint,
+            )
+        else:
+            series = methodology.sweep_general(
+                args.parameter,
+                values,
+                variant=args.variant,
+                run_length=args.run_length,
+                runs=args.runs,
+                warmup=args.warmup,
+                seed=args.seed,
+                checkpoint=args.checkpoint,
+            )
+    except CheckpointError as error:
+        _LOG.error("checkpoint rejected: %s", error)
+        return 1
     payload = {
         "case": args.case,
         "phase": args.phase,
@@ -278,10 +340,10 @@ def run_sweep(argv: List[str]) -> int:
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
-    print(rendered)
+    emit(rendered)
     stats = methodology.runtime_stats()
     summary = (
-        f"[run-sweep done in {time.time() - started:.1f}s; "
+        f"run-sweep done in {time.time() - started:.1f}s; "
         f"workers={stats['workers']}"
     )
     if "solver" in stats:
@@ -300,20 +362,105 @@ def run_sweep(argv: List[str]) -> int:
             f", checkpoint hits={methodology.tracer.checkpoint_hits}"
         )
         methodology.tracer.close()
-    print(summary + "]", file=sys.stderr)
+    _LOG.info("%s", summary)
+    _export_metrics(options)
     return 0
 
 
 def trace_summary(argv: List[str]) -> int:
-    """``trace-summary``: aggregate a JSONL trace file into tables."""
+    """``trace-summary``: aggregate a JSONL trace file into tables.
+
+    Exit codes: 0 for a valid (possibly empty) trace, 1 for a missing
+    file or malformed JSONL (a torn final line — a crash mid-write — is
+    tolerated, corruption anywhere else is not).
+    """
     parser = argparse.ArgumentParser(
         prog="repro-experiments trace-summary",
         description="Summarise a --trace JSONL file (spans by phase/status)",
     )
     parser.add_argument("trace_file", help="JSONL file written by --trace")
     args = parser.parse_args(argv)
-    events = read_trace(args.trace_file)
-    print(render_summary(summarize_events(events), title=args.trace_file))
+    configure_logging()
+    try:
+        events = read_trace(args.trace_file)
+    except OSError as error:
+        _LOG.error("cannot read trace file: %s", error)
+        return 1
+    except json.JSONDecodeError as error:
+        _LOG.error(
+            "%s is not a valid JSONL trace: %s", args.trace_file, error
+        )
+        return 1
+    emit(render_summary(summarize_events(events), title=args.trace_file))
+    return 0
+
+
+def _catalog_report() -> str:
+    """The metric catalog as a table (``metrics`` with no file)."""
+    rows = [
+        [
+            spec.name,
+            spec.kind,
+            ",".join(spec.labelnames) or "-",
+            spec.help,
+        ]
+        for spec in CATALOG
+    ]
+    return format_table(
+        ["metric", "type", "labels", "help"], rows,
+        "metric catalog (docs/OBSERVABILITY.md)",
+    )
+
+
+def metrics_command(argv: List[str]) -> int:
+    """``metrics``: show the catalog, or inspect a ``--metrics-out`` JSON.
+
+    Exit codes: 0 on success, 1 for a missing, corrupt or empty export.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments metrics",
+        description=(
+            "With no argument: the catalog of every metric the stack "
+            "emits.  With a FILE.json written by --metrics-out: the "
+            "exported series and values"
+        ),
+    )
+    parser.add_argument(
+        "export_file", nargs="?", default=None,
+        help="JSON export written by --metrics-out (optional)",
+    )
+    args = parser.parse_args(argv)
+    configure_logging()
+    if args.export_file is None:
+        emit(_catalog_report())
+        return 0
+    try:
+        snapshot = load_json_export(args.export_file)
+    except OSError as error:
+        _LOG.error("cannot read metrics export: %s", error)
+        return 1
+    except (ValueError, json.JSONDecodeError) as error:
+        _LOG.error(
+            "%s is not a metrics export: %s", args.export_file, error
+        )
+        return 1
+    rows = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        for entry in family.get("series", ()):
+            labels = ",".join(
+                f"{k}={v}"
+                for k, v in sorted(dict(entry.get("labels", {})).items())
+            )
+            if family.get("type") == "histogram":
+                value = (
+                    f"count={entry.get('count', 0)} "
+                    f"sum={entry.get('sum', 0.0):.6g}"
+                )
+            else:
+                value = f"{entry.get('value', 0.0):.6g}"
+            rows.append([name, labels or "-", value])
+    emit(format_table(["metric", "labels", "value"], rows, args.export_file))
     return 0
 
 
@@ -324,9 +471,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_sweep(argv[1:])
     if argv and argv[0] == "trace-summary":
         return trace_summary(argv[1:])
+    if argv and argv[0] == "metrics":
+        return metrics_command(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
-        print(_list_report())
+        configure_logging(args.verbose)
+        emit(_list_report())
         return 0
     targets = (
         list(all_experiments())
@@ -336,7 +486,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     options = _run_options(args)
     for target in targets:
         started = time.time()
-        print(
+        _LOG.info("running %s (quick=%s)", target, args.quick)
+        emit(
             run_experiment(
                 target,
                 args.quick,
@@ -344,12 +495,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 options=options,
             )
         )
-        print(f"[{target} done in {time.time() - started:.1f}s]")
-        print()
+        emit(f"[{target} done in {time.time() - started:.1f}s]")
+        emit()
     if options.tracer is not None:
         options.tracer.close()
         if args.trace:
-            print(f"[trace written to {args.trace}]")
+            emit(f"[trace written to {args.trace}]")
+    _export_metrics(options)
     return 0
 
 

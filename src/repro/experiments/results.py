@@ -32,6 +32,13 @@ class RunOptions:
     #: Steady-state backend for Markovian solves (``--solver``); ``None``
     #: resolves through ``$REPRO_SOLVER`` to automatic selection.
     solver: Optional[str] = None
+    #: Path prefix for metric exports (``--metrics-out``): the run writes
+    #: ``<prefix>.prom`` + ``<prefix>.json`` from the default registry
+    #: when it finishes (docs/OBSERVABILITY.md).  ``None`` skips export;
+    #: the aggregate metrics are collected either way.
+    metrics_out: Optional[str] = None
+    #: ``--verbose`` count forwarded to the logging setup.
+    verbose: int = 0
 
     @classmethod
     def resolve(
@@ -77,11 +84,18 @@ class RuntimeStats:
     #: Aggregated steady-state solver reports (backend counts, residual
     #: maxima) when the experiment had a Markovian phase.
     solver: Optional[Dict[str, object]] = None
+    #: Snapshot of the default metric registry taken when the figure
+    #: finished (:meth:`repro.obs.MetricRegistry.snapshot` shape).  Not
+    #: part of :meth:`as_dict` — exports go through ``--metrics-out``.
+    metrics: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_methodology(cls, methodology) -> "RuntimeStats":
+        from ..obs import get_registry
+
         snapshot = methodology.runtime_stats()
         cache = snapshot["cache"]
+        registry = get_registry()
         return cls(
             workers=snapshot["workers"],
             cache_hits=cache["hits"],
@@ -92,6 +106,7 @@ class RuntimeStats:
             checkpoint_hits=snapshot.get("checkpoint_hits", 0),
             trace=snapshot.get("trace"),
             solver=snapshot.get("solver"),
+            metrics=registry.snapshot() if registry.enabled else None,
         )
 
     def as_dict(self) -> Dict[str, object]:

@@ -1,0 +1,124 @@
+"""Metric exporters: Prometheus text format and structured JSON.
+
+Both exporters render a :class:`~repro.obs.metrics.MetricRegistry`
+snapshot — the same data model, two encodings:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, cumulative ``le`` histogram
+  buckets), suitable for a node-exporter textfile collector or a
+  pushgateway;
+* :func:`render_json` — the snapshot as indented, key-sorted JSON for
+  scripted comparison (``benchmarks/bench_regression.py`` diffs these).
+
+:func:`write_exports` writes both next to each other
+(``<prefix>.prom`` + ``<prefix>.json``) — what the CLI's
+``--metrics-out`` flag and the CI metrics-artifact job call.
+Formats and the metric catalog are documented in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping, Tuple, Union
+
+from .metrics import MetricRegistry
+
+Snapshot = Mapping[str, Mapping[str, object]]
+
+
+def _snapshot(source: Union[MetricRegistry, Snapshot]) -> Snapshot:
+    if isinstance(source, MetricRegistry):
+        return source.snapshot()
+    return source
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(source: Union[MetricRegistry, Snapshot]) -> str:
+    """Render a registry (or snapshot) in Prometheus text format."""
+    lines = []
+    snapshot = _snapshot(source)
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for entry in family.get("series", ()):
+            labels = dict(entry.get("labels", {}))
+            if family["type"] == "histogram":
+                for bound, count in entry["buckets"].items():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = bound
+                    lines.append(
+                        f"{name}_bucket{_format_labels(bucket_labels)} "
+                        f"{_format_value(count)}"
+                    )
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_value(entry['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(labels)} "
+                    f"{_format_value(entry['count'])}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(entry['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(source: Union[MetricRegistry, Snapshot]) -> str:
+    """Render a registry (or snapshot) as indented, key-sorted JSON."""
+    return json.dumps(_snapshot(source), sort_keys=True, indent=2)
+
+
+def write_exports(
+    source: Union[MetricRegistry, Snapshot], prefix: str
+) -> Tuple[str, str]:
+    """Write ``<prefix>.prom`` and ``<prefix>.json``; returns the paths."""
+    snapshot = _snapshot(source)
+    prom_path = f"{prefix}.prom"
+    json_path = f"{prefix}.json"
+    with open(prom_path, "w", encoding="utf-8") as handle:
+        handle.write(render_prometheus(snapshot))
+    with open(json_path, "w", encoding="utf-8") as handle:
+        handle.write(render_json(snapshot) + "\n")
+    return prom_path, json_path
+
+
+def load_json_export(path: str) -> Dict[str, Dict[str, object]]:
+    """Load a ``--metrics-out`` JSON export (raises ValueError on junk)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        content = handle.read()
+    if not content.strip():
+        raise ValueError(f"{path}: empty metrics export")
+    data = json.loads(content)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a metrics export (expected an object)")
+    return data

@@ -1,0 +1,90 @@
+"""Logging setup for the repro stack (the ``repro.*`` logger hierarchy).
+
+Diagnostics — progress notes, timing summaries, retry notices — go
+through ordinary :mod:`logging` under the ``repro`` root logger and land
+on **stderr**; the CLI's *products* (figure reports, JSON series,
+rendered summaries) go to **stdout** via :func:`emit`, so piping a
+report into a file or diff never captures log chatter.
+
+The level is controlled by the ``REPRO_LOG`` environment variable
+(``debug``/``info``/``warning``/``error`` or a numeric level) or the
+CLI's ``--verbose`` flag (`-v` = info, `-vv` = debug); the default is
+``warning`` — silent unless something is worth saying.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional, TextIO
+
+#: Environment variable naming the default log level.
+LOG_ENV_VAR = "REPRO_LOG"
+
+_FORMAT = "[%(levelname)s %(name)s] %(message)s"
+
+_configured = False
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    return logging.getLogger(f"repro.{name}" if name else "repro")
+
+
+def _level_from_env(default: int = logging.WARNING) -> int:
+    raw = os.environ.get(LOG_ENV_VAR, "").strip()
+    if not raw:
+        return default
+    if raw.isdigit():
+        return int(raw)
+    level = logging.getLevelName(raw.upper())
+    return level if isinstance(level, int) else default
+
+
+def verbosity_level(verbose: int = 0) -> int:
+    """Map a ``--verbose`` count to a level, honouring ``$REPRO_LOG``.
+
+    The environment sets the baseline; ``-v`` flags only ever lower the
+    threshold (more output), never raise it.
+    """
+    from_env = _level_from_env()
+    if verbose >= 2:
+        return min(from_env, logging.DEBUG)
+    if verbose == 1:
+        return min(from_env, logging.INFO)
+    return from_env
+
+
+def configure_logging(
+    verbose: int = 0, stream: Optional[TextIO] = None, force: bool = False
+) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger (idempotent).
+
+    Re-invocations only adjust the level unless *force* re-installs the
+    handler (tests use *force* with a capture stream).
+    """
+    global _configured
+    root = get_logger()
+    if force:
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+        _configured = False
+    if not _configured:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+        root.propagate = False
+        _configured = True
+    root.setLevel(verbosity_level(verbose))
+    return root
+
+
+def emit(text: str = "", stream: Optional[TextIO] = None) -> None:
+    """Write one line of CLI *product* output (stdout, not a log record).
+
+    Reports, rendered tables and JSON payloads are the command's output
+    contract, not diagnostics: they always print, regardless of log
+    level, and must stay on stdout where pipes expect them.
+    """
+    print(text, file=stream if stream is not None else sys.stdout)

@@ -28,6 +28,13 @@ Plus a fault-tolerance and observability layer (see docs/RELIABILITY.md):
   worker, retries, wall/cpu time, cache and checkpoint hits) kept
   in memory and optionally streamed to JSONL for the
   ``repro-experiments trace-summary`` CLI.
+
+Every layer mirrors its counters onto the unified metric registry of
+:mod:`repro.obs` (``repro_runtime_*``, ``repro_executor_*``,
+``repro_cache_*``, ``repro_checkpoint_*``, ``repro_phase_*`` — see
+docs/OBSERVABILITY.md), so a ``--metrics-out`` export captures worker
+utilization, retry counts, cache hit ratios and checkpoint resume stats
+without any extra wiring.
 """
 
 from .checkpoint import SweepCheckpoint, sweep_fingerprint

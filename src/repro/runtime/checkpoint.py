@@ -34,8 +34,17 @@ import os
 from typing import Any, Dict, Optional
 
 from ..errors import CheckpointError
+from ..obs import metrics as obs_metrics
 
 JOURNAL_VERSION = 1
+
+
+def _emit_checkpoint_event(kind: str, count: int = 1) -> None:
+    registry = obs_metrics.get_registry()
+    if registry.enabled and count:
+        obs_metrics.CHECKPOINT_EVENTS.on(registry).labels(kind=kind).inc(
+            count
+        )
 
 
 def sweep_fingerprint(**fields: Any) -> str:
@@ -102,6 +111,7 @@ class SweepCheckpoint:
                     f"{record.get('kind')!r}"
                 )
             self.completed[int(record["index"])] = record["result"]
+        _emit_checkpoint_event("replayed", len(self.completed))
         return self.completed
 
     def _parse(
@@ -153,6 +163,7 @@ class SweepCheckpoint:
             }
         )
         self.completed[index] = result
+        _emit_checkpoint_event("recorded")
 
     def close(self) -> None:
         if self._handle is not None:

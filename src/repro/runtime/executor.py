@@ -39,8 +39,18 @@ from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import RetryBudgetExceededError
+from ..obs import metrics as obs_metrics
 from . import trace as trace_mod
 from .faults import KILL, FaultInjector
+
+
+def _count_tasks(mode: str, count: int) -> None:
+    """Bump ``repro_executor_tasks_total`` for one dispatched batch."""
+    registry = obs_metrics.get_registry()
+    if registry.enabled and count:
+        obs_metrics.EXECUTOR_TASKS.on(registry).labels(mode=mode).inc(
+            count
+        )
 
 #: Upper bound on auto-detected workers (sweeps rarely scale past this).
 _MAX_AUTO_WORKERS = 8
@@ -179,13 +189,18 @@ class ParallelExecutor:
             or tracer is not None
         )
         if not resilient:
+            _count_tasks(
+                "serial" if self.is_serial else "pool", len(items)
+            )
             return self._map_fast(fn, items, shared, chunksize)
         retry = retry or DEFAULT_RETRY
         tracer = tracer or trace_mod.TraceRecorder()
         if self.is_serial or len(items) == 1:
+            _count_tasks("resilient-serial", len(items))
             return self._map_serial(
                 fn, items, shared, retry, faults, checkpoint, tracer, phase
             )
+        _count_tasks("resilient-pool", len(items))
         return self._map_parallel(
             fn, items, shared, retry, faults, checkpoint, tracer, phase
         )

@@ -50,6 +50,7 @@ from ..aemilia.semantics import (
 )
 from ..errors import SemanticsError
 from ..lts.lts import LTS
+from ..obs import metrics as obs_metrics
 from .timing import Timer
 
 
@@ -206,11 +207,36 @@ def generate_parametric(
 
 @dataclass
 class CacheStats:
-    """Effectiveness counters of one structural cache."""
+    """Effectiveness counters of one structural cache.
+
+    The ``hit``/``miss``/``relabel`` methods are the instrumented way to
+    count: they mirror each event onto the ``repro_cache_events_total``
+    metric (docs/OBSERVABILITY.md) besides bumping the local counter.
+    """
 
     hits: int = 0
     misses: int = 0
     relabels: int = 0
+
+    def _emit(self, kind: str, count: int = 1) -> None:
+        registry = obs_metrics.get_registry()
+        if registry.enabled:
+            obs_metrics.CACHE_EVENTS.on(registry).labels(kind=kind).inc(
+                count
+            )
+
+    def hit(self) -> None:
+        self.hits += 1
+        self._emit("hit")
+
+    def miss(self) -> None:
+        self.misses += 1
+        self._emit("miss")
+
+    def relabel(self, count: int = 1) -> None:
+        if count:
+            self.relabels += count
+            self._emit("relabel", count)
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -294,7 +320,7 @@ class StructuralStateSpaceCache:
         key = self._key(archi, env, max_states, apply_preemption)
         skeleton = self._skeletons.get(key) if self.enabled else None
         if skeleton is None:
-            self.stats.misses += 1
+            self.stats.miss()
             with timer.span("statespace") if timer else nullcontext():
                 skeleton = generate_parametric(
                     archi, const_overrides, max_states, apply_preemption
@@ -302,7 +328,7 @@ class StructuralStateSpaceCache:
             if self.enabled:
                 self._skeletons[key] = skeleton
         else:
-            self.stats.hits += 1
+            self.stats.hit()
         return skeleton
 
     def lts(
@@ -320,7 +346,7 @@ class StructuralStateSpaceCache:
         )
         if env == skeleton.const_env:
             return skeleton.lts
-        self.stats.relabels += 1
+        self.stats.relabel()
         with timer.span("relabel") if timer else nullcontext():
             return skeleton.relabel(env)
 

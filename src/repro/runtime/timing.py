@@ -4,7 +4,9 @@ A :class:`Timer` accumulates named wall-clock spans (``generate``,
 ``relabel``, ``solve``, ``simulate``...) so every experiment can report
 where its time went and the scaling benchmark can emit machine-readable
 per-phase timings.  Spans nest and re-enter freely; re-entering a span
-already on the stack only counts the outermost occurrence.
+already on the stack only counts the outermost occurrence.  Every
+recorded span also bumps the ``repro_phase_seconds_total`` counter on
+the default metric registry (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -12,6 +14,8 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Mapping
+
+from ..obs import metrics as obs_metrics
 
 
 class Timer:
@@ -40,6 +44,11 @@ class Timer:
         """Record *seconds* of elapsed time under *name*."""
         self._seconds[name] = self._seconds.get(name, 0.0) + seconds
         self._counts[name] = self._counts.get(name, 0) + count
+        registry = obs_metrics.get_registry()
+        if registry.enabled:
+            obs_metrics.PHASE_SECONDS.on(registry).labels(
+                phase=name
+            ).inc(seconds)
 
     def merge(self, other: "Timer") -> None:
         """Fold another timer's spans into this one (worker results)."""

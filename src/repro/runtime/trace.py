@@ -17,6 +17,12 @@ Span record schema (one JSON object per line in the JSONL file)::
      "ts": 1722870000.123}
 
 ``repro-experiments trace-summary <file>`` renders the aggregate view.
+Span aggregates are mirrored onto the ``repro_runtime_*`` metrics of the
+default registry (docs/OBSERVABILITY.md), so ``--metrics-out`` exports
+cover worker utilization and retry counts without a trace file.
+
+This recorder traces *runtime work spans*; the event-trajectory recorder
+of the simulator is :class:`repro.sim.trace.EventTraceRecorder`.
 """
 
 from __future__ import annotations
@@ -25,6 +31,8 @@ import json
 import os
 import time
 from typing import Any, Dict, Iterable, List, Optional
+
+from ..obs import metrics as obs_metrics
 
 #: Span statuses with a fixed meaning across the runtime.
 STATUS_OK = "ok"
@@ -41,13 +49,23 @@ class TraceRecorder:
 
     ``path=None`` keeps records in memory only; with a path every record
     is also appended to a JSONL file as it happens, so a killed process
-    leaves a usable trace behind.
+    leaves a usable trace behind.  Each record is appended with a single
+    ``os.write`` on an ``O_APPEND`` descriptor: POSIX appends are atomic
+    at that size, so several processes (chaos runs fork workers that
+    trace into the same file) can never interleave partial lines.
+
+    *emit_metrics* mirrors the aggregates onto the default metric
+    registry; pass ``False`` when re-aggregating a historical file
+    (:func:`summarize_events`) so old spans do not pollute live counters.
     """
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(
+        self, path: Optional[str] = None, emit_metrics: bool = True
+    ):
         self.path = path
+        self.emit_metrics = emit_metrics
         self.events: List[Dict[str, Any]] = []
-        self._handle = None
+        self._fd: Optional[int] = None
         self._aggregate: Dict[str, Dict[str, float]] = {}
         self._status_counts: Dict[str, int] = {}
 
@@ -81,10 +99,14 @@ class TraceRecorder:
         self.events.append(record)
         self._aggregate_record(record)
         if self.path is not None:
-            if self._handle is None:
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-            self._handle.flush()
+            if self._fd is None:
+                self._fd = os.open(
+                    self.path,
+                    os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                    0o644,
+                )
+            line = json.dumps(record, sort_keys=True) + "\n"
+            os.write(self._fd, line.encode("utf-8"))
         return record
 
     def _aggregate_record(self, record: Dict[str, Any]) -> None:
@@ -99,6 +121,21 @@ class TraceRecorder:
             phase["retries"] += 1
         status = record["status"]
         self._status_counts[status] = self._status_counts.get(status, 0) + 1
+        if not self.emit_metrics:
+            return
+        registry = obs_metrics.get_registry()
+        if not registry.enabled:
+            return
+        obs_metrics.RUNTIME_SPANS.on(registry).labels(
+            phase=record["phase"], status=status
+        ).inc()
+        if record["wall"]:
+            obs_metrics.RUNTIME_SPAN_SECONDS.on(registry).labels(
+                phase=record["phase"]
+            ).inc(record["wall"])
+        obs_metrics.RUNTIME_WORKER_TASKS.on(registry).labels(
+            worker=str(record["worker"])
+        ).inc()
 
     # -- aggregate views ---------------------------------------------------
 
@@ -125,9 +162,9 @@ class TraceRecorder:
         }
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
 
 def read_trace(path: str) -> List[Dict[str, Any]]:
@@ -150,7 +187,7 @@ def read_trace(path: str) -> List[Dict[str, Any]]:
 def summarize_events(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     """Aggregate raw span records into the :meth:`TraceRecorder.summary`
     shape (used by ``trace-summary`` on a file written by another run)."""
-    recorder = TraceRecorder()
+    recorder = TraceRecorder(emit_metrics=False)
     for event in events:
         known = {
             key: event[key]

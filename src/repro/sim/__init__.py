@@ -21,7 +21,7 @@ from .output import (
     summarize,
 )
 from .random import generator_for_run, make_generator, spawn_generators
-from .trace import TraceEntry, TraceRecorder
+from .trace import EventTraceRecorder, TraceEntry, TraceRecorder
 
 __all__ = [
     "Deterministic",
@@ -47,6 +47,7 @@ __all__ = [
     "generator_for_run",
     "make_generator",
     "spawn_generators",
+    "EventTraceRecorder",
     "TraceEntry",
     "TraceRecorder",
 ]

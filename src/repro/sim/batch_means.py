@@ -14,7 +14,7 @@ good, large positive values mean the batches are still correlated).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 import numpy as np
@@ -22,6 +22,7 @@ import numpy as np
 from ..ctmc.measures import Measure
 from ..errors import SimulationError
 from ..lts.lts import LTS
+from ..obs import metrics as obs_metrics
 from .engine import Simulator
 from .output import Estimate, summarize
 from .random import make_generator
@@ -34,6 +35,11 @@ class BatchMeansResult:
     estimates: Dict[str, Estimate]
     batch_means: Dict[str, List[float]]
     lag1_autocorrelation: Dict[str, float]
+    #: Per-measure running confidence half-widths: entry ``k`` is the
+    #: half-width over the first ``k + 2`` batches, so a flattening tail
+    #: shows the estimator has converged and a still-shrinking one says
+    #: more batches would pay (docs/OBSERVABILITY.md).
+    convergence: Dict[str, List[float]] = field(default_factory=dict)
 
     def __getitem__(self, name: str) -> Estimate:
         return self.estimates[name]
@@ -106,4 +112,19 @@ def batch_means(
         name: _lag1_autocorrelation(values)
         for name, values in samples.items()
     }
-    return BatchMeansResult(estimates, samples, autocorrelation)
+    convergence = {
+        name: [
+            summarize(values[:count], confidence).half_width
+            for count in range(2, len(values) + 1)
+        ]
+        for name, values in samples.items()
+    }
+    registry = obs_metrics.get_registry()
+    if registry.enabled:
+        obs_metrics.SIM_BATCHES.on(registry).inc(batches)
+        lag_gauge = obs_metrics.SIM_BATCH_LAG1.on(registry)
+        for name, value in autocorrelation.items():
+            lag_gauge.labels(measure=name).set(value)
+    return BatchMeansResult(
+        estimates, samples, autocorrelation, convergence
+    )

@@ -26,6 +26,7 @@ distribution.  The ablation benchmark compares against restart semantics.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -41,6 +42,7 @@ from ..ctmc.measures import Measure
 from ..errors import SimulationError
 from ..lts.lts import LTS, Transition
 from ..distributions import Distribution, Exponential
+from ..obs import metrics as obs_metrics
 from .estimators import MeasureAccumulator, make_accumulators
 
 #: Abort a run after this many consecutive zero-time firings.
@@ -223,6 +225,7 @@ class Simulator:
             raise SimulationError(f"run_length must be positive, got {run_length}")
         if warmup < 0:
             raise SimulationError(f"warmup must be >= 0, got {warmup}")
+        started = time.perf_counter()
         accumulators = make_accumulators(self.measures, self.lts)
         state = self.lts.initial if start_state is None else start_state
         now = 0.0
@@ -309,9 +312,40 @@ class Simulator:
             accumulator.measure.name: accumulator.value(run_length)
             for accumulator in accumulators
         }
+        self._record_run_metrics(
+            fired, deadlocked, start_clocks, time.perf_counter() - started
+        )
         return SimulationResult(
             values, run_length, fired, state, deadlocked, dict(clocks)
         )
+
+    @staticmethod
+    def _record_run_metrics(
+        fired: int,
+        deadlocked: bool,
+        start_clocks: Optional[Dict[str, float]],
+        elapsed: float,
+    ) -> None:
+        """Always-on aggregate metrics for one completed run.
+
+        A handful of counter bumps after the trajectory is done — the
+        event loop itself is untouched, and the RNG stream never sees
+        the instrumentation (docs/OBSERVABILITY.md).
+        """
+        registry = obs_metrics.get_registry()
+        if not registry.enabled:
+            return
+        obs_metrics.SIM_RUNS.on(registry).inc()
+        obs_metrics.SIM_EVENTS.on(registry).inc(fired)
+        if deadlocked:
+            obs_metrics.SIM_DEADLOCKS.on(registry).inc()
+        if start_clocks:
+            obs_metrics.SIM_CLOCK_CARRIES.on(registry).inc(
+                len(start_clocks)
+            )
+        obs_metrics.SIM_RUN_SECONDS.on(registry).observe(elapsed)
+        if elapsed > 0.0:
+            obs_metrics.SIM_EVENT_RATE.on(registry).set(fired / elapsed)
 
     @staticmethod
     def _accumulate_time(

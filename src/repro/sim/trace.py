@@ -1,13 +1,19 @@
 """Event-trace recording for debugging and for the example scripts.
 
-A :class:`TraceRecorder` runs a :class:`~repro.sim.engine.Simulator` with an
-observer that keeps the first ``capacity`` events as
-``(time, label, state_info)`` triples — enough to eyeball a trajectory
-without drowning in output.
+An :class:`EventTraceRecorder` runs a
+:class:`~repro.sim.engine.Simulator` with an observer that keeps the
+first ``capacity`` events as ``(time, label, state_info)`` triples —
+enough to eyeball a trajectory without drowning in output.
+
+Naming note (docs/OBSERVABILITY.md): this records *simulation event
+trajectories*; the runtime's *work-span* recorder is
+:class:`repro.runtime.trace.TraceRecorder`.  The historical name
+``TraceRecorder`` is kept here as a deprecated alias.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -31,8 +37,13 @@ class TraceEntry:
         return f"t={self.time:10.4f}  {self.label:<50} -> {self.state_info}"
 
 
-class TraceRecorder:
-    """Simulate while recording a bounded prefix of the event trace."""
+class EventTraceRecorder:
+    """Simulate while recording a bounded prefix of the event trace.
+
+    Distinct from the runtime work-span recorder
+    :class:`repro.runtime.trace.TraceRecorder` — see
+    docs/OBSERVABILITY.md for how the two fit together.
+    """
 
     def __init__(
         self,
@@ -72,3 +83,22 @@ class TraceRecorder:
         if len(self.entries) == self.capacity:
             lines.append(f"... (trace capped at {self.capacity} events)")
         return "\n".join(lines)
+
+
+class TraceRecorder(EventTraceRecorder):
+    """Deprecated alias of :class:`EventTraceRecorder`.
+
+    The old name collided with the runtime's work-span recorder
+    (:class:`repro.runtime.trace.TraceRecorder`); it stays importable
+    for one deprecation cycle.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "repro.sim.trace.TraceRecorder was renamed to "
+            "EventTraceRecorder (the old name collides with "
+            "repro.runtime.trace.TraceRecorder)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

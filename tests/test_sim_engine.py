@@ -21,7 +21,12 @@ from repro.ctmc import (
 from repro.distributions import Deterministic, Exponential
 from repro.errors import SimulationError
 from repro.lts import LTS
-from repro.sim import Simulator, TraceRecorder, make_generator, simulate
+from repro.sim import (
+    EventTraceRecorder,
+    Simulator,
+    make_generator,
+    simulate,
+)
 
 
 def rated_lts(entries, initial=0):
@@ -286,7 +291,7 @@ class TestObserverAndTrace:
         lts = rated_lts(
             [(0, "up", 1, ExpRate(2.0)), (1, "down", 0, ExpRate(3.0))]
         )
-        recorder = TraceRecorder(lts, capacity=10)
+        recorder = EventTraceRecorder(lts, capacity=10)
         recorder.run(1_000.0, make_generator(4))
         assert len(recorder.entries) == 10
         assert "capped" in recorder.format()
@@ -295,7 +300,7 @@ class TestObserverAndTrace:
         lts = rated_lts(
             [(0, "up", 1, ExpRate(2.0)), (1, "down", 0, ExpRate(3.0))]
         )
-        recorder = TraceRecorder(lts, capacity=50)
+        recorder = EventTraceRecorder(lts, capacity=50)
         recorder.run(1_000.0, make_generator(4))
         times = [entry.time for entry in recorder.entries]
         assert times == sorted(times)
