@@ -26,6 +26,10 @@ def family() -> ModelFamily:
         high_patterns=functional.HIGH_PATTERNS,
         low_patterns=functional.LOW_PATTERNS,
         measures=markovian.measures(),
+        # The client's packet-processing time is the workload knob of
+        # this case study: a --workload replaces its duration
+        # (docs/WORKLOADS.md).
+        workload_pattern="C.process_result_packet",
     )
 
 

@@ -23,6 +23,10 @@ def family() -> ModelFamily:
         high_patterns=functional.HIGH_PATTERNS,
         low_patterns=functional.LOW_PATTERNS,
         measures=markovian.measures(),
+        # The server's frame production period is the workload knob of
+        # this case study: a --workload replaces its duration
+        # (docs/WORKLOADS.md).
+        workload_pattern="S.produce_frame",
     )
 
 

@@ -44,7 +44,9 @@ from ..runtime import (
     resolve_workers,
     sweep_fingerprint,
 )
+from ..distributions import Distribution
 from ..sim.output import ReplicationResult, replicate
+from ..workload.hooks import apply_workload, workload_fingerprint
 from .noninterference import NoninterferenceResult, check_noninterference
 from .validation import ValidationReport, cross_validate
 
@@ -123,8 +125,10 @@ def _markov_point_fresh(shared: Any, overrides: Mapping[str, object]) -> Dict[st
 
 def _general_point_cached(shared: Any, env: Mapping[str, object]) -> Dict[str, float]:
     """Simulate one general sweep point on a relabeled shared skeleton."""
-    skeleton, measures, run_length, runs, warmup, seed = shared
+    skeleton, measures, run_length, runs, warmup, seed, pattern, workload = shared
     lts = skeleton.relabel(env)
+    if workload is not None:
+        lts = apply_workload(lts, pattern, workload)
     replication = replicate(
         lts, measures, run_length, runs=runs, warmup=warmup, seed=seed
     )
@@ -133,8 +137,40 @@ def _general_point_cached(shared: Any, env: Mapping[str, object]) -> Dict[str, f
 
 def _general_point_fresh(shared: Any, overrides: Mapping[str, object]) -> Dict[str, float]:
     """Simulate one general sweep point from scratch (structural parameter)."""
-    archi, measures, run_length, runs, warmup, seed, max_states = shared
+    (
+        archi, measures, run_length, runs, warmup, seed, max_states,
+        pattern, workload,
+    ) = shared
     lts = generate_lts(archi, overrides, max_states)
+    if workload is not None:
+        lts = apply_workload(lts, pattern, workload)
+    replication = replicate(
+        lts, measures, run_length, runs=runs, warmup=warmup, seed=seed
+    )
+    return {name: est.mean for name, est in replication.estimates.items()}
+
+
+def _workload_point(shared: Any, item: Tuple) -> Dict[str, float]:
+    """Simulate one (workload class, sweep point) task of sweep_workloads.
+
+    The item carries the workload distribution (possibly a TraceReplay —
+    its replay cursors are dropped on pickling, so every worker starts
+    clean) and either a relabel environment (cached skeleton) or an
+    override dict (fresh generation); the result depends only on
+    ``(shared, item)``, which is what makes serial and parallel
+    executions bit-identical.
+    """
+    (
+        skeleton, archi, measures, run_length, runs, warmup, seed,
+        pattern, max_states,
+    ) = shared
+    workload, point = item
+    if skeleton is not None:
+        lts = skeleton.relabel(point)
+    else:
+        lts = generate_lts(archi, point, max_states)
+    if workload is not None:
+        lts = apply_workload(lts, pattern, workload)
     replication = replicate(
         lts, measures, run_length, runs=runs, warmup=warmup, seed=seed
     )
@@ -157,6 +193,11 @@ class ModelFamily:
     #: Optional separate functional NO-DPM model; when absent, phase 1
     #: derives it by preventing the high actions (the standard check).
     functional_nodpm: Optional[ArchiType] = None
+    #: Label pattern of the case study's workload hook — the timed
+    #: transition whose duration a ``--workload`` replaces (e.g. the rpc
+    #: client's ``C.process_result_packet``).  ``None`` means the case
+    #: study takes no workload.
+    workload_pattern: Optional[str] = None
 
     def measure_names(self) -> List[str]:
         """Names of the declared measures, in order."""
@@ -199,6 +240,7 @@ class IncrementalMethodology:
         faults: Optional[FaultInjector] = None,
         tracer: Optional[TraceRecorder] = None,
         solver: Optional[str] = None,
+        workload: Optional[Distribution] = None,
     ):
         self.family = family
         self.max_states = max_states
@@ -211,6 +253,15 @@ class IncrementalMethodology:
         #: Default steady-state backend for every Markovian solve
         #: (``None`` resolves through ``$REPRO_SOLVER`` to ``auto``).
         self.solver = solver
+        #: Default workload applied to every general-phase simulation at
+        #: the family's workload hook (docs/WORKLOADS.md); the Markovian
+        #: and functional phases never see it.
+        self.workload = workload
+        if workload is not None and family.workload_pattern is None:
+            raise AnalysisError(
+                f"model family {family.name!r} declares no workload hook "
+                f"(workload_pattern); cannot apply workload {workload}"
+            )
         #: Per-point solver reports of every Markovian solve so far,
         #: in execution order (see runtime_stats()["solver"]).
         self.solver_records: List[Dict[str, object]] = []
@@ -337,6 +388,28 @@ class IncrementalMethodology:
             )
             self._lts_cache[key] = cached
         return cached
+
+    def _resolve_workload(
+        self, workload: Optional[Distribution]
+    ) -> Optional[Distribution]:
+        """Per-call workload wins over the constructor default."""
+        chosen = workload if workload is not None else self.workload
+        if chosen is not None and self.family.workload_pattern is None:
+            raise AnalysisError(
+                f"model family {self.family.name!r} declares no workload "
+                f"hook (workload_pattern); cannot apply workload {chosen}"
+            )
+        return chosen
+
+    def _apply_workload(
+        self, lts: LTS, workload: Optional[Distribution]
+    ) -> LTS:
+        """Rewrite *lts* with the workload at the family's hook, if any."""
+        if workload is None:
+            return lts
+        return apply_workload(
+            lts, self.family.workload_pattern, workload
+        )
 
     # -- phase 1: functional -------------------------------------------------
 
@@ -515,9 +588,18 @@ class IncrementalMethodology:
         seed: int = 20040628,
         confidence: float = 0.90,
         workers: Optional[int] = None,
+        workload: Optional[Distribution] = None,
     ) -> ReplicationResult:
-        """Estimate the measures on the general model by simulation."""
-        lts = self.build_lts("general", variant, const_overrides)
+        """Estimate the measures on the general model by simulation.
+
+        *workload* (default: the methodology's configured workload, if
+        any) replaces the duration at the family's workload hook before
+        simulating (docs/WORKLOADS.md).
+        """
+        lts = self._apply_workload(
+            self.build_lts("general", variant, const_overrides),
+            self._resolve_workload(workload),
+        )
         with self.timer.span("simulate"):
             return replicate(
                 lts,
@@ -545,6 +627,7 @@ class IncrementalMethodology:
         seed: int = 20040628,
         workers: Optional[int] = None,
         checkpoint: Optional[str] = None,
+        workload: Optional[Distribution] = None,
     ) -> Dict[str, List[float]]:
         """Simulation sweep; returns mean series keyed by measure name.
 
@@ -552,8 +635,13 @@ class IncrementalMethodology:
         so parallel means are bit-identical to the serial sweep.  A
         rate-only parameter reuses one state-space skeleton across all
         points.  *checkpoint* names a journal file enabling bit-identical
-        resume after an interruption (docs/RELIABILITY.md).
+        resume after an interruption (docs/RELIABILITY.md).  *workload*
+        (default: the methodology's configured workload) replaces the
+        family's workload-hook duration at every point; its fingerprint
+        is part of the checkpoint identity, so a journal written under
+        one workload refuses to resume under another.
         """
+        workload = self._resolve_workload(workload)
         archi, points, rate_only = self._sweep_points(
             "general", variant, parameter, values, const_overrides
         )
@@ -574,8 +662,10 @@ class IncrementalMethodology:
             runs=runs,
             warmup=warmup,
             seed=seed,
+            workload=workload_fingerprint(workload),
         )
         resilience = self._resilience(journal, "simulate")
+        pattern = self.family.workload_pattern
         try:
             if rate_only:
                 skeleton = self.cache.skeleton(
@@ -588,7 +678,7 @@ class IncrementalMethodology:
                 )
                 shared = (
                     skeleton, self.family.measures, run_length, runs,
-                    warmup, seed,
+                    warmup, seed, pattern, workload,
                 )
                 with self.timer.span("simulate"):
                     results = executor.map(
@@ -597,7 +687,7 @@ class IncrementalMethodology:
             else:
                 shared = (
                     archi, self.family.measures, run_length, runs, warmup,
-                    seed, self.max_states,
+                    seed, self.max_states, pattern, workload,
                 )
                 with self.timer.span("simulate"):
                     results = executor.map(
@@ -614,6 +704,116 @@ class IncrementalMethodology:
             for name in series:
                 series[name].append(point_result[name])
         return series
+
+    def sweep_workloads(
+        self,
+        workloads: Mapping[str, Optional[Distribution]],
+        parameter: str,
+        values: Sequence[float],
+        variant: str = "dpm",
+        const_overrides: Optional[Mapping[str, object]] = None,
+        run_length: float = 20_000.0,
+        runs: int = 10,
+        warmup: float = 0.0,
+        seed: int = 20040628,
+        workers: Optional[int] = None,
+        checkpoint: Optional[str] = None,
+    ) -> Dict[str, Dict[str, List[float]]]:
+        """Sweep a parameter under several workload classes at once.
+
+        *workloads* maps class names (e.g. ``"poisson"``, ``"mmpp"``,
+        ``"pareto"``) to the distribution injected at the family's
+        workload hook (``None`` = the specification's own duration).
+        Every (class, point) pair is one executor task, so all classes
+        progress in parallel; the result maps each class name to the
+        same per-measure series :meth:`sweep_general` returns.  The
+        checkpoint fingerprint covers every class's workload
+        fingerprint, so one journal resumes the whole grid.
+        """
+        if not workloads:
+            raise AnalysisError("sweep_workloads needs at least one class")
+        for name, workload in workloads.items():
+            if workload is not None:
+                self._resolve_workload(workload)  # hook presence check
+        archi, points, rate_only = self._sweep_points(
+            "general", variant, parameter, values, const_overrides
+        )
+        class_names = list(workloads)
+        _LOG.info(
+            "workload sweep: %s over %s x %d classes (%s; %d tasks)",
+            self.family.name, parameter, len(class_names),
+            ", ".join(class_names), len(points) * len(class_names),
+        )
+        executor = self._executor(workers)
+        journal = self._sweep_checkpoint(
+            checkpoint,
+            kind="workloads",
+            variant=variant,
+            parameter=parameter,
+            values=list(values),
+            const_overrides=sorted((const_overrides or {}).items()),
+            run_length=run_length,
+            runs=runs,
+            warmup=warmup,
+            seed=seed,
+            workloads=[
+                (name, workload_fingerprint(workloads[name]))
+                for name in class_names
+            ],
+        )
+        resilience = self._resilience(journal, "simulate")
+        pattern = self.family.workload_pattern
+        try:
+            if rate_only:
+                skeleton = self.cache.skeleton(
+                    archi, const_overrides, self.max_states,
+                    timer=self.timer,
+                )
+                envs = [archi.bind_constants(p) for p in points]
+                self.cache.stats.relabel(
+                    len(class_names)
+                    * sum(1 for env in envs if env != skeleton.const_env)
+                )
+                shared = (
+                    skeleton, None, self.family.measures, run_length,
+                    runs, warmup, seed, pattern, self.max_states,
+                )
+                items = [
+                    (workloads[name], env)
+                    for name in class_names
+                    for env in envs
+                ]
+            else:
+                shared = (
+                    None, archi, self.family.measures, run_length, runs,
+                    warmup, seed, pattern, self.max_states,
+                )
+                items = [
+                    (workloads[name], point)
+                    for name in class_names
+                    for point in points
+                ]
+            with self.timer.span("simulate"):
+                results = executor.map(
+                    _workload_point, items, shared, **resilience
+                )
+        finally:
+            if journal is not None:
+                journal.close()
+        _count_sweep_points(
+            self.family.name, "workloads", len(results)
+        )
+        grid: Dict[str, Dict[str, List[float]]] = {}
+        measure_names = self.family.measure_names()
+        for position, name in enumerate(class_names):
+            block = results[
+                position * len(points):(position + 1) * len(points)
+            ]
+            grid[name] = {
+                measure: [point[measure] for point in block]
+                for measure in measure_names
+            }
+        return grid
 
     # -- one-call driver ------------------------------------------------------
 

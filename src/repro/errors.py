@@ -105,6 +105,10 @@ class SimulationError(ReproError):
     """The discrete-event simulator met an inconsistent model."""
 
 
+class WorkloadError(ReproError):
+    """A workload trace is malformed, unreadable, or cannot be fitted."""
+
+
 class ValidationError(ReproError):
     """Cross-validation between general and Markovian models failed."""
 

@@ -22,6 +22,15 @@ Observability tooling (docs/OBSERVABILITY.md)::
     repro-experiments metrics out/fig4.json         # inspect an export
     repro-experiments fig4 -vv                      # debug logging (stderr)
 
+Workload tooling (docs/WORKLOADS.md)::
+
+    repro-experiments workload generate --generator mmpp:2,0.05,5,50 \
+        --events 5000 --rescale-mean 9.7 --out trace.jsonl
+    repro-experiments workload fit trace.jsonl --out fit.json
+    repro-experiments workload replay trace.jsonl --case rpc --mode cycle
+    repro-experiments fig7 --workload trace:trace.jsonl:cycle
+    repro-experiments fig7 --workload pareto:1.5,3.23
+
 *Product* output (reports, JSON series, tables) goes to stdout;
 diagnostics go through the ``repro.*`` logger on stderr
 (``--verbose`` / ``$REPRO_LOG``), so piped output stays clean.
@@ -57,6 +66,15 @@ from ..runtime import (
     render_summary,
     summarize_events,
 )
+from ..errors import WorkloadError
+from ..workload import (
+    TraceReplay,
+    fit_trace,
+    parse_generator_spec,
+    parse_workload,
+)
+from ..workload import read_trace as read_workload_trace
+from ..workload import write_trace as write_workload_trace
 from .registry import all_experiments
 from .results import RunOptions
 
@@ -123,6 +141,17 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "workload injected at the case study's hook in the general "
+            "phase: a distribution spec ('pareto:1.5,3.23', "
+            "'exp:0.103') or a trace replay ('trace:FILE[:MODE]', mode "
+            "bootstrap or cycle — docs/WORKLOADS.md)"
+        ),
+    )
+    parser.add_argument(
         "-v", "--verbose",
         action="count",
         default=0,
@@ -147,6 +176,12 @@ def _run_options(args: argparse.Namespace) -> RunOptions:
     tracer = None
     if args.trace or retry is not None or faults is not None:
         tracer = TraceRecorder(args.trace)
+    workload = None
+    if getattr(args, "workload", None):
+        try:
+            workload = parse_workload(args.workload)
+        except WorkloadError as error:
+            raise SystemExit(f"--workload: {error}") from None
     return RunOptions(
         workers=args.workers,
         retry=retry,
@@ -155,6 +190,7 @@ def _run_options(args: argparse.Namespace) -> RunOptions:
         solver=args.solver,
         metrics_out=args.metrics_out,
         verbose=args.verbose,
+        workload=workload,
     )
 
 
@@ -464,6 +500,172 @@ def metrics_command(argv: List[str]) -> int:
     return 0
 
 
+def build_workload_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments workload",
+        description=(
+            "Generate synthetic workload traces, fit them to closed-form "
+            "distributions, and replay them through a case study's "
+            "general phase (docs/WORKLOADS.md)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="action", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic trace from a seeded spec"
+    )
+    generate.add_argument(
+        "--generator", required=True, metavar="SPEC",
+        help=(
+            "generator spec: poisson:RATE | mmpp:RH,RL,BURST,IDLE | "
+            "pareto:ALPHA,XM | diurnal:RATE,AMPL,PERIOD"
+        ),
+    )
+    generate.add_argument(
+        "--events", type=int, default=5000, help="trace length"
+    )
+    generate.add_argument(
+        "--seed", type=int, default=20040628, help="generator seed"
+    )
+    generate.add_argument(
+        "--rescale-mean", type=float, default=None, metavar="M",
+        help="rescale the trace to mean interarrival M after generation",
+    )
+    generate.add_argument(
+        "--out", required=True, metavar="FILE",
+        help="output trace file (.jsonl or .csv)",
+    )
+
+    fit = commands.add_parser(
+        "fit", help="fit a trace to the closed-form distribution families"
+    )
+    fit.add_argument("trace_file", help="trace file (.jsonl or .csv)")
+    fit.add_argument(
+        "--families", default=None, metavar="F1,F2,...",
+        help="candidate families to try (default: all)",
+    )
+    fit.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the fit report as JSON to FILE",
+    )
+
+    replay = commands.add_parser(
+        "replay",
+        help="replay a trace through a case study's general phase",
+    )
+    replay.add_argument("trace_file", help="trace file (.jsonl or .csv)")
+    replay.add_argument(
+        "--case", choices=sorted(_CASES), required=True,
+        help="case-study model family",
+    )
+    replay.add_argument(
+        "--mode", choices=["bootstrap", "cycle"], default="bootstrap",
+        help="replay mode (default: bootstrap)",
+    )
+    replay.add_argument(
+        "--variant", default="dpm", help="model variant (default: dpm)"
+    )
+    replay.add_argument(
+        "--runs", type=int, default=10, help="replications"
+    )
+    replay.add_argument(
+        "--run-length", type=float, default=20_000.0,
+        help="simulated time per replication",
+    )
+    replay.add_argument(
+        "--warmup", type=float, default=0.0,
+        help="warm-up deletion per replication",
+    )
+    replay.add_argument(
+        "--seed", type=int, default=20040628, help="master seed"
+    )
+    replay.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (results identical to --workers 1)",
+    )
+    replay.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the estimates as JSON to FILE as well",
+    )
+    return parser
+
+
+def workload_command(argv: List[str]) -> int:
+    """``workload generate|fit|replay``: the trace workflow end to end.
+
+    Exit codes: 0 on success, 1 for a workload error (unreadable or
+    malformed trace, unknown generator, hook mismatch).
+    """
+    args = build_workload_parser().parse_args(argv)
+    configure_logging()
+    try:
+        if args.action == "generate":
+            generator = parse_generator_spec(args.generator)
+            trace = generator.generate(args.events, args.seed)
+            if args.rescale_mean is not None:
+                trace = trace.rescaled(args.rescale_mean)
+            path = write_workload_trace(trace, args.out)
+            emit(json.dumps(trace.summary(), sort_keys=True, indent=2))
+            emit(f"[trace written to {path}]")
+            return 0
+        if args.action == "fit":
+            trace = read_workload_trace(args.trace_file)
+            families = None
+            if args.families:
+                families = [
+                    f.strip() for f in args.families.split(",") if f.strip()
+                ]
+            report = fit_trace(trace, families)
+            rendered = json.dumps(report.as_dict(), sort_keys=True, indent=2)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    handle.write(rendered + "\n")
+            emit(rendered)
+            best = report.best
+            emit(
+                f"[best fit: {best.spec} "
+                f"(KS {best.ks:.4f}, p {best.pvalue:.3f})]"
+            )
+            return 0
+        # replay
+        trace = read_workload_trace(args.trace_file)
+        replay_distribution = TraceReplay(trace, args.mode)
+        methodology = IncrementalMethodology(
+            _CASES[args.case](),
+            workers=args.workers,
+            workload=replay_distribution,
+        )
+        replication = methodology.simulate_general(
+            args.variant,
+            run_length=args.run_length,
+            runs=args.runs,
+            warmup=args.warmup,
+            seed=args.seed,
+        )
+        payload = {
+            "case": args.case,
+            "variant": args.variant,
+            "mode": args.mode,
+            "trace": trace.summary(),
+            "estimates": {
+                name: {
+                    "mean": estimate.mean,
+                    "half_width": estimate.half_width,
+                }
+                for name, estimate in replication.estimates.items()
+            },
+        }
+        rendered = json.dumps(payload, sort_keys=True, indent=2)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+        emit(rendered)
+        return 0
+    except WorkloadError as error:
+        _LOG.error("workload: %s", error)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -473,6 +675,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return trace_summary(argv[1:])
     if argv and argv[0] == "metrics":
         return metrics_command(argv[1:])
+    if argv and argv[0] == "workload":
+        return workload_command(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         configure_logging(args.verbose)

@@ -138,6 +138,18 @@ def _experiments() -> List[Experiment]:
             ),
         ),
         Experiment(
+            "fig7-workloads",
+            "Fig. 7 extension: rpc trade-off under Poisson / MMPP / "
+            "Pareto workloads",
+            lambda quick, options=None: rpc_figures.fig7_workloads(
+                rpc_figures.QUICK_TIMEOUTS if quick else None,
+                runs=3 if quick else 8,
+                run_length=6_000.0 if quick else 20_000.0,
+                trace_events=1500 if quick else 4000,
+                options=options,
+            ),
+        ),
+        Experiment(
             "fig8",
             "Fig. 8: streaming energy/miss trade-off",
             lambda quick, options=None: streaming_figures.fig8_tradeoff(

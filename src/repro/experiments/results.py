@@ -39,6 +39,11 @@ class RunOptions:
     metrics_out: Optional[str] = None
     #: ``--verbose`` count forwarded to the logging setup.
     verbose: int = 0
+    #: Workload distribution injected at the case study's workload hook
+    #: in the general phase (``--workload``, docs/WORKLOADS.md); a
+    #: :class:`~repro.distributions.Distribution`, often a
+    #: :class:`~repro.workload.replay.TraceReplay`.
+    workload: Optional[object] = None
 
     @classmethod
     def resolve(
@@ -59,6 +64,7 @@ class RunOptions:
             "faults": self.faults,
             "tracer": self.tracer,
             "solver": self.solver,
+            "workload": self.workload,
         }
 
 

@@ -608,6 +608,26 @@ PHASE_SECONDS = MetricSpec(
     "Cumulative wall-clock seconds per methodology phase (Timer spans).",
     ("phase",),
 )
+WORKLOAD_TRACES = MetricSpec(
+    "repro_workload_traces_total", "counter",
+    "Workload traces materialised, by source (generated / file / fitted).",
+    ("source",),
+)
+WORKLOAD_EVENTS_REPLAYED = MetricSpec(
+    "repro_workload_events_replayed_total", "counter",
+    "Trace events drawn by TraceReplay sampling, by replay mode.",
+    ("mode",),
+)
+WORKLOAD_FIT_ITERATIONS = MetricSpec(
+    "repro_workload_fit_iterations_total", "counter",
+    "Numerical iterations spent fitting traces, by candidate family.",
+    ("family",),
+)
+WORKLOAD_KS_STATISTIC = MetricSpec(
+    "repro_workload_ks_statistic", "gauge",
+    "KS statistic of the most recent fit, by candidate family.",
+    ("family",),
+)
 
 #: Every metric the stack emits, in catalog order (docs/OBSERVABILITY.md).
 CATALOG: Tuple[MetricSpec, ...] = (
@@ -632,4 +652,8 @@ CATALOG: Tuple[MetricSpec, ...] = (
     CHECKPOINT_EVENTS,
     SWEEP_POINTS,
     PHASE_SECONDS,
+    WORKLOAD_TRACES,
+    WORKLOAD_EVENTS_REPLAYED,
+    WORKLOAD_FIT_ITERATIONS,
+    WORKLOAD_KS_STATISTIC,
 )

@@ -12,9 +12,11 @@ from ..distributions import (  # noqa: F401
     Erlang,
     Exponential,
     Normal,
+    Pareto,
     Uniform,
     Weibull,
     make_distribution,
+    parse_distribution_spec,
 )
 
 __all__ = [
@@ -24,7 +26,9 @@ __all__ = [
     "Erlang",
     "Exponential",
     "Normal",
+    "Pareto",
     "Uniform",
     "Weibull",
     "make_distribution",
+    "parse_distribution_spec",
 ]

@@ -1,0 +1,82 @@
+"""Trace-driven workload subsystem (docs/WORKLOADS.md).
+
+Four layers turn "what if the workload were realistic?" into a swept
+parameter of the paper's methodology:
+
+* :mod:`~repro.workload.trace` — :class:`WorkloadTrace`, the validated
+  interarrival container with JSONL/CSV I/O and content fingerprints;
+* :mod:`~repro.workload.generators` — seeded synthetic generators
+  (Poisson baseline, MMPP on-off bursty, Pareto heavy-tail, diurnal
+  rate-modulated Poisson);
+* :mod:`~repro.workload.fit` — moment/MLE fitting of traces to the
+  closed-form :class:`~repro.distributions.Distribution` families with
+  KS model selection;
+* :mod:`~repro.workload.replay` — :class:`TraceReplay`, an empirical
+  distribution (bootstrap or cycle mode) usable anywhere a closed-form
+  one is.
+
+:mod:`~repro.workload.hooks` wires workloads into the case studies
+(``apply_workload`` LTS rewrite, ``--workload`` CLI parsing, checkpoint
+fingerprints) and :mod:`~repro.workload.validation` closes the Sect. 5.1
+loop by replaying a generated exponential trace against the analytic
+Markovian solution.
+"""
+
+from .fit import (  # noqa: F401
+    FIT_FAMILIES,
+    FitReport,
+    FittedCandidate,
+    fit_trace,
+    ks_pvalue,
+    ks_statistic,
+)
+from .generators import (  # noqa: F401
+    GENERATOR_KEYWORDS,
+    DiurnalGenerator,
+    MMPPGenerator,
+    ParetoGenerator,
+    PoissonGenerator,
+    TraceGenerator,
+    parse_generator_spec,
+)
+from .hooks import (  # noqa: F401
+    apply_workload,
+    parse_workload,
+    workload_fingerprint,
+)
+from .replay import REPLAY_MODES, TraceReplay  # noqa: F401
+from .trace import WorkloadTrace, read_trace, write_trace  # noqa: F401
+from .validation import (  # noqa: F401
+    ReplayMeasureValidation,
+    ReplayValidationReport,
+    cross_validate_replay,
+    require_replay_valid,
+)
+
+__all__ = [
+    "FIT_FAMILIES",
+    "FitReport",
+    "FittedCandidate",
+    "GENERATOR_KEYWORDS",
+    "DiurnalGenerator",
+    "MMPPGenerator",
+    "ParetoGenerator",
+    "PoissonGenerator",
+    "REPLAY_MODES",
+    "ReplayMeasureValidation",
+    "ReplayValidationReport",
+    "TraceGenerator",
+    "TraceReplay",
+    "WorkloadTrace",
+    "apply_workload",
+    "cross_validate_replay",
+    "fit_trace",
+    "ks_pvalue",
+    "ks_statistic",
+    "parse_generator_spec",
+    "parse_workload",
+    "read_trace",
+    "require_replay_valid",
+    "workload_fingerprint",
+    "write_trace",
+]

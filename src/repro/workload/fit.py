@@ -1,0 +1,300 @@
+"""Fitting workload traces to the library's closed-form distributions.
+
+:func:`fit_trace` estimates parameters for every candidate family that
+can represent the trace (moment matching where it is exact, MLE where it
+is cheap, a bisection on the Weibull shape where neither closes), scores
+each candidate with the Kolmogorov-Smirnov statistic against the
+empirical distribution, and returns a :class:`FitReport` whose ``best``
+candidate minimises the KS distance.  The fitted
+:class:`~repro.distributions.Distribution` objects plug straight into
+the general phase (``--workload`` flag, ``apply_workload``), closing the
+loop trace → fit → evaluate.
+
+Estimators per family (interarrivals ``x_1..x_n``, sample mean ``m``,
+sample variance ``s2`` with ``ddof=1``):
+
+* ``exp`` — MLE ``rate = 1/m``.
+* ``det`` — ``value = m`` (the L2-optimal point mass).
+* ``normal`` — moment match ``(m, sqrt(s2))`` (the library's Normal is
+  left-truncated at zero when sampling, so this is an approximation
+  that KS then judges).
+* ``unif`` — MLE ``(min, max)``.
+* ``erlang`` — moment match ``shape = round(m^2/s2)`` clamped to >= 1,
+  ``rate = shape/m``.
+* ``weibull`` — bisection on the shape ``k`` solving the scale-free
+  moment relation ``Gamma(1+2/k)/Gamma(1+1/k)^2 - 1 = cv2``; then
+  ``lam = m / Gamma(1+1/k)``.
+* ``pareto`` — MLE ``xm = min(x)``, ``alpha = n / sum(ln(x_i/xm))``.
+
+Numerical work is counted into the
+``repro_workload_fit_iterations_total`` metric and each candidate's KS
+statistic into the ``repro_workload_ks_statistic`` gauge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distributions import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    Normal,
+    Pareto,
+    Uniform,
+    Weibull,
+)
+from ..errors import WorkloadError
+from ..obs import metrics as obs_metrics
+from .trace import WorkloadTrace
+
+__all__ = [
+    "FIT_FAMILIES",
+    "FitReport",
+    "FittedCandidate",
+    "fit_trace",
+    "ks_pvalue",
+    "ks_statistic",
+]
+
+
+def ks_statistic(values: np.ndarray, distribution: Distribution) -> float:
+    """One-sample Kolmogorov-Smirnov statistic ``D_n``.
+
+    ``sup_x |F_n(x) - F(x)|`` evaluated at the sorted sample, using the
+    distribution's :meth:`~repro.distributions.Distribution.cdf`.
+    """
+    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    n = ordered.size
+    if n == 0:
+        raise WorkloadError("KS statistic needs at least one observation")
+    cdf_values = np.array(
+        [distribution.cdf(float(x)) for x in ordered], dtype=np.float64
+    )
+    upper = np.arange(1, n + 1) / n - cdf_values
+    lower = cdf_values - np.arange(0, n) / n
+    return float(max(np.max(upper), np.max(lower), 0.0))
+
+
+def ks_pvalue(statistic: float, n: int) -> float:
+    """Asymptotic Kolmogorov p-value with the Stephens small-n correction.
+
+    ``lambda = (sqrt(n) + 0.12 + 0.11/sqrt(n)) * D`` and
+    ``Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2)``.
+    """
+    if n <= 0:
+        raise WorkloadError("KS p-value needs a positive sample size")
+    root_n = math.sqrt(n)
+    lam = (root_n + 0.12 + 0.11 / root_n) * statistic
+    if lam < 1e-9:
+        return 1.0
+    total = 0.0
+    for k in range(1, 101):
+        term = (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return float(min(1.0, max(0.0, 2.0 * total)))
+
+
+@dataclass(frozen=True)
+class FittedCandidate:
+    """One candidate family's fit: distribution, KS score, fit cost."""
+
+    family: str
+    distribution: Distribution
+    ks: float
+    pvalue: float
+    iterations: int
+
+    @property
+    def spec(self) -> str:
+        """Compact spec string (``parse_distribution_spec`` round-trip)."""
+        return str(self.distribution).replace("(", ":").rstrip(")").replace(
+            ", ", ","
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "family": self.family,
+            "spec": self.spec,
+            "distribution": str(self.distribution),
+            "ks": self.ks,
+            "pvalue": self.pvalue,
+            "iterations": self.iterations,
+        }
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """All candidates (sorted by KS, best first) plus trace provenance."""
+
+    trace_summary: Dict[str, object]
+    candidates: Tuple[FittedCandidate, ...]
+
+    @property
+    def best(self) -> FittedCandidate:
+        return self.candidates[0]
+
+    def candidate(self, family: str) -> FittedCandidate:
+        for entry in self.candidates:
+            if entry.family == family:
+                return entry
+        raise WorkloadError(
+            f"no fitted candidate for family {family!r} "
+            f"(have: {', '.join(c.family for c in self.candidates)})"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trace": self.trace_summary,
+            "best": self.best.family,
+            "candidates": [entry.as_dict() for entry in self.candidates],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Per-family estimators: (values, mean, variance) -> (Distribution, iters).
+# ---------------------------------------------------------------------------
+
+
+def _fit_exponential(values, mean, variance):
+    return Exponential(1.0 / mean), 1
+
+
+def _fit_deterministic(values, mean, variance):
+    return Deterministic(mean), 1
+
+
+def _fit_normal(values, mean, variance):
+    if variance <= 0.0:
+        raise WorkloadError("normal fit needs positive sample variance")
+    return Normal(mean, math.sqrt(variance)), 1
+
+
+def _fit_uniform(values, mean, variance):
+    low = float(np.min(values))
+    high = float(np.max(values))
+    if not (high > low):
+        raise WorkloadError("uniform fit needs a non-degenerate range")
+    return Uniform(low, high), 1
+
+
+def _fit_erlang(values, mean, variance):
+    if variance <= 0.0:
+        raise WorkloadError("erlang fit needs positive sample variance")
+    shape = max(1, int(round(mean * mean / variance)))
+    return Erlang(shape, shape / mean), 1
+
+
+def _weibull_cv2(k: float) -> float:
+    g1 = math.gamma(1.0 + 1.0 / k)
+    g2 = math.gamma(1.0 + 2.0 / k)
+    return g2 / (g1 * g1) - 1.0
+
+
+def _fit_weibull(values, mean, variance):
+    if variance <= 0.0:
+        raise WorkloadError("weibull fit needs positive sample variance")
+    cv2 = variance / (mean * mean)
+    # _weibull_cv2 is strictly decreasing in k; bracket then bisect.
+    low, high = 0.05, 50.0
+    if not (_weibull_cv2(high) <= cv2 <= _weibull_cv2(low)):
+        raise WorkloadError(
+            f"trace cv2 {cv2:.4g} outside the representable Weibull "
+            f"range [{_weibull_cv2(high):.4g}, {_weibull_cv2(low):.4g}]"
+        )
+    iterations = 0
+    for _ in range(200):
+        iterations += 1
+        mid = 0.5 * (low + high)
+        if _weibull_cv2(mid) > cv2:
+            low = mid
+        else:
+            high = mid
+        if high - low < 1e-10:
+            break
+    k = 0.5 * (low + high)
+    lam = mean / math.gamma(1.0 + 1.0 / k)
+    return Weibull(k, lam), iterations
+
+
+def _fit_pareto(values, mean, variance):
+    xm = float(np.min(values))
+    if xm <= 0.0:
+        raise WorkloadError("pareto fit needs strictly positive values")
+    log_sum = float(np.sum(np.log(values / xm)))
+    if log_sum <= 0.0:
+        raise WorkloadError("pareto fit needs a non-degenerate sample")
+    alpha = values.size / log_sum
+    return Pareto(alpha, xm), 1
+
+
+#: family -> estimator, in report order.
+FIT_FAMILIES: Dict[str, Callable] = {
+    "exp": _fit_exponential,
+    "det": _fit_deterministic,
+    "normal": _fit_normal,
+    "unif": _fit_uniform,
+    "erlang": _fit_erlang,
+    "weibull": _fit_weibull,
+    "pareto": _fit_pareto,
+}
+
+
+def fit_trace(
+    trace: WorkloadTrace,
+    families: Optional[Sequence[str]] = None,
+) -> FitReport:
+    """Fit *trace* to each family in *families* (default: all) and rank.
+
+    Families whose estimator cannot represent the trace (degenerate
+    variance, cv2 outside the Weibull range, ...) are silently skipped;
+    at least one candidate always survives because the exponential and
+    deterministic fits are total.
+    """
+    chosen = list(families) if families is not None else list(FIT_FAMILIES)
+    unknown = [name for name in chosen if name not in FIT_FAMILIES]
+    if unknown:
+        raise WorkloadError(
+            f"unknown fit families {unknown} "
+            f"(known: {', '.join(FIT_FAMILIES)})"
+        )
+    values = trace.interarrivals
+    mean = trace.mean
+    variance = trace.variance
+    registry = obs_metrics.get_registry()
+    candidates: List[FittedCandidate] = []
+    for family in chosen:
+        try:
+            distribution, iterations = FIT_FAMILIES[family](
+                values, mean, variance
+            )
+        except WorkloadError:
+            continue
+        ks = ks_statistic(values, distribution)
+        pvalue = ks_pvalue(ks, values.size)
+        if registry.enabled:
+            obs_metrics.WORKLOAD_FIT_ITERATIONS.on(registry).labels(
+                family=family
+            ).inc(iterations)
+            obs_metrics.WORKLOAD_KS_STATISTIC.on(registry).labels(
+                family=family
+            ).set(ks)
+        candidates.append(
+            FittedCandidate(family, distribution, ks, pvalue, iterations)
+        )
+    if not candidates:
+        raise WorkloadError(
+            f"no candidate family could fit the trace "
+            f"(tried: {', '.join(chosen)})"
+        )
+    candidates.sort(key=lambda entry: (entry.ks, entry.family))
+    if registry.enabled:
+        obs_metrics.WORKLOAD_TRACES.on(registry).labels(source="fitted").inc()
+    return FitReport(trace.summary(), tuple(candidates))

@@ -1,0 +1,296 @@
+"""Seeded synthetic workload generators.
+
+Each generator is a frozen dataclass with a ``generate(events, seed)``
+method that derives its random stream through
+:func:`repro.sim.random.make_generator` (PCG64 from a SeedSequence), so
+the same spec + seed always yields a bit-identical
+:class:`~repro.workload.trace.WorkloadTrace` regardless of platform or
+process count.
+
+The three non-Poisson families cover the workload axes the DPM
+literature cares about (Q-DPM's bursty device request traces, the
+SystemC study's workload-dependent stimuli):
+
+* :class:`MMPPGenerator` — 2-state Markov-modulated Poisson process
+  (on-off bursty): arrivals at ``rate_high`` in the burst state,
+  ``rate_low`` between bursts, exponential state holding times.  cv2 of
+  the interarrivals exceeds 1 and arrivals are positively correlated —
+  exactly the structure closed-form renewal distributions cannot carry,
+  and why :class:`~repro.workload.replay.TraceReplay`'s cycle mode
+  exists.
+* :class:`ParetoGenerator` — i.i.d. Pareto(alpha, xm) interarrivals:
+  heavy-tailed silence periods that punish fixed-timeout DPM policies.
+* :class:`DiurnalGenerator` — non-homogeneous Poisson with a sinusoidal
+  rate profile sampled by thinning: slow deterministic load modulation
+  (day/night cycles scaled down to simulation time).
+* :class:`PoissonGenerator` — the homogeneous baseline, so a workload
+  sweep can include the paper's own Markovian assumption as one class.
+
+Generators parse from compact spec strings mirroring
+:func:`repro.distributions.parse_distribution_spec`::
+
+    poisson:rate
+    mmpp:rate_high,rate_low,burst_mean,idle_mean
+    pareto:alpha,xm
+    diurnal:base_rate,amplitude,period
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..obs import metrics as obs_metrics
+from ..sim.random import make_generator
+from .trace import WorkloadTrace
+
+__all__ = [
+    "GENERATOR_KEYWORDS",
+    "DiurnalGenerator",
+    "MMPPGenerator",
+    "ParetoGenerator",
+    "PoissonGenerator",
+    "TraceGenerator",
+    "parse_generator_spec",
+]
+
+
+class TraceGenerator:
+    """Base class: subclasses implement ``_interarrivals(events, rng)``."""
+
+    #: Spec-language keyword, set on each subclass.
+    keyword = ""
+
+    def _interarrivals(
+        self, events: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def spec(self) -> str:
+        """The compact spec string that reconstructs this generator."""
+        raise NotImplementedError
+
+    def generate(self, events: int, seed: int) -> WorkloadTrace:
+        """Generate a trace of *events* interarrivals from *seed*."""
+        if events <= 0:
+            raise WorkloadError(
+                f"trace length must be positive, got {events}"
+            )
+        rng = make_generator(seed)
+        values = self._interarrivals(int(events), rng)
+        registry = obs_metrics.get_registry()
+        if registry.enabled:
+            obs_metrics.WORKLOAD_TRACES.on(registry).labels(
+                source="generated"
+            ).inc()
+        return WorkloadTrace(
+            values,
+            {"generator": self.spec(), "seed": int(seed)},
+        )
+
+
+def _positive(name: str, value: float, spec: str) -> float:
+    if not (value > 0) or not math.isfinite(value):
+        raise WorkloadError(
+            f"{spec}: {name} must be positive and finite, got {value!r}"
+        )
+    return float(value)
+
+
+@dataclass(frozen=True)
+class PoissonGenerator(TraceGenerator):
+    """Homogeneous Poisson arrivals: i.i.d. exponential interarrivals."""
+
+    rate: float
+    keyword = "poisson"
+
+    def __post_init__(self):
+        _positive("rate", self.rate, self.spec())
+
+    def spec(self) -> str:
+        return f"poisson:{self.rate:g}"
+
+    def _interarrivals(self, events, rng):
+        return rng.exponential(1.0 / self.rate, size=events)
+
+
+@dataclass(frozen=True)
+class MMPPGenerator(TraceGenerator):
+    """2-state Markov-modulated Poisson process (on-off bursty arrivals).
+
+    The modulating chain alternates between a *burst* state (arrival
+    rate ``rate_high``, mean holding time ``burst_mean``) and an *idle*
+    state (``rate_low``, ``idle_mean``).  Simulated by competing
+    exponentials: in each state, draw the next arrival and the next
+    state change; the earlier one wins, and losing clocks are redrawn
+    (memorylessness makes that exact).
+    """
+
+    rate_high: float
+    rate_low: float
+    burst_mean: float
+    idle_mean: float
+    keyword = "mmpp"
+
+    def __post_init__(self):
+        spec = self.spec()
+        _positive("rate_high", self.rate_high, spec)
+        _positive("rate_low", self.rate_low, spec)
+        _positive("burst_mean", self.burst_mean, spec)
+        _positive("idle_mean", self.idle_mean, spec)
+        if self.rate_high <= self.rate_low:
+            raise WorkloadError(
+                f"{spec}: rate_high ({self.rate_high:g}) must exceed "
+                f"rate_low ({self.rate_low:g}) for a bursty process"
+            )
+
+    def spec(self) -> str:
+        return (
+            f"mmpp:{self.rate_high:g},{self.rate_low:g},"
+            f"{self.burst_mean:g},{self.idle_mean:g}"
+        )
+
+    def _interarrivals(self, events, rng):
+        rates = (self.rate_high, self.rate_low)
+        switch_rates = (1.0 / self.burst_mean, 1.0 / self.idle_mean)
+        state = 0  # start in the burst state
+        out = np.empty(events, dtype=np.float64)
+        elapsed = 0.0
+        produced = 0
+        while produced < events:
+            arrival = rng.exponential(1.0 / rates[state])
+            switch = rng.exponential(1.0 / switch_rates[state])
+            if arrival <= switch:
+                out[produced] = elapsed + arrival
+                elapsed = 0.0
+                produced += 1
+            else:
+                elapsed += switch
+                state = 1 - state
+        return out
+
+
+@dataclass(frozen=True)
+class ParetoGenerator(TraceGenerator):
+    """I.i.d. Pareto(alpha, xm) interarrivals — heavy-tailed silences."""
+
+    alpha: float
+    xm: float
+    keyword = "pareto"
+
+    def __post_init__(self):
+        spec = self.spec()
+        _positive("alpha", self.alpha, spec)
+        _positive("xm", self.xm, spec)
+
+    def spec(self) -> str:
+        return f"pareto:{self.alpha:g},{self.xm:g}"
+
+    def _interarrivals(self, events, rng):
+        return self.xm * (1.0 + rng.pareto(self.alpha, size=events))
+
+
+@dataclass(frozen=True)
+class DiurnalGenerator(TraceGenerator):
+    """Non-homogeneous Poisson with a sinusoidal rate, via thinning.
+
+    Instantaneous rate ``base_rate * (1 + amplitude * sin(2 pi t /
+    period))``; candidate events are drawn from a homogeneous process at
+    the peak rate and accepted with probability rate(t)/peak
+    (Lewis-Shedler thinning — exact, not a discretisation).
+    """
+
+    base_rate: float
+    amplitude: float
+    period: float
+    keyword = "diurnal"
+
+    def __post_init__(self):
+        spec = self.spec()
+        _positive("base_rate", self.base_rate, spec)
+        _positive("period", self.period, spec)
+        if not (0.0 < self.amplitude < 1.0):
+            raise WorkloadError(
+                f"{spec}: amplitude must be in (0, 1) so the rate stays "
+                f"positive, got {self.amplitude!r}"
+            )
+
+    def spec(self) -> str:
+        return (
+            f"diurnal:{self.base_rate:g},{self.amplitude:g},{self.period:g}"
+        )
+
+    def _interarrivals(self, events, rng):
+        peak = self.base_rate * (1.0 + self.amplitude)
+        omega = 2.0 * math.pi / self.period
+        out = np.empty(events, dtype=np.float64)
+        clock = 0.0
+        previous = 0.0
+        produced = 0
+        while produced < events:
+            clock += rng.exponential(1.0 / peak)
+            rate = self.base_rate * (1.0 + self.amplitude * math.sin(omega * clock))
+            if rng.random() * peak <= rate:
+                out[produced] = clock - previous
+                previous = clock
+                produced += 1
+        return out
+
+
+#: Generator constructors by keyword: (arity, factory).
+GENERATOR_KEYWORDS: Dict[str, Tuple[int, object]] = {
+    "poisson": (1, lambda rate: PoissonGenerator(rate)),
+    "mmpp": (
+        4,
+        lambda rh, rl, bm, im: MMPPGenerator(rh, rl, bm, im),
+    ),
+    "pareto": (2, lambda alpha, xm: ParetoGenerator(alpha, xm)),
+    "diurnal": (
+        3,
+        lambda base, amp, period: DiurnalGenerator(base, amp, period),
+    ),
+}
+
+
+def parse_generator_spec(spec: str) -> TraceGenerator:
+    """Parse ``keyword:arg,...`` into a generator, mirroring
+    :func:`repro.distributions.parse_distribution_spec` semantics."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise WorkloadError(
+            f"empty generator spec {spec!r}; expected 'keyword:arg,...' "
+            f"such as 'mmpp:2.0,0.05,5.0,50.0'"
+        )
+    keyword, separator, argtext = spec.partition(":")
+    keyword = keyword.strip()
+    if keyword not in GENERATOR_KEYWORDS:
+        known = ", ".join(sorted(GENERATOR_KEYWORDS))
+        raise WorkloadError(
+            f"unknown generator {keyword!r} in spec {spec!r} "
+            f"(known: {known})"
+        )
+    arity, factory = GENERATOR_KEYWORDS[keyword]
+    if not separator or not argtext.strip():
+        raise WorkloadError(
+            f"generator spec {spec!r} is missing its arguments: "
+            f"{keyword!r} expects {arity}"
+        )
+    parts = [part.strip() for part in argtext.split(",")]
+    values = []
+    for position, part in enumerate(parts, start=1):
+        try:
+            values.append(float(part))
+        except ValueError:
+            raise WorkloadError(
+                f"generator spec {spec!r}: argument {position} "
+                f"({part!r}) is not a number"
+            ) from None
+    if len(values) != arity:
+        raise WorkloadError(
+            f"generator spec {spec!r}: {keyword!r} expects {arity} "
+            f"argument(s), got {len(values)}"
+        )
+    return factory(*values)

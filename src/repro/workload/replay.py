@@ -1,0 +1,147 @@
+"""Replaying a recorded trace as a :class:`Distribution`.
+
+:class:`TraceReplay` makes a :class:`~repro.workload.trace.WorkloadTrace`
+usable anywhere a closed-form distribution is: as a ``GeneralRate`` in a
+specification, through :func:`repro.workload.hooks.apply_workload`, in
+batch means with clock carry.  Two modes:
+
+* ``"bootstrap"`` (default) — each sample is drawn uniformly at random
+  from the trace's interarrivals.  I.i.d. resampling of the empirical
+  distribution: correct marginal, no serial correlation.  Every draw is
+  a pure function of the caller's generator state, so serial and
+  parallel replications (which reconstruct per-run generators from the
+  same SeedSequence spawn keys) see bit-identical values.
+* ``"cycle"`` — samples walk the trace in order, wrapping around.
+  Preserves the *correlation structure* (bursts stay bursts), which is
+  the whole point of replaying an MMPP trace rather than fitting a
+  renewal distribution to it.  The walk position is tracked **per
+  generator**: the first draw from a given generator seeds the start
+  offset from that generator itself (``rng.integers(len(trace))``), so
+  distinct replications start at independent offsets yet each
+  replication is reproducible from its seed alone — the property the
+  engine's enabling-memory clock semantics and the parallel runtime
+  both rely on.
+
+Cursor bookkeeping is an identity-keyed dict (numpy Generators do not
+support weak references) holding a strong reference to each generator —
+which also guarantees ``id()`` uniqueness — with bounded FIFO eviction,
+and is dropped on pickling: a TraceReplay shipped to a worker process
+arrives cursor-free, exactly like a freshly built one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..distributions import Distribution
+from ..errors import WorkloadError
+from ..obs import metrics as obs_metrics
+from .trace import WorkloadTrace
+
+__all__ = ["REPLAY_MODES", "TraceReplay"]
+
+REPLAY_MODES = ("bootstrap", "cycle")
+
+#: Cycle-mode cursors tracked per TraceReplay before FIFO eviction.
+_MAX_CURSORS = 128
+
+
+class TraceReplay(Distribution):
+    """An empirical distribution that replays a workload trace.
+
+    Equality and hashing follow the (trace fingerprint, mode) pair —
+    the engine's event-compilation step compares distributions to
+    decide whether two transitions share an event, and two replays of
+    the same trace in the same mode are the same workload.
+    """
+
+    def __init__(self, trace: WorkloadTrace, mode: str = "bootstrap"):
+        if not isinstance(trace, WorkloadTrace):
+            raise WorkloadError(
+                f"TraceReplay needs a WorkloadTrace, got {type(trace).__name__}"
+            )
+        if mode not in REPLAY_MODES:
+            raise WorkloadError(
+                f"unknown replay mode {mode!r} "
+                f"(known: {', '.join(REPLAY_MODES)})"
+            )
+        self.trace = trace
+        self.mode = mode
+        # id(rng) -> [rng, start, count]; the strong reference to rng
+        # both prevents id() reuse and keeps the cursor valid.
+        self._cursors: Dict[int, List] = {}
+
+    # -- Distribution interface -----------------------------------------
+
+    def sample(self, rng: np.random.Generator) -> float:
+        values = self.trace.interarrivals
+        n = values.size
+        if self.mode == "bootstrap":
+            value = float(values[int(rng.integers(n))])
+        else:
+            cursor = self._cursors.get(id(rng))
+            if cursor is None or cursor[0] is not rng:
+                if len(self._cursors) >= _MAX_CURSORS:
+                    oldest = next(iter(self._cursors))
+                    del self._cursors[oldest]
+                cursor = [rng, int(rng.integers(n)), 0]
+                self._cursors[id(rng)] = cursor
+            value = float(values[(cursor[1] + cursor[2]) % n])
+            cursor[2] += 1
+        registry = obs_metrics.get_registry()
+        if registry.enabled:
+            obs_metrics.WORKLOAD_EVENTS_REPLAYED.on(registry).labels(
+                mode=self.mode
+            ).inc()
+        return value
+
+    @property
+    def mean(self) -> float:
+        return self.trace.mean
+
+    @property
+    def variance(self) -> float:
+        return self.trace.variance
+
+    def cdf(self, x: float) -> float:
+        """Empirical CDF of the trace."""
+        sorted_values = getattr(self, "_sorted", None)
+        if sorted_values is None:
+            sorted_values = np.sort(self.trace.interarrivals)
+            self._sorted = sorted_values
+        rank = np.searchsorted(sorted_values, x, side="right")
+        return float(rank) / sorted_values.size
+
+    # -- identity --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceReplay):
+            return NotImplemented
+        return self.mode == other.mode and self.trace == other.trace
+
+    def __hash__(self) -> int:
+        return hash((self.trace.fingerprint, self.mode))
+
+    def __str__(self) -> str:
+        return (
+            f"replay({self.mode}, {len(self.trace)} events, "
+            f"mean {self.trace.mean:g})"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceReplay(trace=<{len(self.trace)} events, "
+            f"{self.trace.fingerprint[:12]}>, mode={self.mode!r})"
+        )
+
+    # -- pickling --------------------------------------------------------
+
+    def __getstate__(self):
+        return {"trace": self.trace, "mode": self.mode}
+
+    def __setstate__(self, state):
+        self.trace = state["trace"]
+        self.mode = state["mode"]
+        self._cursors = {}

@@ -1,0 +1,333 @@
+"""Workload traces: validated interarrival sequences with provenance.
+
+A :class:`WorkloadTrace` is the exchange format of the workload
+subsystem: generators produce one, the fitter consumes one, and
+:class:`~repro.workload.replay.TraceReplay` turns one back into a
+:class:`~repro.distributions.Distribution`.  The payload is a read-only
+float64 array of **interarrival times** (strictly positive, finite) plus
+a metadata dict recording where the trace came from (generator spec,
+seed, source file).
+
+Traces round-trip through two on-disk formats:
+
+* **JSONL** (``.jsonl``) — one JSON header object on the first line
+  (``{"format": "repro-workload", "version": 1, "metadata": {...}}``)
+  followed by one interarrival per line.  Self-describing; the format
+  the CLI and CI artifacts use.
+* **CSV** (``.csv``) — an optional ``interarrival`` header then one
+  value per line.  For interop with external tools; metadata is not
+  preserved.
+
+The content **fingerprint** (sha256 over the exact float64 bytes plus
+the trace length) identifies a trace independently of its file path or
+metadata, and is what :mod:`repro.core.methodology` folds into sweep
+checkpoint fingerprints so a resumed trace-driven sweep is provably
+replaying the same workload.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..obs import metrics as obs_metrics
+
+__all__ = [
+    "WorkloadTrace",
+    "read_trace",
+    "write_trace",
+]
+
+_FORMAT_NAME = "repro-workload"
+_FORMAT_VERSION = 1
+
+
+def _record_trace_metric(source: str) -> None:
+    registry = obs_metrics.get_registry()
+    if registry.enabled:
+        obs_metrics.WORKLOAD_TRACES.on(registry).labels(source=source).inc()
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """An immutable sequence of interarrival times with metadata.
+
+    ``interarrivals`` is always a read-only, C-contiguous float64 array;
+    every constructor path validates that the values are finite and
+    strictly positive (a zero interarrival would alias two events and
+    break the simulator's strictly-increasing clock assumption).
+    """
+
+    interarrivals: np.ndarray
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        values = np.ascontiguousarray(self.interarrivals, dtype=np.float64)
+        if values.ndim != 1:
+            raise WorkloadError(
+                f"trace interarrivals must be one-dimensional, "
+                f"got shape {values.shape}"
+            )
+        if values.size == 0:
+            raise WorkloadError("trace must contain at least one event")
+        if not np.all(np.isfinite(values)):
+            bad = int(np.flatnonzero(~np.isfinite(values))[0])
+            raise WorkloadError(
+                f"trace interarrival {bad} is not finite ({values[bad]!r})"
+            )
+        if not np.all(values > 0.0):
+            bad = int(np.flatnonzero(values <= 0.0)[0])
+            raise WorkloadError(
+                f"trace interarrival {bad} is not strictly positive "
+                f"({values[bad]!r})"
+            )
+        values.setflags(write=False)
+        object.__setattr__(self, "interarrivals", values)
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_event_times(
+        cls,
+        event_times: Sequence[float],
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "WorkloadTrace":
+        """Build from absolute event times (first interarrival = first time).
+
+        Event times must be strictly increasing and start after 0.
+        """
+        times = np.asarray(event_times, dtype=np.float64)
+        if times.ndim != 1 or times.size == 0:
+            raise WorkloadError("event times must be a non-empty 1-D sequence")
+        deltas = np.diff(times, prepend=0.0)
+        return cls(deltas, metadata or {})
+
+    # -- derived views ---------------------------------------------------
+
+    def event_times(self) -> np.ndarray:
+        """Absolute event times (cumulative sum of interarrivals)."""
+        return np.cumsum(self.interarrivals)
+
+    def __len__(self) -> int:
+        return int(self.interarrivals.size)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.interarrivals))
+
+    @property
+    def variance(self) -> float:
+        if len(self) < 2:
+            return 0.0
+        return float(np.var(self.interarrivals, ddof=1))
+
+    @property
+    def cv2(self) -> float:
+        """Squared coefficient of variation — the burstiness index.
+
+        1 for Poisson, < 1 for regular (deterministic-like) arrivals,
+        > 1 for bursty / heavy-tailed workloads.
+        """
+        mean = self.mean
+        if mean == 0.0:
+            return math.inf
+        return self.variance / (mean * mean)
+
+    @property
+    def fingerprint(self) -> str:
+        """sha256 over the exact float64 payload — identity of the trace."""
+        digest = hashlib.sha256()
+        digest.update(f"{_FORMAT_NAME}:{len(self)}:".encode())
+        digest.update(self.interarrivals.tobytes())
+        return digest.hexdigest()
+
+    def rescaled(self, target_mean: float) -> "WorkloadTrace":
+        """A copy scaled so the mean interarrival equals *target_mean*.
+
+        Preserves the trace's correlation structure and normalised shape
+        (cv2 is scale-invariant) while matching a case study's rate —
+        how a generated bursty trace gets mean-matched to e.g. the rpc
+        client's 9.7 ms processing time for apples-to-apples trade-off
+        curves.
+        """
+        if not (target_mean > 0) or not math.isfinite(target_mean):
+            raise WorkloadError(
+                f"rescale target mean must be positive and finite, "
+                f"got {target_mean}"
+            )
+        factor = target_mean / self.mean
+        metadata = dict(self.metadata)
+        metadata["rescaled_to_mean"] = target_mean
+        return WorkloadTrace(self.interarrivals * factor, metadata)
+
+    def summary(self) -> Dict[str, object]:
+        """Compact statistics dict (CLI output, fit-report headers)."""
+        return {
+            "events": len(self),
+            "mean": self.mean,
+            "variance": self.variance,
+            "cv2": self.cv2,
+            "min": float(np.min(self.interarrivals)),
+            "max": float(np.max(self.interarrivals)),
+            "fingerprint": self.fingerprint,
+            "metadata": dict(self.metadata),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorkloadTrace):
+            return NotImplemented
+        return (
+            self.interarrivals.shape == other.interarrivals.shape
+            and bool(np.all(self.interarrivals == other.interarrivals))
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint)
+
+
+# ---------------------------------------------------------------------------
+# Readers / writers.
+# ---------------------------------------------------------------------------
+
+
+def write_trace(trace: WorkloadTrace, path: Union[str, Path]) -> Path:
+    """Write *trace* to *path*; format chosen by suffix (.jsonl / .csv)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        _write_csv(trace, path)
+    elif suffix in (".jsonl", ".json"):
+        _write_jsonl(trace, path)
+    else:
+        raise WorkloadError(
+            f"cannot infer trace format from suffix {suffix!r} of {path}; "
+            f"use .jsonl or .csv"
+        )
+    return path
+
+
+def read_trace(path: Union[str, Path]) -> WorkloadTrace:
+    """Read a trace from *path*; format chosen by suffix (.jsonl / .csv)."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"trace file not found: {path}")
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        trace = _read_csv(path)
+    elif suffix in (".jsonl", ".json"):
+        trace = _read_jsonl(path)
+    else:
+        raise WorkloadError(
+            f"cannot infer trace format from suffix {suffix!r} of {path}; "
+            f"use .jsonl or .csv"
+        )
+    _record_trace_metric("file")
+    return trace
+
+
+def _write_jsonl(trace: WorkloadTrace, path: Path) -> None:
+    header = {
+        "format": _FORMAT_NAME,
+        "version": _FORMAT_VERSION,
+        "events": len(trace),
+        "metadata": trace.metadata,
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for value in trace.interarrivals:
+            handle.write(repr(float(value)) + "\n")
+
+
+def _read_jsonl(path: Path) -> WorkloadTrace:
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first.strip():
+            raise WorkloadError(f"{path}: empty trace file")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as error:
+            raise WorkloadError(
+                f"{path}: first line is not a JSON header ({error})"
+            ) from None
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != _FORMAT_NAME
+        ):
+            raise WorkloadError(
+                f"{path}: not a {_FORMAT_NAME} trace "
+                f"(header {str(first.strip())[:80]!r})"
+            )
+        version = header.get("version")
+        if version != _FORMAT_VERSION:
+            raise WorkloadError(
+                f"{path}: unsupported trace version {version!r} "
+                f"(this library reads version {_FORMAT_VERSION})"
+            )
+        values = []
+        for lineno, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                values.append(float(line))
+            except ValueError:
+                raise WorkloadError(
+                    f"{path}:{lineno}: not a number: {line[:40]!r}"
+                ) from None
+    metadata = header.get("metadata") or {}
+    if not isinstance(metadata, dict):
+        raise WorkloadError(f"{path}: metadata must be a JSON object")
+    try:
+        return WorkloadTrace(np.asarray(values, dtype=np.float64), metadata)
+    except WorkloadError as error:
+        raise WorkloadError(f"{path}: {error}") from None
+
+
+def _write_csv(trace: WorkloadTrace, path: Path) -> None:
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["interarrival"])
+        for value in trace.interarrivals:
+            writer.writerow([repr(float(value))])
+
+
+def _read_csv(path: Path) -> WorkloadTrace:
+    values = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        for lineno, row in enumerate(reader, start=1):
+            if not row or not row[0].strip():
+                continue
+            cell = row[0].strip()
+            if lineno == 1 and not _is_number(cell):
+                continue  # header row
+            if not _is_number(cell):
+                raise WorkloadError(
+                    f"{path}:{lineno}: not a number: {cell[:40]!r}"
+                )
+            values.append(float(cell))
+    if not values:
+        raise WorkloadError(f"{path}: no interarrival values found")
+    try:
+        return WorkloadTrace(
+            np.asarray(values, dtype=np.float64), {"source": str(path)}
+        )
+    except WorkloadError as error:
+        raise WorkloadError(f"{path}: {error}") from None
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

@@ -12,9 +12,11 @@ from repro.distributions import (
     Erlang,
     Exponential,
     Normal,
+    Pareto,
     Uniform,
     Weibull,
     make_distribution,
+    parse_distribution_spec,
 )
 from repro.errors import SpecificationError
 
@@ -170,7 +172,7 @@ class TestFactory:
 
     def test_unknown_keyword(self):
         with pytest.raises(SpecificationError, match="unknown distribution"):
-            make_distribution("pareto", [1.0])
+            make_distribution("zeta", [1.0])
 
     def test_wrong_arity(self):
         with pytest.raises(SpecificationError, match="expects 2"):
@@ -178,6 +180,103 @@ class TestFactory:
 
     def test_erlang_shape_coerced_to_int(self):
         assert make_distribution("erlang", [3.0, 1.0]).shape == 3
+
+    def test_pareto_keyword(self):
+        assert make_distribution("pareto", [1.2, 9.7]) == Pareto(1.2, 9.7)
+
+
+class TestPareto:
+    def test_moments(self):
+        dist = Pareto(3.0, 2.0)
+        assert dist.mean == pytest.approx(3.0)
+        assert dist.variance == pytest.approx(3.0)
+
+    def test_heavy_tail_moments_are_infinite(self):
+        assert math.isinf(Pareto(0.9, 1.0).mean)  # alpha <= 1
+        assert math.isinf(Pareto(1.5, 1.0).variance)  # alpha <= 2
+
+    def test_parameters_validated(self):
+        with pytest.raises(SpecificationError):
+            Pareto(0.0, 1.0)
+        with pytest.raises(SpecificationError):
+            Pareto(1.5, -1.0)
+
+    def test_samples_respect_the_scale_floor(self):
+        dist = Pareto(1.5, 3.0)
+        generator = rng()
+        values = [dist.sample(generator) for _ in range(2000)]
+        assert all(value >= 3.0 for value in values)
+
+    def test_sampling_mean(self):
+        dist = Pareto(4.0, 1.0)
+        generator = rng()
+        values = np.array([dist.sample(generator) for _ in range(20000)])
+        assert values.mean() == pytest.approx(dist.mean, rel=0.05)
+
+    def test_cdf(self):
+        dist = Pareto(2.0, 1.0)
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(1.0) == 0.0
+        assert dist.cdf(2.0) == pytest.approx(0.75)
+
+    def test_str(self):
+        assert str(Pareto(1.5, 3.0)) == "pareto(1.5, 3)"
+
+
+class TestSpecStrings:
+    """The compact ``keyword:arg,...`` form shared with --workload."""
+
+    def test_parses_every_family(self):
+        assert parse_distribution_spec("exp:0.103") == Exponential(0.103)
+        assert parse_distribution_spec("det:2.5") == Deterministic(2.5)
+        assert parse_distribution_spec("normal:0.8,0.0345") == Normal(
+            0.8, 0.0345
+        )
+        assert parse_distribution_spec("unif:1,3") == Uniform(1.0, 3.0)
+        assert parse_distribution_spec("erlang:3,2") == Erlang(3, 2.0)
+        assert parse_distribution_spec("weibull:2,1") == Weibull(2.0, 1.0)
+        assert parse_distribution_spec("pareto:1.2,9.7") == Pareto(1.2, 9.7)
+
+    def test_make_distribution_accepts_specs(self):
+        assert make_distribution("pareto:1.2,9.7") == Pareto(1.2, 9.7)
+        assert make_distribution("normal:0.8,0.0345") == Normal(0.8, 0.0345)
+
+    def test_whitespace_is_tolerated(self):
+        assert parse_distribution_spec(" normal : 0.8 , 0.0345 ") == Normal(
+            0.8, 0.0345
+        )
+
+    def test_empty_spec(self):
+        with pytest.raises(SpecificationError, match="empty distribution"):
+            parse_distribution_spec("")
+        with pytest.raises(SpecificationError, match="empty distribution"):
+            parse_distribution_spec("   ")
+
+    def test_unknown_keyword_lists_known(self):
+        with pytest.raises(SpecificationError, match="known:.*pareto"):
+            parse_distribution_spec("zeta:1.0")
+
+    def test_missing_arguments_show_the_template(self):
+        with pytest.raises(
+            SpecificationError, match="normal:<value>,<value>"
+        ):
+            parse_distribution_spec("normal")
+        with pytest.raises(SpecificationError, match="missing its arg"):
+            parse_distribution_spec("exp:")
+
+    def test_bad_argument_is_pinpointed(self):
+        with pytest.raises(
+            SpecificationError, match="argument 2 \\('fast'\\)"
+        ):
+            parse_distribution_spec("pareto:1.5,fast")
+
+    def test_wrong_arity_reports_counts(self):
+        with pytest.raises(SpecificationError, match="expects 2.*got 3"):
+            parse_distribution_spec("normal:1,2,3")
+
+    def test_non_integral_erlang_shape_rejected(self):
+        with pytest.raises(SpecificationError, match="Erlang shape"):
+            parse_distribution_spec("erlang:2.5,1.0")
 
 
 @given(rate=st.floats(0.01, 100.0))

@@ -20,6 +20,7 @@ EXPECTED_IDS = {
     "fig5",
     "fig6",
     "fig7",
+    "fig7-workloads",
     "fig8",
     "streaming-validation",
     "tab-params",

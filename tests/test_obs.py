@@ -76,6 +76,10 @@ EXPECTED_CATALOG = {
     "repro_checkpoint_events_total": ("counter", ("kind",)),
     "repro_sweep_points_total": ("counter", ("case", "kind")),
     "repro_phase_seconds_total": ("counter", ("phase",)),
+    "repro_workload_traces_total": ("counter", ("source",)),
+    "repro_workload_events_replayed_total": ("counter", ("mode",)),
+    "repro_workload_fit_iterations_total": ("counter", ("family",)),
+    "repro_workload_ks_statistic": ("gauge", ("family",)),
 }
 
 

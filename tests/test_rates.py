@@ -113,7 +113,7 @@ class TestRateSpecs:
 
     def test_general_spec_unknown_keyword_rejected_eagerly(self):
         with pytest.raises(SpecificationError, match="unknown distribution"):
-            GeneralSpec("pareto", (Literal(1.0),))
+            GeneralSpec("zeta", (Literal(1.0),))
 
     def test_general_spec_free_variables(self):
         spec = GeneralSpec("normal", (Variable("m"), Variable("s")))
