@@ -1,0 +1,191 @@
+"""Parametric steady-state benchmark (docs/SOLVERS.md, docs/PERFORMANCE.md).
+
+Quantifies the two promises of the parametric fast path:
+
+* **fig4 per-point cost** — after the one-time elimination of the
+  streaming chain, evaluating the paper's awake-period sweep points
+  must be at least 100x faster than a per-point ``direct`` solve while
+  agreeing to 1e-9 at every point and measure;
+* **dense sweeps for free** — a 1000-point dense fig3 sweep through the
+  parametric path must finish in less wall-clock than the paper's
+  classic 11-point sweep pays for per-point solves.
+
+Writes ``BENCH_parametric.json`` next to the repo root.  Runs as a
+benchmark module (``pytest benchmarks/bench_parametric.py``) or as a
+plain script (``python benchmarks/bench_parametric.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.casestudies import rpc, streaming
+from repro.core.methodology import IncrementalMethodology
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parametric.json"
+
+#: Acceptance gates of the parametric work (ROADMAP / docs/SOLVERS.md).
+SPEEDUP_GATE = 100.0
+AGREEMENT_TOLERANCE = 1e-9
+
+#: Dense fig3 grid size — the smooth-curve mode the coarse paper grid
+#: could not afford.
+DENSE_POINTS = 1_000
+
+#: Evaluation repeats per point for a stable microsecond-scale timing.
+EVAL_REPEATS = 50
+
+
+def _relative_gap(parametric, direct):
+    """Worst relative disagreement across all measures and points."""
+    worst = 0.0
+    for name, reference_series in direct.items():
+        for ours, reference in zip(parametric[name], reference_series):
+            scale = max(1.0, abs(reference))
+            worst = max(worst, abs(ours - reference) / scale)
+    return worst
+
+
+def _fig4_report() -> dict:
+    """Elimination cost + per-point eval vs per-point direct on fig4."""
+    points = list(streaming.AWAKE_PERIOD_SWEEP)
+    family = streaming.family()
+
+    direct_methodology = IncrementalMethodology(family)
+    started = time.perf_counter()
+    direct = direct_methodology.sweep_markovian(
+        "awake_period", points, method="direct"
+    )
+    direct_seconds = time.perf_counter() - started
+
+    parametric_methodology = IncrementalMethodology(family)
+    archi = family.markovian_dpm
+    started = time.perf_counter()
+    solution = parametric_methodology.cache.parametric_solution(
+        archi,
+        "awake_period",
+        family.measures,
+        (min(points), max(points)),
+    )
+    build_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    for _ in range(EVAL_REPEATS):
+        evaluated = {name: [] for name in direct}
+        for value in points:
+            measures = solution.evaluate(value)
+            for name in evaluated:
+                evaluated[name].append(measures[name])
+    eval_seconds = (time.perf_counter() - started) / EVAL_REPEATS
+
+    per_point_direct = direct_seconds / len(points)
+    per_point_eval = eval_seconds / len(points)
+    return {
+        "parameter": "awake_period",
+        "points": len(points),
+        "build_seconds": round(build_seconds, 5),
+        "per_point_direct_seconds": round(per_point_direct, 7),
+        "per_point_eval_seconds": round(per_point_eval, 7),
+        "speedup": round(per_point_direct / per_point_eval, 1),
+        "max_relative_error": _relative_gap(evaluated, direct),
+        "max_fit_error": solution.max_fit_error,
+        "recurrent": solution.size,
+        "parametric_transitions": solution.diagnostics[
+            "parametric_transitions"
+        ],
+        "fill_ops": solution.diagnostics["fill_ops"],
+    }
+
+
+def _dense_fig3_report() -> dict:
+    """1000-point parametric fig3 sweep vs the classic 11-point sweep."""
+    coarse = list(rpc.SHUTDOWN_TIMEOUT_SWEEP)
+    low, high = min(coarse), max(coarse)
+    step = (high - low) / (DENSE_POINTS - 1)
+    dense = [low + index * step for index in range(DENSE_POINTS)]
+    family = rpc.family()
+
+    coarse_methodology = IncrementalMethodology(family)
+    started = time.perf_counter()
+    coarse_methodology.sweep_markovian("shutdown_timeout", coarse)
+    coarse_seconds = time.perf_counter() - started
+
+    # method=auto: the dense grid crosses the parametric threshold, so
+    # this measures the end-to-end fast path (elimination included).
+    dense_methodology = IncrementalMethodology(family)
+    started = time.perf_counter()
+    dense_methodology.sweep_markovian("shutdown_timeout", dense)
+    dense_seconds = time.perf_counter() - started
+    backends = dense_methodology.runtime_stats()["solver"]["backends"]
+    return {
+        "parameter": "shutdown_timeout",
+        "coarse_points": len(coarse),
+        "coarse_seconds": round(coarse_seconds, 5),
+        "dense_points": DENSE_POINTS,
+        "dense_seconds": round(dense_seconds, 5),
+        "dense_backends": backends,
+        "max_residual": dense_methodology.runtime_stats()["solver"][
+            "max_residual"
+        ],
+    }
+
+
+def collect() -> dict:
+    return {
+        "generated_by": "benchmarks/bench_parametric.py",
+        "fig4": _fig4_report(),
+        "dense_fig3": _dense_fig3_report(),
+    }
+
+
+def write_report(report: dict) -> Path:
+    OUTPUT_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    return OUTPUT_PATH
+
+
+def test_bench_parametric():
+    report = collect()
+    write_report(report)
+    fig4 = report["fig4"]
+    # Acceptance gates: per-point evaluation after the one-time
+    # elimination beats per-point direct solves by >= 100x while
+    # agreeing at every point, and the 1000-point dense sweep costs
+    # less wall-clock than the classic 11-point sweep.
+    assert fig4["max_relative_error"] <= AGREEMENT_TOLERANCE, (
+        f"parametric fig4 drifts {fig4['max_relative_error']:.3e} "
+        f"from direct"
+    )
+    assert fig4["speedup"] >= SPEEDUP_GATE, (
+        f"parametric per-point evaluation only {fig4['speedup']}x "
+        f"faster than direct"
+    )
+    dense = report["dense_fig3"]
+    assert dense["dense_backends"].get("parametric") == DENSE_POINTS
+    assert dense["dense_seconds"] < dense["coarse_seconds"], (
+        f"dense {dense['dense_points']}-point sweep "
+        f"({dense['dense_seconds']}s) slower than the coarse "
+        f"{dense['coarse_points']}-point sweep "
+        f"({dense['coarse_seconds']}s)"
+    )
+    assert dense["max_residual"] < 1e-8
+    print(
+        f"\n  fig4: build {fig4['build_seconds']}s, then "
+        f"{fig4['per_point_eval_seconds'] * 1e6:.0f}us/point vs "
+        f"{fig4['per_point_direct_seconds'] * 1e3:.2f}ms/point direct "
+        f"({fig4['speedup']}x, max rel err "
+        f"{fig4['max_relative_error']:.2e})"
+    )
+    print(
+        f"  dense fig3: {dense['dense_points']} points in "
+        f"{dense['dense_seconds']}s vs {dense['coarse_points']} points "
+        f"in {dense['coarse_seconds']}s"
+    )
+    print(f"  report written to {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    test_bench_parametric()
+    print(f"wrote {OUTPUT_PATH}")

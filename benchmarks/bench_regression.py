@@ -1,6 +1,6 @@
 """Regression gate against the committed benchmark baselines.
 
-Re-measures the cheap, deterministic core of the two committed baseline
+Re-measures the cheap, deterministic core of the committed baseline
 files and fails when the numbers drift outside tolerance bands:
 
 * ``BENCH_solvers.json`` — every steady-state backend on every case
@@ -10,6 +10,12 @@ files and fails when the numbers drift outside tolerance bands:
 * ``BENCH_runtime.json`` — the fig3 Markovian sweep must still hit the
   structural cache exactly as recorded (one skeleton miss, every
   further point a relabel) over the same number of points.
+* ``BENCH_parametric.json`` — the streaming chain's parametric
+  elimination must keep its recorded structure (recurrent class,
+  parametric transition count), its validated fit error must not blow
+  up, and per-point evaluation must agree with — and stay >= 100x
+  faster than — per-point direct solves (a same-run ratio, so it is
+  robust to machine speed).
 
 Wall-clock is reported but never gated — CI machines are too noisy for
 timing assertions, and the committed ``seconds`` fields are documentation,
@@ -27,7 +33,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.casestudies import rpc
+from repro.casestudies import rpc, streaming
 from repro.core.methodology import IncrementalMethodology
 from repro.ctmc.steady_state import steady_state_solution
 
@@ -36,6 +42,7 @@ from bench_solvers import CASES, _build_ctmc
 ROOT = Path(__file__).resolve().parent.parent
 SOLVERS_BASELINE = ROOT / "BENCH_solvers.json"
 RUNTIME_BASELINE = ROOT / "BENCH_runtime.json"
+PARAMETRIC_BASELINE = ROOT / "BENCH_parametric.json"
 
 #: Iteration counts may drift with library versions (ILU fill, GMRES
 #: restarts) but an honest reimplementation stays within a 2x band.
@@ -47,6 +54,17 @@ RESIDUAL_ABS_FLOOR = 1e-9
 RESIDUAL_RATIO = 10.0
 
 MASS_DEFECT_LIMIT = 1e-8
+
+#: Parametric gates: the validated fit error may drift 10x (or to the
+#: absolute floor, whichever is looser), agreement with direct solves
+#: is the acceptance tolerance of the parametric work, and the
+#: per-point speedup is a same-run ratio so machine speed cancels out.
+FIT_ERROR_RATIO = 10.0
+FIT_ERROR_ABS_FLOOR = 1e-10
+PARAMETRIC_AGREEMENT = 1e-9
+PARAMETRIC_SPEEDUP_GATE = 100.0
+PARAMETRIC_PROBE_POINTS = [25.0, 100.0, 400.0]
+PARAMETRIC_EVAL_REPEATS = 50
 
 
 def _check(failures: List[str], condition: bool, message: str) -> None:
@@ -155,21 +173,119 @@ def _runtime_regressions(baseline: dict, failures: List[str]) -> dict:
     return measured
 
 
+def _parametric_regressions(baseline: dict, failures: List[str]) -> dict:
+    """A fresh streaming elimination compared against
+    ``BENCH_parametric.json`` — the structure counters must match, the
+    validated fit error must stay small, and per-point evaluation must
+    agree with (and stay far faster than) per-point direct solves."""
+    base = baseline["fig4"]
+    family = streaming.family()
+    methodology = IncrementalMethodology(family)
+    points = list(streaming.AWAKE_PERIOD_SWEEP)
+    started = time.perf_counter()
+    solution = methodology.cache.parametric_solution(
+        family.markovian_dpm,
+        "awake_period",
+        family.measures,
+        (min(points), max(points)),
+    )
+    build_seconds = time.perf_counter() - started
+    _check(
+        failures,
+        solution.size == base["recurrent"],
+        f"parametric/fig4: recurrent class changed "
+        f"({solution.size} vs baseline {base['recurrent']})",
+    )
+    _check(
+        failures,
+        solution.diagnostics["parametric_transitions"]
+        == base["parametric_transitions"],
+        f"parametric/fig4: parametric transition count changed "
+        f"({solution.diagnostics['parametric_transitions']} vs "
+        f"baseline {base['parametric_transitions']})",
+    )
+    fit_limit = max(
+        FIT_ERROR_RATIO * base["max_fit_error"], FIT_ERROR_ABS_FLOOR
+    )
+    _check(
+        failures,
+        solution.max_fit_error <= fit_limit,
+        f"parametric/fig4: fit error {solution.max_fit_error:.3e} "
+        f"exceeds {fit_limit:.3e}",
+    )
+    probe = list(PARAMETRIC_PROBE_POINTS)
+    started = time.perf_counter()
+    direct = methodology.sweep_markovian(
+        "awake_period", probe, method="direct"
+    )
+    direct_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    for _ in range(PARAMETRIC_EVAL_REPEATS):
+        evaluated = [solution.evaluate(value) for value in probe]
+    eval_seconds = (
+        time.perf_counter() - started
+    ) / PARAMETRIC_EVAL_REPEATS
+    worst = 0.0
+    for position, value in enumerate(probe):
+        for name, series in direct.items():
+            reference = series[position]
+            scale = max(1.0, abs(reference))
+            worst = max(
+                worst,
+                abs(evaluated[position][name] - reference) / scale,
+            )
+    _check(
+        failures,
+        worst <= PARAMETRIC_AGREEMENT,
+        f"parametric/fig4: drifts {worst:.3e} from direct solves "
+        f"(limit {PARAMETRIC_AGREEMENT:.0e})",
+    )
+    speedup = (direct_seconds / len(probe)) / (eval_seconds / len(probe))
+    _check(
+        failures,
+        speedup >= PARAMETRIC_SPEEDUP_GATE,
+        f"parametric/fig4: per-point evaluation only {speedup:.1f}x "
+        f"faster than direct (gate {PARAMETRIC_SPEEDUP_GATE:.0f}x)",
+    )
+    return {
+        "recurrent": solution.size,
+        "parametric_transitions": solution.diagnostics[
+            "parametric_transitions"
+        ],
+        "max_fit_error": solution.max_fit_error,
+        "baseline_max_fit_error": base["max_fit_error"],
+        "max_relative_error": worst,
+        "speedup": round(speedup, 1),
+        "build_seconds": round(build_seconds, 5),
+        "baseline_build_seconds": base["build_seconds"],
+    }
+
+
 def collect() -> dict:
     """Run every regression check; the report carries the failures."""
     failures: List[str] = []
-    if not SOLVERS_BASELINE.exists() or not RUNTIME_BASELINE.exists():
+    baselines = {
+        "BENCH_solvers.json": SOLVERS_BASELINE,
+        "BENCH_runtime.json": RUNTIME_BASELINE,
+        "BENCH_parametric.json": PARAMETRIC_BASELINE,
+    }
+    missing = [name for name, path in baselines.items() if not path.exists()]
+    if missing:
         raise FileNotFoundError(
-            "committed baselines BENCH_solvers.json / BENCH_runtime.json "
-            "not found next to the repo root"
+            f"committed baselines {', '.join(missing)} not found next "
+            f"to the repo root"
         )
     solvers_baseline = json.loads(SOLVERS_BASELINE.read_text())
     runtime_baseline = json.loads(RUNTIME_BASELINE.read_text())
+    parametric_baseline = json.loads(PARAMETRIC_BASELINE.read_text())
     return {
         "solvers": _solver_regressions(solvers_baseline, failures),
         "runtime": {
             "fig3-markov": _runtime_regressions(runtime_baseline, failures)
         },
+        "parametric": _parametric_regressions(
+            parametric_baseline, failures
+        ),
         "failures": failures,
         "passed": not failures,
     }
@@ -208,6 +324,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"  fig3-markov: {fig3['points']} points, cache {fig3['cache']} "
         f"in {fig3['seconds']}s"
+    )
+    parametric = report["parametric"]
+    print(
+        f"  parametric: {parametric['recurrent']} recurrent states "
+        f"eliminated in {parametric['build_seconds']}s, "
+        f"{parametric['speedup']}x per point vs direct "
+        f"(max rel err {parametric['max_relative_error']:.2e})"
     )
     if report["failures"]:
         for failure in report["failures"]:

@@ -27,9 +27,10 @@ from ..aemilia.architecture import ArchiType
 from ..aemilia.semantics import generate_lts
 from ..ctmc.build import build_ctmc
 from ..ctmc.measures import Measure, evaluate_measures
+from ..ctmc.parametric import record_parametric_fallback
 from ..ctmc.solvers import resolve_method
 from ..ctmc.steady_state import steady_state, steady_state_solution
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ParametricError
 from ..lts.lts import LTS
 from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
@@ -52,6 +53,13 @@ from .validation import ValidationReport, cross_validate
 
 #: The two variants every phase compares.
 VARIANTS = ("dpm", "nodpm")
+
+#: Point count from which an ``auto`` Markovian sweep tries the
+#: parametric fast path: below it the one-time elimination cost is not
+#: amortised and the existing figures keep their bit-identical per-point
+#: solves; at or above it (dense grids) the elimination pays for itself
+#: many times over.
+PARAMETRIC_AUTO_THRESHOLD = 100
 
 _LOG = obs_log.get_logger("methodology")
 
@@ -99,10 +107,15 @@ def summarize_solver_records(
 # by reference; the heavy shared payload ships once per worker).
 # ---------------------------------------------------------------------------
 
-def _markov_point_cached(shared: Any, env: Mapping[str, object]) -> Dict[str, object]:
-    """Solve one Markovian sweep point by relabeling the shared skeleton."""
-    skeleton, measures, method = shared
-    lts = skeleton.relabel(env)
+def _solve_ctmc_point(
+    lts: LTS, measures: Sequence[Measure], method: str
+) -> Dict[str, object]:
+    """The single concrete-solve entry point of every Markovian path.
+
+    One-point solves and both sweep workers funnel through here, so the
+    build-solve-evaluate contract (and any future interception, like the
+    parametric fast path's fallback) lives in exactly one place.
+    """
     ctmc = build_ctmc(lts)
     solution = steady_state_solution(ctmc, method=method)
     return {
@@ -111,15 +124,31 @@ def _markov_point_cached(shared: Any, env: Mapping[str, object]) -> Dict[str, ob
     }
 
 
+def _markov_point_cached(shared: Any, env: Mapping[str, object]) -> Dict[str, object]:
+    """Solve one Markovian sweep point by relabeling the shared skeleton."""
+    skeleton, measures, method = shared
+    return _solve_ctmc_point(skeleton.relabel(env), measures, method)
+
+
 def _markov_point_fresh(shared: Any, overrides: Mapping[str, object]) -> Dict[str, object]:
     """Solve one Markovian sweep point from scratch (structural parameter)."""
     archi, measures, method, max_states = shared
-    lts = generate_lts(archi, overrides, max_states)
-    ctmc = build_ctmc(lts)
-    solution = steady_state_solution(ctmc, method=method)
+    return _solve_ctmc_point(
+        generate_lts(archi, overrides, max_states), measures, method
+    )
+
+
+def _markov_point_parametric(shared: Any, value: float) -> Dict[str, object]:
+    """Evaluate one sweep point on a prebuilt parametric solution.
+
+    Still one executor task per point: checkpoint journals, retries,
+    chaos injection and workers-N bit-identity all apply unchanged —
+    the task is just microseconds instead of a full solve.
+    """
+    (solution,) = shared
     return {
-        "measures": evaluate_measures(ctmc, solution.pi, measures),
-        "solver": solution.report.as_dict(),
+        "measures": solution.evaluate(value),
+        "solver": solution.report_dict(),
     }
 
 
@@ -437,14 +466,11 @@ class IncrementalMethodology:
         """Analytic steady-state measure values for one variant."""
         lts = self.build_lts("markovian", variant, const_overrides)
         with self.timer.span("solve"):
-            ctmc = build_ctmc(lts)
-            solution = steady_state_solution(
-                ctmc, method=self._solver_method(method)
+            result = _solve_ctmc_point(
+                lts, self.family.measures, self._solver_method(method)
             )
-            self.solver_records.append(solution.report.as_dict())
-            return evaluate_measures(
-                ctmc, solution.pi, self.family.measures
-            )
+        self.solver_records.append(result["solver"])
+        return result["measures"]
 
     def _sweep_points(
         self,
@@ -465,6 +491,62 @@ class IncrementalMethodology:
             archi, parameter
         )
         return archi, points, reusable
+
+    def _parametric_solution(
+        self,
+        archi: ArchiType,
+        parameter: str,
+        values: Sequence[float],
+        rate_only: bool,
+        method: str,
+        const_overrides: Optional[Mapping[str, object]],
+    ):
+        """The parametric fast path's gate: a solution or ``None``.
+
+        Eligible when the caller forced ``method="parametric"``, or when
+        an ``auto`` sweep is dense enough
+        (:data:`PARAMETRIC_AUTO_THRESHOLD`) to amortise the one-time
+        elimination.  Any :class:`~repro.errors.ParametricError` is
+        logged, counted (``repro_parametric_fallbacks_total``) and
+        swallowed — the sweep then proceeds through the existing
+        per-point solvers, where an explicit ``parametric`` request
+        resolves along the deterministic fallback chain.
+        """
+        if method != "parametric" and not (
+            method == "auto" and len(values) >= PARAMETRIC_AUTO_THRESHOLD
+        ):
+            return None
+        if not rate_only:
+            if method == "parametric":
+                record_parametric_fallback("structure")
+                _LOG.warning(
+                    "parametric sweep requested but %r is a structural "
+                    "parameter (or the cache is disabled); using the "
+                    "concrete fallback chain per point",
+                    parameter,
+                )
+            return None
+        floats = [float(v) for v in values]
+        domain = (min(floats), max(floats))
+        try:
+            return self.cache.parametric_solution(
+                archi,
+                parameter,
+                self.family.measures,
+                domain,
+                const_overrides,
+                self.max_states,
+                timer=self.timer,
+            )
+        except ParametricError as error:
+            record_parametric_fallback(error.reason)
+            level = _LOG.warning if method == "parametric" else _LOG.info
+            level(
+                "parametric elimination unavailable (%s); sweeping with "
+                "per-point solves",
+                error,
+            )
+            return None
 
     def sweep_markovian(
         self,
@@ -487,15 +569,30 @@ class IncrementalMethodology:
         resumes bit-identically (docs/RELIABILITY.md).  Every point's
         solver backend and residual are appended to
         :attr:`solver_records`.
+
+        Dense sweeps (``method="parametric"``, or ``auto`` with
+        :data:`PARAMETRIC_AUTO_THRESHOLD` or more points) first try to
+        eliminate the chain into per-measure rational functions
+        (:mod:`repro.ctmc.parametric`): one symbolic solve, then
+        microseconds per point.  The checkpoint fingerprint embeds the
+        *resolved* method, so a journal written parametrically refuses
+        to resume through per-point solves and vice versa.
         """
         method = self._solver_method(method)
         archi, points, rate_only = self._sweep_points(
             "markovian", variant, parameter, values, const_overrides
         )
+        parametric = self._parametric_solution(
+            archi, parameter, values, rate_only, method, const_overrides
+        )
+        if parametric is not None:
+            method = "parametric"
         _LOG.info(
             "markovian sweep: %s over %s (%d points, %s, workers=%d)",
             self.family.name, parameter, len(points),
-            "cached skeleton" if rate_only else "fresh state spaces",
+            "parametric solution" if parametric is not None
+            else "cached skeleton" if rate_only
+            else "fresh state spaces",
             self.workers if workers is None else resolve_workers(workers),
         )
         executor = self._executor(workers)
@@ -510,7 +607,16 @@ class IncrementalMethodology:
         )
         resilience = self._resilience(journal, "solve")
         try:
-            if rate_only:
+            if parametric is not None:
+                shared = (parametric,)
+                with self.timer.span("solve"):
+                    results = executor.map(
+                        _markov_point_parametric,
+                        [float(v) for v in values],
+                        shared,
+                        **resilience,
+                    )
+            elif rate_only:
                 skeleton = self.cache.skeleton(
                     archi, const_overrides, self.max_states,
                     timer=self.timer,

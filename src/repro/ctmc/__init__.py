@@ -15,6 +15,12 @@ from .measures import (
     state_reward_vector,
     trans_clause,
 )
+from .parametric import (
+    ParametricOptions,
+    ParametricSolution,
+    build_parametric_solution,
+)
+from .ratfunc import BarycentricRational, Polynomial, RationalFunction, aaa_fit
 from .rewards import (
     absorption_probability,
     accumulated_state_reward,
@@ -51,6 +57,13 @@ __all__ = [
     "state_clause",
     "state_reward_vector",
     "trans_clause",
+    "ParametricOptions",
+    "ParametricSolution",
+    "build_parametric_solution",
+    "BarycentricRational",
+    "Polynomial",
+    "RationalFunction",
+    "aaa_fit",
     "absorption_probability",
     "accumulated_state_reward",
     "mean_time_to_absorption",

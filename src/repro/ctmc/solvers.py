@@ -265,20 +265,25 @@ def available_solvers() -> Tuple[str, ...]:
 
 
 def solver_choices() -> Tuple[str, ...]:
-    """Every accepted method name: ``auto``, backends and aliases."""
-    return ("auto", *available_solvers(), *sorted(_ALIASES))
+    """Every accepted method name: ``auto``, backends, aliases and the
+    ``parametric`` sweep mode (docs/SOLVERS.md)."""
+    return ("auto", *available_solvers(), *sorted(_ALIASES), "parametric")
 
 
 def resolve_method(method: Optional[str] = None) -> str:
     """Normalise a method request: None -> $REPRO_SOLVER -> ``auto``.
 
     Aliases are canonicalised; unknown names raise
-    :class:`~repro.errors.SolverError`.
+    :class:`~repro.errors.SolverError`.  ``parametric`` is accepted even
+    though it is not a per-chain backend: sweeps intercept it to build a
+    rational-function solution (:mod:`repro.ctmc.parametric`), and any
+    concrete solve reached with it falls back along
+    :data:`_FALLBACK_CHAIN` deterministically.
     """
     if method is None:
         method = os.environ.get(SOLVER_ENV_VAR) or "auto"
     name = _ALIASES.get(method, method)
-    if name != "auto" and name not in _REGISTRY:
+    if name not in ("auto", "parametric") and name not in _REGISTRY:
         known = ", ".join(solver_choices())
         raise SolverError(
             f"unknown steady-state method {method!r} (use one of: {known})"
@@ -728,6 +733,39 @@ def solve_steady_state(
     problem.track = track_iterations
     problem.callback = iteration_callback
     started = time.perf_counter()
+    if name == "parametric":
+        # A concrete per-chain solve was requested with the parametric
+        # method: this chain has no prebuilt parametric solution (no
+        # cached rate provenance, a structural parameter, or the
+        # elimination fell back).  Solve along the deterministic
+        # fallback chain and record the parametric miss in the report,
+        # so results stay reproducible point by point.
+        registry = obs_metrics.get_registry()
+        if registry.enabled:
+            obs_metrics.PARAMETRIC_FALLBACKS.on(registry).labels(
+                reason="concrete"
+            ).inc()
+        failed = ["parametric"]
+        last_error: Optional[SolverError] = None
+        for candidate in _FALLBACK_CHAIN:
+            problem.reset_observation()
+            try:
+                raw, iterations = _REGISTRY[candidate](problem, options)
+                solution = _finalize(
+                    raw, iterations, candidate, problem, options,
+                    tuple(failed),
+                )
+                _record_solve_metrics(
+                    solution.report, time.perf_counter() - started
+                )
+                return solution
+            except SolverError as error:
+                failed.append(candidate)
+                last_error = error
+        raise SolverError(
+            f"every backend failed on this chain "
+            f"(tried {', '.join(failed)}); last error: {last_error}"
+        ) from last_error
     if name != "auto":
         raw, iterations = _REGISTRY[name](problem, options)
         solution = _finalize(raw, iterations, name, problem, options, ())

@@ -101,6 +101,24 @@ class SolverError(ReproError):
         self.iterations = iterations
 
 
+class ParametricError(SolverError):
+    """A chain could not be solved parametrically (symbolically).
+
+    Raised when rate expressions are not rational in the swept parameter,
+    when the state-elimination fill-in or degree budgets are exceeded, or
+    when the fitted rational functions fail validation (poles inside the
+    sweep domain, residual above tolerance).  Always recoverable: callers
+    fall back to the concrete per-point solvers of
+    :mod:`repro.ctmc.solvers`.
+    """
+
+    def __init__(self, message: str, *, reason: str = "unsupported", **kwargs):
+        super().__init__(message, method="parametric", **kwargs)
+        #: Machine-readable fallback reason (metrics label):
+        #: ``unsupported`` / ``budget`` / ``fit`` / ``structure``.
+        self.reason = reason
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator met an inconsistent model."""
 

@@ -256,6 +256,14 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="comma-separated sweep values",
     )
     parser.add_argument(
+        "--points", type=int, default=None, metavar="N",
+        help=(
+            "densify: sweep N uniform points spanning --values' range "
+            "instead of the listed values (dense markovian grids "
+            "auto-engage the parametric fast path, docs/SOLVERS.md)"
+        ),
+    )
+    parser.add_argument(
         "--variant", default="dpm", help="model variant (default: dpm)"
     )
     parser.add_argument(
@@ -333,6 +341,14 @@ def run_sweep(argv: List[str]) -> int:
     values = [float(v) for v in args.values.split(",") if v.strip()]
     if not values:
         raise SystemExit("--values must name at least one sweep value")
+    if args.points is not None:
+        if args.points < 2 or len(values) < 2:
+            raise SystemExit(
+                "--points needs N >= 2 and at least two --values to span"
+            )
+        low, high = min(values), max(values)
+        step = (high - low) / (args.points - 1)
+        values = [low + index * step for index in range(args.points)]
     options = _run_options(args)
     methodology = IncrementalMethodology(
         _CASES[args.case](),

@@ -109,6 +109,16 @@ def _experiments() -> List[Experiment]:
             ),
         ),
         Experiment(
+            "fig4-dense",
+            "Fig. 4 on a dense 1000-point grid (parametric fast path)",
+            lambda quick, options=None: streaming_figures.fig4_dense(
+                streaming_figures.QUICK_DENSE_POINTS
+                if quick
+                else streaming_figures.DENSE_POINTS,
+                options=options,
+            ),
+        ),
+        Experiment(
             "fig5",
             "Fig. 5: validation of the rpc general model",
             lambda quick, options=None: rpc_figures.fig5_validation(

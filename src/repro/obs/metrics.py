@@ -629,6 +629,36 @@ WORKLOAD_KS_STATISTIC = MetricSpec(
     ("family",),
 )
 
+#: Bucket schema for parametric per-point evaluations (microseconds).
+PARAMETRIC_EVAL_BUCKETS: Tuple[float, ...] = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1e-2,
+)
+
+PARAMETRIC_ELIMINATIONS = MetricSpec(
+    "repro_parametric_eliminations_total", "counter",
+    "Parametric state eliminations attempted, by outcome status.",
+    ("status",),
+)
+PARAMETRIC_ELIMINATION_SECONDS = MetricSpec(
+    "repro_parametric_elimination_seconds", "histogram",
+    "Wall-clock seconds per parametric elimination (build + fit).",
+    (), TIME_BUCKETS,
+)
+PARAMETRIC_EVALUATIONS = MetricSpec(
+    "repro_parametric_evaluations_total", "counter",
+    "Sweep points evaluated through a parametric solution.",
+)
+PARAMETRIC_EVAL_SECONDS = MetricSpec(
+    "repro_parametric_eval_seconds", "histogram",
+    "Wall-clock seconds per parametric point evaluation.",
+    (), PARAMETRIC_EVAL_BUCKETS,
+)
+PARAMETRIC_FALLBACKS = MetricSpec(
+    "repro_parametric_fallbacks_total", "counter",
+    "Falls back from the parametric path to per-point solves, by reason.",
+    ("reason",),
+)
+
 #: Every metric the stack emits, in catalog order (docs/OBSERVABILITY.md).
 CATALOG: Tuple[MetricSpec, ...] = (
     SOLVER_SOLVES,
@@ -656,4 +686,9 @@ CATALOG: Tuple[MetricSpec, ...] = (
     WORKLOAD_EVENTS_REPLAYED,
     WORKLOAD_FIT_ITERATIONS,
     WORKLOAD_KS_STATISTIC,
+    PARAMETRIC_ELIMINATIONS,
+    PARAMETRIC_ELIMINATION_SECONDS,
+    PARAMETRIC_EVALUATIONS,
+    PARAMETRIC_EVAL_SECONDS,
+    PARAMETRIC_FALLBACKS,
 )

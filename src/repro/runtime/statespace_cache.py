@@ -217,6 +217,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     relabels: int = 0
+    parametric_hits: int = 0
+    parametric_builds: int = 0
 
     def _emit(self, kind: str, count: int = 1) -> None:
         registry = obs_metrics.get_registry()
@@ -238,11 +240,21 @@ class CacheStats:
             self.relabels += count
             self._emit("relabel", count)
 
+    def parametric_hit(self) -> None:
+        self.parametric_hits += 1
+        self._emit("parametric_hit")
+
+    def parametric_build(self) -> None:
+        self.parametric_builds += 1
+        self._emit("parametric_build")
+
     def as_dict(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "relabels": self.relabels,
+            "parametric_hits": self.parametric_hits,
+            "parametric_builds": self.parametric_builds,
         }
 
 
@@ -258,6 +270,9 @@ class StructuralStateSpaceCache:
         self.enabled = enabled
         self.stats = CacheStats()
         self._skeletons: Dict[tuple, ParametricLTS] = {}
+        #: Parametric (rational-function) solutions, keyed by skeleton
+        #: key + sweep definition (see :meth:`parametric_solution`).
+        self._parametric: Dict[tuple, object] = {}
         # id-keyed memos hold a reference to the archi so ids stay valid.
         self._structural: Dict[int, Tuple[ArchiType, frozenset]] = {}
         self._fingerprints: Dict[int, Tuple[ArchiType, str]] = {}
@@ -350,9 +365,62 @@ class StructuralStateSpaceCache:
         with timer.span("relabel") if timer else nullcontext():
             return skeleton.relabel(env)
 
+    def parametric_solution(
+        self,
+        archi: ArchiType,
+        parameter: str,
+        measures,
+        domain: Tuple[float, float],
+        const_overrides: Optional[Mapping[str, Value]] = None,
+        max_states: int = 200_000,
+        apply_preemption: bool = True,
+        timer: Optional[Timer] = None,
+    ):
+        """Get (or build and cache) the rational-function solution of a
+        rate-only sweep over *parameter* on *domain*.
+
+        The key covers the skeleton identity, the swept parameter and
+        domain, the measures (their printed form is content-complete)
+        and every *other* constant's bound value — the swept parameter's
+        own base value is irrelevant, since the solution treats it
+        symbolically.  Raises
+        :class:`~repro.errors.ParametricError` when the chain cannot be
+        eliminated; callers fall back to per-point solves.
+        """
+        from ..ctmc.parametric import build_parametric_solution
+
+        env = archi.bind_constants(const_overrides)
+        skeleton = self.skeleton(
+            archi, const_overrides, max_states, apply_preemption, timer
+        )
+        key = (
+            self._key(archi, env, max_states, apply_preemption),
+            parameter,
+            tuple(str(m) for m in measures),
+            (float(domain[0]), float(domain[1])),
+            tuple(
+                (name, env[name])
+                for name in sorted(env)
+                if name != parameter
+            ),
+        )
+        solution = self._parametric.get(key) if self.enabled else None
+        if solution is None:
+            self.stats.parametric_build()
+            with timer.span("parametric") if timer else nullcontext():
+                solution = build_parametric_solution(
+                    archi, skeleton, parameter, measures, domain, env
+                )
+            if self.enabled:
+                self._parametric[key] = solution
+        else:
+            self.stats.parametric_hit()
+        return solution
+
     def clear(self) -> None:
         """Drop all cached skeletons and reset the counters."""
         self._skeletons.clear()
+        self._parametric.clear()
         self._structural.clear()
         self._fingerprints.clear()
         self.stats = CacheStats()

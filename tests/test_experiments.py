@@ -17,6 +17,7 @@ EXPECTED_IDS = {
     "fig3-markov",
     "fig3-general",
     "fig4",
+    "fig4-dense",
     "fig5",
     "fig6",
     "fig7",

@@ -80,6 +80,11 @@ EXPECTED_CATALOG = {
     "repro_workload_events_replayed_total": ("counter", ("mode",)),
     "repro_workload_fit_iterations_total": ("counter", ("family",)),
     "repro_workload_ks_statistic": ("gauge", ("family",)),
+    "repro_parametric_eliminations_total": ("counter", ("status",)),
+    "repro_parametric_elimination_seconds": ("histogram", ()),
+    "repro_parametric_evaluations_total": ("counter", ()),
+    "repro_parametric_eval_seconds": ("histogram", ()),
+    "repro_parametric_fallbacks_total": ("counter", ("reason",)),
 }
 
 

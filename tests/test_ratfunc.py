@@ -1,0 +1,215 @@
+"""Property tests of the rational-function layer (repro.ctmc.ratfunc).
+
+The exact ``Polynomial`` / ``RationalFunction`` classes must be honest
+ring homomorphisms under evaluation — ``(f op g)(v) == f(v) op g(v)``
+over exact Fractions for every operation the parametric atom builder
+uses (add, sub, mul, div, compose) — and the AAA reconstruction must
+round-trip pole-free rational functions through sampled values without
+inventing spurious poles inside (or at the boundaries of) the sweep
+domain.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc.ratfunc import (
+    BarycentricRational,
+    Polynomial,
+    RationalFunction,
+    aaa_fit,
+)
+from repro.errors import ParametricError
+
+#: Small exact coefficients keep the closed-form oracles fast while the
+#: arithmetic (cross-multiplication, gcd cancellation) is fully general.
+coefficients = st.fractions(
+    min_value=-4, max_value=4, max_denominator=8
+)
+polynomials = st.builds(
+    Polynomial, st.lists(coefficients, max_size=5)
+)
+nonzero_polynomials = polynomials.filter(lambda p: not p.is_zero)
+rationals = st.builds(RationalFunction, polynomials, nonzero_polynomials)
+nonzero_rationals = rationals.filter(lambda f: not f.num.is_zero)
+points = st.fractions(min_value=-3, max_value=3, max_denominator=7)
+
+
+def _chebyshev(low: float, high: float, count: int) -> np.ndarray:
+    angles = np.pi * np.arange(count) / (count - 1)
+    return (low + high) / 2.0 - (high - low) / 2.0 * np.cos(
+        np.pi - angles
+    )
+
+
+class TestPolynomial:
+    @given(polynomials, polynomials, points)
+    @settings(max_examples=60, deadline=None)
+    def test_add_mul_evaluate_pointwise(self, p, q, v):
+        assert (p + q).evaluate(v) == p.evaluate(v) + q.evaluate(v)
+        assert (p * q).evaluate(v) == p.evaluate(v) * q.evaluate(v)
+        assert (p - q).evaluate(v) == p.evaluate(v) - q.evaluate(v)
+
+    @given(polynomials, polynomials)
+    @settings(max_examples=60, deadline=None)
+    def test_ring_laws(self, p, q):
+        assert p + q == q + p
+        assert p * q == q * p
+        assert p + Polynomial() == p
+        assert p * Polynomial.constant(1) == p
+        assert p - p == Polynomial()
+
+    @given(polynomials)
+    @settings(max_examples=60, deadline=None)
+    def test_trimming_normalises_trailing_zeros(self, p):
+        padded = Polynomial(tuple(p.coeffs) + (0, 0, 0))
+        assert padded == p
+        assert padded.degree == p.degree
+
+    @given(polynomials, points)
+    @settings(max_examples=60, deadline=None)
+    def test_float_evaluation_tracks_exact(self, p, v):
+        exact = float(p.evaluate(v))
+        approximate = p.evaluate_float(float(v))
+        assert approximate == pytest.approx(exact, rel=1e-9, abs=1e-9)
+
+
+class TestRationalFunction:
+    @given(rationals, rationals, points)
+    @settings(max_examples=80, deadline=None)
+    def test_field_operations_evaluate_pointwise(self, f, g, v):
+        try:
+            fv, gv = f.evaluate(v), g.evaluate(v)
+        except ZeroDivisionError:
+            assume(False)
+        assert (f + g).evaluate(v) == fv + gv
+        assert (f - g).evaluate(v) == fv - gv
+        assert (f * g).evaluate(v) == fv * gv
+        if gv != 0 and not g.num.is_zero:
+            try:
+                quotient = (f / g).evaluate(v)
+            except ZeroDivisionError:
+                assume(False)
+            assert quotient == fv / gv
+
+    @given(rationals, nonzero_rationals)
+    @settings(max_examples=60, deadline=None)
+    def test_cancellation_round_trips(self, f, g):
+        # Normalisation (gcd + monic denominator) makes structurally
+        # equal functions compare equal, so (f*g)/g must give f back.
+        assert (f * g) / g == f
+
+    @given(rationals)
+    @settings(max_examples=60, deadline=None)
+    def test_denominator_is_monic(self, f):
+        assert f.den.coeffs[-1] == 1
+
+    @given(rationals, rationals, points)
+    @settings(max_examples=60, deadline=None)
+    def test_compose_evaluates_inside_out(self, f, inner, v):
+        try:
+            inner_value = inner.evaluate(v)
+            expected = f.evaluate(inner_value)
+            composed = f.compose(inner)
+        except ZeroDivisionError:
+            assume(False)
+        assert composed.evaluate(v) == expected
+
+    @given(rationals, points)
+    @settings(max_examples=60, deadline=None)
+    def test_node_evaluation_matches_float_evaluation(self, f, v):
+        value = float(v)
+        try:
+            exact = float(f.evaluate(v))
+        except ZeroDivisionError:
+            assume(False)
+        nodes = np.array([value, value + 0.5])
+        evaluated = f.evaluate_nodes(nodes)
+        assert evaluated[0] == pytest.approx(exact, rel=1e-9, abs=1e-9)
+        assert evaluated[0] == f.evaluate_float(value)
+
+    def test_zero_denominator_is_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            RationalFunction(Polynomial.x(), Polynomial())
+
+    def test_pole_evaluation_is_an_error_not_a_value(self):
+        f = RationalFunction.constant(1) / RationalFunction.x()
+        with pytest.raises(ZeroDivisionError, match="pole"):
+            f.evaluate(0)
+
+
+class TestAAAReconstruction:
+    DOMAIN = (1.0, 2.0)
+
+    def _fit(self, function, count=33, **kwargs):
+        low, high = self.DOMAIN
+        nodes = _chebyshev(low, high, count)
+        return nodes, aaa_fit(nodes, function(nodes), **kwargs)
+
+    @given(
+        st.lists(st.integers(-3, 3), min_size=1, max_size=4),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pole_free_rationals_round_trip(self, num_coeffs, bump):
+        # f = num(x) / (1 + bump * (x - 3)^2): the denominator is
+        # strictly positive on the real line, so f is smooth over any
+        # sweep domain and AAA must recover it to holdout tolerance.
+        assume(any(num_coeffs))
+        num = Polynomial(num_coeffs)
+        shift = Polynomial([-3, 1])
+        den = Polynomial([1]) + (shift * shift).scale(bump)
+        f = RationalFunction(num, den)
+        nodes, (fit, error) = self._fit(f.evaluate_nodes)
+        assert error <= 1e-11
+        low, high = self.DOMAIN
+        grid = np.linspace(low, high, 101)
+        exact = f.evaluate_nodes(grid)
+        scale = np.abs(exact).max()
+        assert np.abs(fit(grid) - exact).max() <= 1e-9 * scale
+        # Pole avoidance: nothing spurious inside the sweep domain,
+        # boundaries included.
+        assert fit.real_poles_in(low, high).size == 0
+
+    def test_nearby_exterior_pole_stays_exterior(self):
+        # A true pole just outside the domain is the hard case for the
+        # spectral check: the fit must place its pole outside [1, 2]
+        # rather than aliasing it across the boundary.
+        nodes, (fit, error) = self._fit(lambda x: 1.0 / (x - 0.9))
+        assert error <= 1e-11
+        assert fit.real_poles_in(*self.DOMAIN).size == 0
+        poles = fit.poles()
+        real = poles[np.abs(poles.imag) < 1e-8].real
+        assert np.any(np.abs(real - 0.9) < 1e-6)
+
+    def test_support_nodes_interpolate_exactly(self):
+        nodes, (fit, _) = self._fit(lambda x: (x + 1.0) / (x + 3.0))
+        for node, value in zip(fit.nodes, fit.values):
+            assert fit(float(node)) == value
+
+    def test_zero_function_fits_trivially(self):
+        nodes = _chebyshev(*self.DOMAIN, 17)
+        fit, error = aaa_fit(nodes, np.zeros_like(nodes))
+        assert error == 0.0
+        assert fit(1.5) == 0.0
+
+    def test_non_rational_function_exhausts_the_budget(self):
+        with pytest.raises(ParametricError) as info:
+            self._fit(lambda x: np.abs(x - 1.5), max_support=4)
+        assert info.value.reason == "budget"
+
+    def test_sample_validation(self):
+        nodes = _chebyshev(*self.DOMAIN, 9)
+        with pytest.raises(ParametricError, match="one-dimensional"):
+            aaa_fit(nodes, np.zeros(4))
+        with pytest.raises(ParametricError, match="non-finite"):
+            aaa_fit(nodes, np.full_like(nodes, np.nan))
+
+    def test_barycentric_shape_validation(self):
+        with pytest.raises(ParametricError, match="equal-length"):
+            BarycentricRational(
+                np.array([1.0]), np.array([1.0, 2.0]), np.array([1.0])
+            )
