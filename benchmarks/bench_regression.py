@@ -16,6 +16,11 @@ files and fails when the numbers drift outside tolerance bands:
   up, and per-point evaluation must agree with — and stay >= 100x
   faster than — per-point direct solves (a same-run ratio, so it is
   robust to machine speed).
+* ``BENCH_sim.json`` — the committed numbers must still honour the
+  fast engine's acceptance gates (>= 5x throughput, >= 2x CRN interval
+  narrowing), and a reduced-budget re-measure must reproduce both
+  effects within generous bands (same-run ratios again, so machine
+  speed cancels).
 
 Wall-clock is reported but never gated — CI machines are too noisy for
 timing assertions, and the committed ``seconds`` fields are documentation,
@@ -43,6 +48,7 @@ ROOT = Path(__file__).resolve().parent.parent
 SOLVERS_BASELINE = ROOT / "BENCH_solvers.json"
 RUNTIME_BASELINE = ROOT / "BENCH_runtime.json"
 PARAMETRIC_BASELINE = ROOT / "BENCH_parametric.json"
+SIM_BASELINE = ROOT / "BENCH_sim.json"
 
 #: Iteration counts may drift with library versions (ILU fill, GMRES
 #: restarts) but an honest reimplementation stays within a 2x band.
@@ -65,6 +71,21 @@ PARAMETRIC_AGREEMENT = 1e-9
 PARAMETRIC_SPEEDUP_GATE = 100.0
 PARAMETRIC_PROBE_POINTS = [25.0, 100.0, 400.0]
 PARAMETRIC_EVAL_REPEATS = 50
+
+#: Committed BENCH_sim.json contract (the acceptance gates of the fast
+#: engine work) plus the generous bands for the cheap re-measure: the
+#: reduced batch amortises less, and 10 paired runs estimate interval
+#: widths noisily, so the re-measure gates sit far below the committed
+#: numbers while still catching an engine that lost its edge.
+SIM_BASELINE_SPEEDUP_GATE = 5.0
+SIM_BASELINE_CRN_GATE = 2.0
+SIM_RECHECK_SPEEDUP_GATE = 1.5
+SIM_RECHECK_CRN_GATE = 1.5
+SIM_RECHECK_RUN_LENGTH = 1_000.0
+SIM_RECHECK_WARMUP = 100.0
+SIM_RECHECK_FAST_RUNS = 64
+SIM_RECHECK_REFERENCE_RUNS = 6
+SIM_RECHECK_CRN_RUNS = 10
 
 
 def _check(failures: List[str], condition: bool, message: str) -> None:
@@ -261,6 +282,110 @@ def _parametric_regressions(baseline: dict, failures: List[str]) -> dict:
     }
 
 
+def _sim_regressions(baseline: dict, failures: List[str]) -> dict:
+    """The fast engine's edge re-measured against ``BENCH_sim.json``.
+
+    The committed file must honour the acceptance gates it was written
+    under; the fresh reduced-budget run reproduces both effects — the
+    vectorized speedup and the CRN interval narrowing — as same-run
+    ratios, inside bands generous enough for CI noise.
+    """
+    from repro.aemilia.semantics import generate_lts
+    from repro.sim import (
+        FastSimulator,
+        Simulator,
+        replicate_paired,
+        spawn_generators,
+    )
+
+    _check(
+        failures,
+        baseline["throughput"]["speedup"] >= SIM_BASELINE_SPEEDUP_GATE,
+        f"sim: committed speedup {baseline['throughput']['speedup']}x "
+        f"below the {SIM_BASELINE_SPEEDUP_GATE:.0f}x acceptance gate",
+    )
+    _check(
+        failures,
+        baseline["crn"]["min_narrowing"] >= SIM_BASELINE_CRN_GATE,
+        f"sim: committed CRN narrowing "
+        f"{baseline['crn']['min_narrowing']}x below the "
+        f"{SIM_BASELINE_CRN_GATE:.0f}x acceptance gate",
+    )
+
+    family = rpc.family()
+    lts = generate_lts(family.general_dpm, None, 200_000)
+    reference = Simulator(lts, family.measures)
+    started = time.perf_counter()
+    reference_events = sum(
+        reference.run(
+            SIM_RECHECK_RUN_LENGTH, rng, warmup=SIM_RECHECK_WARMUP
+        ).events_fired
+        for rng in spawn_generators(20040628, SIM_RECHECK_REFERENCE_RUNS)
+    )
+    reference_rate = reference_events / max(
+        time.perf_counter() - started, 1e-9
+    )
+    fast = FastSimulator(lts, family.measures)
+    started = time.perf_counter()
+    fast_events = sum(
+        result.events_fired
+        for result in fast.run_many(
+            SIM_RECHECK_RUN_LENGTH,
+            seed=20040628,
+            runs=SIM_RECHECK_FAST_RUNS,
+            warmup=SIM_RECHECK_WARMUP,
+        )
+    )
+    fast_rate = fast_events / max(time.perf_counter() - started, 1e-9)
+    speedup = fast_rate / reference_rate
+    _check(
+        failures,
+        speedup >= SIM_RECHECK_SPEEDUP_GATE,
+        f"sim: re-measured speedup {speedup:.2f}x below the "
+        f"{SIM_RECHECK_SPEEDUP_GATE}x re-check gate",
+    )
+
+    lts_dpm = generate_lts(
+        family.general_dpm, {"shutdown_timeout": 15.0}, 200_000
+    )
+    lts_nodpm = generate_lts(family.general_nodpm, None, 200_000)
+    crn_settings = dict(
+        runs=SIM_RECHECK_CRN_RUNS,
+        warmup=SIM_RECHECK_WARMUP,
+        seed=20040628,
+    )
+    paired = replicate_paired(
+        lts_dpm, lts_nodpm, family.measures, SIM_RECHECK_RUN_LENGTH,
+        crn=True, **crn_settings,
+    )
+    independent = replicate_paired(
+        lts_dpm, lts_nodpm, family.measures, SIM_RECHECK_RUN_LENGTH,
+        crn=False, **crn_settings,
+    )
+    narrowing = min(
+        min(
+            independent.delta[name].half_width
+            / max(paired.delta[name].half_width, 1e-300),
+            1000.0,
+        )
+        for name in family.measure_names()
+    )
+    _check(
+        failures,
+        narrowing >= SIM_RECHECK_CRN_GATE,
+        f"sim: re-measured CRN narrowing {narrowing:.2f}x below the "
+        f"{SIM_RECHECK_CRN_GATE}x re-check gate",
+    )
+    return {
+        "speedup": round(speedup, 2),
+        "baseline_speedup": baseline["throughput"]["speedup"],
+        "crn_narrowing": round(narrowing, 2),
+        "baseline_crn_narrowing": baseline["crn"]["min_narrowing"],
+        "fast_events_per_second": round(fast_rate),
+        "reference_events_per_second": round(reference_rate),
+    }
+
+
 def collect() -> dict:
     """Run every regression check; the report carries the failures."""
     failures: List[str] = []
@@ -268,6 +393,7 @@ def collect() -> dict:
         "BENCH_solvers.json": SOLVERS_BASELINE,
         "BENCH_runtime.json": RUNTIME_BASELINE,
         "BENCH_parametric.json": PARAMETRIC_BASELINE,
+        "BENCH_sim.json": SIM_BASELINE,
     }
     missing = [name for name, path in baselines.items() if not path.exists()]
     if missing:
@@ -278,6 +404,7 @@ def collect() -> dict:
     solvers_baseline = json.loads(SOLVERS_BASELINE.read_text())
     runtime_baseline = json.loads(RUNTIME_BASELINE.read_text())
     parametric_baseline = json.loads(PARAMETRIC_BASELINE.read_text())
+    sim_baseline = json.loads(SIM_BASELINE.read_text())
     return {
         "solvers": _solver_regressions(solvers_baseline, failures),
         "runtime": {
@@ -286,6 +413,7 @@ def collect() -> dict:
         "parametric": _parametric_regressions(
             parametric_baseline, failures
         ),
+        "sim": _sim_regressions(sim_baseline, failures),
         "failures": failures,
         "passed": not failures,
     }
@@ -331,6 +459,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"eliminated in {parametric['build_seconds']}s, "
         f"{parametric['speedup']}x per point vs direct "
         f"(max rel err {parametric['max_relative_error']:.2e})"
+    )
+    sim = report["sim"]
+    print(
+        f"  sim: fast {sim['fast_events_per_second']:,} ev/s vs "
+        f"reference {sim['reference_events_per_second']:,} ev/s "
+        f"({sim['speedup']}x, committed {sim['baseline_speedup']}x), "
+        f"CRN narrowing {sim['crn_narrowing']}x "
+        f"(committed {sim['baseline_crn_narrowing']}x)"
     )
     if report["failures"]:
         for failure in report["failures"]:

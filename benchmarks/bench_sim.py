@@ -1,0 +1,197 @@
+"""Simulation kernel benchmarks: vectorized throughput and CRN payoff.
+
+Measures the two numbers the fast engine exists for and writes
+``BENCH_sim.json`` next to the repo root:
+
+* **throughput** — events/second of the vectorized kernel
+  (:class:`~repro.sim.fastengine.FastSimulator`, one batch of
+  replications) against the pure-Python reference engine on the fig. 3
+  general-phase workload (the rpc det+normal model).  The speedup is a
+  same-run ratio, so machine speed cancels out; the acceptance gate is
+  >= 5x at the committed batch size.
+* **crn** — paired-delta confidence-interval width under common random
+  numbers vs independent pairing, DPM-on (``shutdown_timeout=15``, a
+  genuine fig. 3 sweep point where the trajectories stay aligned) vs
+  DPM-off, at equal event budget.  The gate is >= 2x narrower on every
+  measure.
+
+Runs as a benchmark module (``pytest benchmarks/bench_sim.py``) or as a
+plain script (``python benchmarks/bench_sim.py``).  The committed JSON
+is gated by ``bench_regression.py``.  See docs/SIMULATION.md.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.aemilia.semantics import generate_lts
+from repro.casestudies import rpc
+from repro.sim import (
+    FastSimulator,
+    Simulator,
+    replicate_paired,
+    spawn_generators,
+)
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+SEED = 20040628
+RUN_LENGTH = 2_000.0
+WARMUP = 100.0
+
+#: Replications per engine for the throughput measurement.  The kernel
+#: amortises per-step overhead across the batch, so its batch size is
+#: the one the acceptance gate is stated at; the reference engine's
+#: rate is per-run and batch-size independent, so fewer runs suffice.
+FAST_RUNS = 256
+REFERENCE_RUNS = 24
+
+#: CRN comparison point: shutdown_timeout=15.0 (fig. 3 sweep point).
+CRN_TIMEOUT = 15.0
+CRN_RUNS = 16
+CRN_RUN_LENGTH = 1_500.0
+
+
+def _fig3_model(shutdown_timeout=None):
+    overrides = (
+        None
+        if shutdown_timeout is None
+        else {"shutdown_timeout": shutdown_timeout}
+    )
+    return generate_lts(rpc.family().general_dpm, overrides, 200_000)
+
+
+def _reference_rate(lts, measures, runs=REFERENCE_RUNS):
+    simulator = Simulator(lts, measures)
+    generators = spawn_generators(SEED, runs)
+    events = 0
+    started = time.perf_counter()
+    for rng in generators:
+        events += simulator.run(RUN_LENGTH, rng, warmup=WARMUP).events_fired
+    elapsed = time.perf_counter() - started
+    return events, elapsed, events / max(elapsed, 1e-9)
+
+
+def _fast_rate(lts, measures, runs=FAST_RUNS):
+    simulator = FastSimulator(lts, measures)
+    started = time.perf_counter()
+    results = simulator.run_many(
+        RUN_LENGTH, seed=SEED, runs=runs, warmup=WARMUP
+    )
+    elapsed = time.perf_counter() - started
+    events = sum(result.events_fired for result in results)
+    return events, elapsed, events / max(elapsed, 1e-9)
+
+
+def _throughput_case():
+    family = rpc.family()
+    lts = _fig3_model()
+    ref_events, ref_seconds, ref_rate = _reference_rate(
+        lts, family.measures
+    )
+    fast_events, fast_seconds, fast_rate = _fast_rate(
+        lts, family.measures
+    )
+    return {
+        "model": "rpc general_dpm (fig3 workload)",
+        "run_length": RUN_LENGTH,
+        "warmup": WARMUP,
+        "reference": {
+            "runs": REFERENCE_RUNS,
+            "events": ref_events,
+            "seconds": round(ref_seconds, 4),
+            "events_per_second": round(ref_rate),
+        },
+        "fast": {
+            "runs": FAST_RUNS,
+            "events": fast_events,
+            "seconds": round(fast_seconds, 4),
+            "events_per_second": round(fast_rate),
+        },
+        "speedup": round(fast_rate / ref_rate, 2),
+    }
+
+
+def _crn_case():
+    family = rpc.family()
+    lts_dpm = _fig3_model(CRN_TIMEOUT)
+    lts_nodpm = generate_lts(family.general_nodpm, None, 200_000)
+    settings = dict(
+        runs=CRN_RUNS, warmup=WARMUP, seed=SEED
+    )
+    paired = replicate_paired(
+        lts_dpm, lts_nodpm, family.measures, CRN_RUN_LENGTH,
+        crn=True, **settings,
+    )
+    independent = replicate_paired(
+        lts_dpm, lts_nodpm, family.measures, CRN_RUN_LENGTH,
+        crn=False, **settings,
+    )
+    measures = {}
+    ratios = []
+    for name in family.measure_names():
+        paired_width = paired.delta[name].half_width
+        independent_width = independent.delta[name].half_width
+        # A zero paired width means every run's delta was bit-identical
+        # (total noise cancellation); cap the ratio so the JSON stays
+        # finite and the gate non-vacuous.
+        ratio = min(
+            independent_width / max(paired_width, 1e-300), 1000.0
+        )
+        ratios.append(ratio)
+        measures[name] = {
+            "paired_half_width": paired_width,
+            "independent_half_width": independent_width,
+            "narrowing": round(ratio, 2),
+        }
+    return {
+        "model": (
+            f"rpc general_dpm(shutdown_timeout={CRN_TIMEOUT:g}) "
+            f"vs general_nodpm"
+        ),
+        "runs": CRN_RUNS,
+        "run_length": CRN_RUN_LENGTH,
+        "warmup": WARMUP,
+        "measures": measures,
+        "min_narrowing": round(min(ratios), 2),
+    }
+
+
+def collect() -> dict:
+    return {"throughput": _throughput_case(), "crn": _crn_case()}
+
+
+def write_report(report: dict, path: Path = OUTPUT_PATH) -> Path:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_sim_benchmarks(benchmark):
+    report = benchmark.pedantic(collect, rounds=1, iterations=1)
+    write_report(report)
+    throughput = report["throughput"]
+    crn = report["crn"]
+    # The vectorized kernel's reason to exist: >= 5x the reference
+    # engine's event throughput on the fig3 general-phase workload.
+    assert throughput["speedup"] >= 5.0
+    # The CRN layer's reason to exist: >= 2x narrower paired-delta
+    # intervals than independent pairing at equal event budget.
+    assert crn["min_narrowing"] >= 2.0
+    print(
+        f"\n  throughput: fast "
+        f"{throughput['fast']['events_per_second']:,} ev/s vs reference "
+        f"{throughput['reference']['events_per_second']:,} ev/s "
+        f"({throughput['speedup']}x)"
+    )
+    print(
+        f"  crn: delta intervals {crn['min_narrowing']}x narrower "
+        f"(worst measure) under common random numbers"
+    )
+    print(f"  report written to {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    destination = write_report(collect())
+    print(f"wrote {destination}")

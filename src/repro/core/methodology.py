@@ -46,7 +46,13 @@ from ..runtime import (
     sweep_fingerprint,
 )
 from ..distributions import Distribution
-from ..sim.output import ReplicationResult, replicate
+from ..sim.output import (
+    PairedReplicationResult,
+    ReplicationResult,
+    replicate,
+    replicate_paired,
+    resolve_engine,
+)
 from ..workload.hooks import apply_workload, workload_fingerprint
 from .noninterference import NoninterferenceResult, check_noninterference
 from .validation import ValidationReport, cross_validate
@@ -154,12 +160,16 @@ def _markov_point_parametric(shared: Any, value: float) -> Dict[str, object]:
 
 def _general_point_cached(shared: Any, env: Mapping[str, object]) -> Dict[str, float]:
     """Simulate one general sweep point on a relabeled shared skeleton."""
-    skeleton, measures, run_length, runs, warmup, seed, pattern, workload = shared
+    (
+        skeleton, measures, run_length, runs, warmup, seed, pattern,
+        workload, engine,
+    ) = shared
     lts = skeleton.relabel(env)
     if workload is not None:
         lts = apply_workload(lts, pattern, workload)
     replication = replicate(
-        lts, measures, run_length, runs=runs, warmup=warmup, seed=seed
+        lts, measures, run_length, runs=runs, warmup=warmup, seed=seed,
+        engine=engine,
     )
     return {name: est.mean for name, est in replication.estimates.items()}
 
@@ -168,15 +178,58 @@ def _general_point_fresh(shared: Any, overrides: Mapping[str, object]) -> Dict[s
     """Simulate one general sweep point from scratch (structural parameter)."""
     (
         archi, measures, run_length, runs, warmup, seed, max_states,
-        pattern, workload,
+        pattern, workload, engine,
     ) = shared
     lts = generate_lts(archi, overrides, max_states)
     if workload is not None:
         lts = apply_workload(lts, pattern, workload)
     replication = replicate(
-        lts, measures, run_length, runs=runs, warmup=warmup, seed=seed
+        lts, measures, run_length, runs=runs, warmup=warmup, seed=seed,
+        engine=engine,
     )
     return {name: est.mean for name, est in replication.estimates.items()}
+
+
+def _general_point_paired(shared: Any, value: float) -> Dict[str, Dict[str, float]]:
+    """Simulate one paired (DPM vs NO-DPM) general sweep point.
+
+    Both variants run under the common-random-numbers discipline: shared
+    event types draw identical durations run by run, so the per-point
+    delta intervals are far narrower than independent replications would
+    give (docs/SIMULATION.md).  The swept parameter binds only on the
+    DPM variant — the NO-DPM baseline has no DPM constants to sweep.
+    """
+    (
+        archi_dpm, archi_nodpm, parameter, overrides, measures,
+        run_length, runs, warmup, seed, max_states, pattern, workload,
+        engine, crn,
+    ) = shared
+    lts_dpm = generate_lts(
+        archi_dpm, dict(overrides, **{parameter: value}), max_states
+    )
+    lts_nodpm = generate_lts(archi_nodpm, dict(overrides), max_states)
+    if workload is not None:
+        lts_dpm = apply_workload(lts_dpm, pattern, workload)
+        lts_nodpm = apply_workload(lts_nodpm, pattern, workload)
+    paired = replicate_paired(
+        lts_dpm, lts_nodpm, measures, run_length, runs=runs,
+        warmup=warmup, seed=seed, engine=engine, crn=crn,
+    )
+    return {
+        "dpm": {
+            name: est.mean for name, est in paired.first.estimates.items()
+        },
+        "nodpm": {
+            name: est.mean
+            for name, est in paired.second.estimates.items()
+        },
+        "delta": {
+            name: est.mean for name, est in paired.delta.items()
+        },
+        "delta_half_width": {
+            name: est.half_width for name, est in paired.delta.items()
+        },
+    }
 
 
 def _workload_point(shared: Any, item: Tuple) -> Dict[str, float]:
@@ -270,6 +323,7 @@ class IncrementalMethodology:
         tracer: Optional[TraceRecorder] = None,
         solver: Optional[str] = None,
         workload: Optional[Distribution] = None,
+        engine: Optional[str] = None,
     ):
         self.family = family
         self.max_states = max_states
@@ -286,6 +340,9 @@ class IncrementalMethodology:
         #: the family's workload hook (docs/WORKLOADS.md); the Markovian
         #: and functional phases never see it.
         self.workload = workload
+        #: Default simulation engine for every general-phase run
+        #: (``reference`` or ``fast``, docs/SIMULATION.md).
+        self.engine = resolve_engine(engine)
         if workload is not None and family.workload_pattern is None:
             raise AnalysisError(
                 f"model family {family.name!r} declares no workload hook "
@@ -306,6 +363,10 @@ class IncrementalMethodology:
         return resolve_method(
             method if method is not None else self.solver
         )
+
+    def _engine(self, engine: Optional[str]) -> str:
+        """Per-call engine request wins over the methodology default."""
+        return resolve_engine(engine) if engine else self.engine
 
     def _resilience(self, checkpoint: Optional[SweepCheckpoint], phase: str):
         """Executor kwargs engaging the fault-tolerant path when needed.
@@ -666,6 +727,7 @@ class IncrementalMethodology:
         variant: str = "dpm",
         relative_tolerance: float = 0.10,
         workers: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> ValidationReport:
         """Cross-validate the general model per Sect. 5.1."""
         lts = self.build_lts("general", variant, const_overrides)
@@ -682,6 +744,7 @@ class IncrementalMethodology:
                 retry=self.retry,
                 faults=self.faults,
                 tracer=self.tracer,
+                engine=self._engine(engine),
             )
 
     def simulate_general(
@@ -695,12 +758,14 @@ class IncrementalMethodology:
         confidence: float = 0.90,
         workers: Optional[int] = None,
         workload: Optional[Distribution] = None,
+        engine: Optional[str] = None,
     ) -> ReplicationResult:
         """Estimate the measures on the general model by simulation.
 
         *workload* (default: the methodology's configured workload, if
         any) replaces the duration at the family's workload hook before
-        simulating (docs/WORKLOADS.md).
+        simulating (docs/WORKLOADS.md).  *engine* (default: the
+        methodology's engine) picks the simulation kernel.
         """
         lts = self._apply_workload(
             self.build_lts("general", variant, const_overrides),
@@ -719,6 +784,7 @@ class IncrementalMethodology:
                 retry=self.retry,
                 faults=self.faults,
                 tracer=self.tracer,
+                engine=self._engine(engine),
             )
 
     def sweep_general(
@@ -734,6 +800,7 @@ class IncrementalMethodology:
         workers: Optional[int] = None,
         checkpoint: Optional[str] = None,
         workload: Optional[Distribution] = None,
+        engine: Optional[str] = None,
     ) -> Dict[str, List[float]]:
         """Simulation sweep; returns mean series keyed by measure name.
 
@@ -745,9 +812,13 @@ class IncrementalMethodology:
         (default: the methodology's configured workload) replaces the
         family's workload-hook duration at every point; its fingerprint
         is part of the checkpoint identity, so a journal written under
-        one workload refuses to resume under another.
+        one workload refuses to resume under another.  *engine*
+        (default: the methodology's engine) selects the simulation
+        kernel; it is part of the checkpoint identity because the two
+        engines follow different RNG disciplines (docs/SIMULATION.md).
         """
         workload = self._resolve_workload(workload)
+        engine = self._engine(engine)
         archi, points, rate_only = self._sweep_points(
             "general", variant, parameter, values, const_overrides
         )
@@ -769,6 +840,7 @@ class IncrementalMethodology:
             warmup=warmup,
             seed=seed,
             workload=workload_fingerprint(workload),
+            engine=engine,
         )
         resilience = self._resilience(journal, "simulate")
         pattern = self.family.workload_pattern
@@ -784,7 +856,7 @@ class IncrementalMethodology:
                 )
                 shared = (
                     skeleton, self.family.measures, run_length, runs,
-                    warmup, seed, pattern, workload,
+                    warmup, seed, pattern, workload, engine,
                 )
                 with self.timer.span("simulate"):
                     results = executor.map(
@@ -793,7 +865,7 @@ class IncrementalMethodology:
             else:
                 shared = (
                     archi, self.family.measures, run_length, runs, warmup,
-                    seed, self.max_states, pattern, workload,
+                    seed, self.max_states, pattern, workload, engine,
                 )
                 with self.timer.span("simulate"):
                     results = executor.map(
@@ -809,6 +881,88 @@ class IncrementalMethodology:
         for point_result in results:
             for name in series:
                 series[name].append(point_result[name])
+        return series
+
+    def sweep_general_paired(
+        self,
+        parameter: str,
+        values: Sequence[float],
+        const_overrides: Optional[Mapping[str, object]] = None,
+        run_length: float = 20_000.0,
+        runs: int = 10,
+        warmup: float = 0.0,
+        seed: int = 20040628,
+        workers: Optional[int] = None,
+        checkpoint: Optional[str] = None,
+        workload: Optional[Distribution] = None,
+        engine: Optional[str] = None,
+        crn: bool = True,
+    ) -> Dict[str, Dict[str, List[float]]]:
+        """Paired DPM vs NO-DPM sweep with common random numbers.
+
+        Every sweep point simulates *both* general variants — the DPM
+        model at the swept parameter value and the NO-DPM baseline —
+        under the shared per-event-type stream discipline (``crn=True``,
+        the default), so shared event types draw identical durations and
+        the per-point delta confidence intervals shrink far below what
+        independent replications would give (docs/SIMULATION.md).  The
+        swept parameter binds only on the DPM variant; *const_overrides*
+        bind on both.  Returns four series groups keyed by measure name:
+        ``"dpm"`` and ``"nodpm"`` means, ``"delta"`` (dpm − nodpm mean
+        difference) and ``"delta_half_width"`` (paired-t half-widths).
+        """
+        workload = self._resolve_workload(workload)
+        engine = self._engine(engine)
+        archi_dpm = self._variant_archi("general", "dpm")
+        archi_nodpm = self._variant_archi("general", "nodpm")
+        _LOG.info(
+            "paired general sweep: %s over %s (%d points, %d runs each, "
+            "crn=%s, engine=%s)",
+            self.family.name, parameter, len(values), runs, crn, engine,
+        )
+        executor = self._executor(workers)
+        journal = self._sweep_checkpoint(
+            checkpoint,
+            kind="general-paired",
+            parameter=parameter,
+            values=list(values),
+            const_overrides=sorted((const_overrides or {}).items()),
+            run_length=run_length,
+            runs=runs,
+            warmup=warmup,
+            seed=seed,
+            workload=workload_fingerprint(workload),
+            engine=engine,
+            crn=crn,
+        )
+        resilience = self._resilience(journal, "simulate")
+        shared = (
+            archi_dpm, archi_nodpm, parameter,
+            dict(const_overrides or {}), self.family.measures,
+            run_length, runs, warmup, seed, self.max_states,
+            self.family.workload_pattern, workload, engine, crn,
+        )
+        try:
+            with self.timer.span("simulate"):
+                results = executor.map(
+                    _general_point_paired, list(values), shared,
+                    **resilience,
+                )
+        finally:
+            if journal is not None:
+                journal.close()
+        _count_sweep_points(
+            self.family.name, "general-paired", len(results)
+        )
+        measure_names = self.family.measure_names()
+        series: Dict[str, Dict[str, List[float]]] = {
+            group: {name: [] for name in measure_names}
+            for group in ("dpm", "nodpm", "delta", "delta_half_width")
+        }
+        for point_result in results:
+            for group, columns in series.items():
+                for name in columns:
+                    columns[name].append(point_result[group][name])
         return series
 
     def sweep_workloads(

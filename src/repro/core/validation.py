@@ -103,6 +103,7 @@ def cross_validate(
     retry=None,
     faults=None,
     tracer=None,
+    engine=None,
 ) -> ValidationReport:
     """Validate the simulator against the analytic solution (Sect. 5.1).
 
@@ -111,7 +112,9 @@ def cross_validate(
     second clause keeps near-zero measures, whose intervals collapse, from
     failing on noise).  *retry*/*faults*/*tracer* are forwarded to the
     replication engine (docs/RELIABILITY.md); they cannot change the
-    verdict, only survive worker failures while reaching it.
+    verdict, only survive worker failures while reaching it.  *engine*
+    selects the simulation kernel (``reference``/``fast``,
+    docs/SIMULATION.md) — the verdict criteria are identical either way.
     """
     plugin = exponential_plugin(general_lts)
     ctmc = build_ctmc(plugin)
@@ -128,6 +131,7 @@ def cross_validate(
         retry=retry,
         faults=faults,
         tracer=tracer,
+        engine=engine,
     )
     report: Dict[str, MeasureValidation] = {}
     for measure in measures:

@@ -22,6 +22,12 @@ Observability tooling (docs/OBSERVABILITY.md)::
     repro-experiments metrics out/fig4.json         # inspect an export
     repro-experiments fig4 -vv                      # debug logging (stderr)
 
+Simulation engine tooling (docs/SIMULATION.md)::
+
+    repro-experiments fig3 --engine fast --workers 4
+    repro-experiments run-sweep --case rpc --phase general --paired \
+        --parameter shutdown_timeout --values 0.5,5,15 --engine fast
+
 Workload tooling (docs/WORKLOADS.md)::
 
     repro-experiments workload generate --generator mmpp:2,0.05,5,50 \
@@ -152,6 +158,17 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--engine",
+        default=None,
+        choices=["reference", "fast"],
+        help=(
+            "simulation engine for the general phase: the pure-Python "
+            "'reference' engine (default) or the vectorized 'fast' "
+            "kernel — bit-identical under shared streams, and part of "
+            "checkpoint fingerprints (docs/SIMULATION.md)"
+        ),
+    )
+    parser.add_argument(
         "-v", "--verbose",
         action="count",
         default=0,
@@ -191,6 +208,7 @@ def _run_options(args: argparse.Namespace) -> RunOptions:
         metrics_out=args.metrics_out,
         verbose=args.verbose,
         workload=workload,
+        engine=getattr(args, "engine", None),
     )
 
 
@@ -265,6 +283,22 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--variant", default="dpm", help="model variant (default: dpm)"
+    )
+    parser.add_argument(
+        "--paired", action="store_true",
+        help=(
+            "general phase only: simulate the DPM and NO-DPM variants "
+            "together under common random numbers and report the "
+            "dpm/nodpm/delta series with paired-t delta half-widths "
+            "(--variant is ignored; docs/SIMULATION.md)"
+        ),
+    )
+    parser.add_argument(
+        "--independent", action="store_true",
+        help=(
+            "with --paired: decorrelate the two variants' streams "
+            "(baseline for measuring the CRN interval shrinkage)"
+        ),
     )
     parser.add_argument(
         "--checkpoint", default=None, metavar="FILE",
@@ -349,6 +383,10 @@ def run_sweep(argv: List[str]) -> int:
         low, high = min(values), max(values)
         step = (high - low) / (args.points - 1)
         values = [low + index * step for index in range(args.points)]
+    if args.paired and args.phase != "general":
+        raise SystemExit("--paired requires --phase general")
+    if args.independent and not args.paired:
+        raise SystemExit("--independent only makes sense with --paired")
     options = _run_options(args)
     methodology = IncrementalMethodology(
         _CASES[args.case](),
@@ -364,6 +402,17 @@ def run_sweep(argv: List[str]) -> int:
                 variant=args.variant,
                 method=args.method,
                 checkpoint=args.checkpoint,
+            )
+        elif args.paired:
+            series = methodology.sweep_general_paired(
+                args.parameter,
+                values,
+                run_length=args.run_length,
+                runs=args.runs,
+                warmup=args.warmup,
+                seed=args.seed,
+                checkpoint=args.checkpoint,
+                crn=not args.independent,
             )
         else:
             series = methodology.sweep_general(
@@ -386,6 +435,8 @@ def run_sweep(argv: List[str]) -> int:
         "values": values,
         "series": series,
     }
+    if args.paired:
+        payload["paired"] = {"crn": not args.independent}
     # json round-trips floats exactly (repr-based), so two runs are
     # bit-identical iff their series are.
     rendered = json.dumps(payload, sort_keys=True, indent=2)

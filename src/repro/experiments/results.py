@@ -44,6 +44,10 @@ class RunOptions:
     #: :class:`~repro.distributions.Distribution`, often a
     #: :class:`~repro.workload.replay.TraceReplay`.
     workload: Optional[object] = None
+    #: Simulation engine for the general phase (``--engine``): the
+    #: pure-Python ``reference`` engine or the vectorized ``fast``
+    #: kernel (docs/SIMULATION.md).  ``None`` means ``reference``.
+    engine: Optional[str] = None
 
     @classmethod
     def resolve(
@@ -65,6 +69,7 @@ class RunOptions:
             "tracer": self.tracer,
             "solver": self.solver,
             "workload": self.workload,
+            "engine": self.engine,
         }
 
 

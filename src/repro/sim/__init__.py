@@ -10,17 +10,39 @@ from .distributions import (
     Weibull,
     make_distribution,
 )
-from .batch_means import BatchMeansResult, batch_means
+from .batch_means import BatchMeansResult, batch_means, paired_batch_delta
 from .engine import SimulationResult, Simulator, simulate
-from .estimators import MeasureAccumulator, make_accumulators
+from .estimators import (
+    CompiledRewards,
+    MeasureAccumulator,
+    make_accumulators,
+)
+from .fastengine import CompiledModel, FastSimulator
 from .output import (
+    ENGINES,
     Estimate,
+    PairedReplicationResult,
     ReplicationResult,
     replicate,
+    replicate_paired,
     replicate_until,
+    resolve_engine,
     summarize,
+    summarize_paired,
 )
-from .random import generator_for_run, make_generator, spawn_generators
+from .random import (
+    event_generator,
+    event_stream_key,
+    generator_for_run,
+    make_generator,
+    spawn_generators,
+)
+from .streams import (
+    EventStreamAllocator,
+    RunStreams,
+    independent_allocator,
+    paired_allocators,
+)
 from .trace import EventTraceRecorder, TraceEntry, TraceRecorder
 
 __all__ = [
@@ -34,19 +56,34 @@ __all__ = [
     "make_distribution",
     "BatchMeansResult",
     "batch_means",
+    "paired_batch_delta",
     "SimulationResult",
     "Simulator",
     "simulate",
+    "CompiledRewards",
     "MeasureAccumulator",
     "make_accumulators",
+    "CompiledModel",
+    "FastSimulator",
+    "ENGINES",
     "Estimate",
+    "PairedReplicationResult",
     "ReplicationResult",
     "replicate",
+    "replicate_paired",
     "replicate_until",
+    "resolve_engine",
     "summarize",
+    "summarize_paired",
+    "event_generator",
+    "event_stream_key",
     "generator_for_run",
     "make_generator",
     "spawn_generators",
+    "EventStreamAllocator",
+    "RunStreams",
+    "independent_allocator",
+    "paired_allocators",
     "EventTraceRecorder",
     "TraceEntry",
     "TraceRecorder",

@@ -205,11 +205,12 @@ class Simulator:
     def run(
         self,
         run_length: float,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator],
         warmup: float = 0.0,
         start_state: Optional[int] = None,
         observer=None,
         start_clocks: Optional[Dict[str, float]] = None,
+        streams=None,
     ) -> SimulationResult:
         """Simulate one trajectory and estimate the measures.
 
@@ -220,11 +221,20 @@ class Simulator:
         ``start_clocks`` (with ``start_state``) resumes a trajectory from
         a previous run's ``final_clocks``: events still enabled keep
         their residual clocks instead of being resampled.
+
+        ``streams`` (a :class:`repro.sim.streams.RunStreams`) switches
+        randomness from the single shared ``rng`` to per-event-type
+        substreams — the common-random-numbers discipline shared with the
+        vectorized kernel (docs/SIMULATION.md).  With ``streams`` set the
+        trajectory is bit-identical to the fast engine's for the same
+        allocator parameters, and ``rng`` may be ``None``.
         """
         if run_length <= 0:
             raise SimulationError(f"run_length must be positive, got {run_length}")
         if warmup < 0:
             raise SimulationError(f"warmup must be >= 0, got {warmup}")
+        if rng is None and streams is None:
+            raise SimulationError("run() needs an rng or a streams sampler")
         started = time.perf_counter()
         accumulators = make_accumulators(self.measures, self.lts)
         state = self.lts.initial if start_state is None else start_state
@@ -248,6 +258,7 @@ class Simulator:
                     schedule.immediate,
                     schedule.immediate_total_weight,
                     rng,
+                    streams,
                 )
                 if now >= warmup:
                     for accumulator in accumulators:
@@ -277,8 +288,14 @@ class Simulator:
             }
             for name, event in events.items():
                 if name not in clocks:
-                    clocks[name] = event.distribution.sample(rng)
-            winner = min(clocks, key=lambda name: clocks[name])
+                    clocks[name] = (
+                        streams.duration(name, event.distribution)
+                        if streams is not None
+                        else event.distribution.sample(rng)
+                    )
+            # Exact clock ties (deterministic timers) break by event name,
+            # matching the fast engine's lexicographic event order.
+            winner = min(clocks, key=lambda name: (clocks[name], name))
             elapsed = clocks[winner]
             if now + elapsed >= end:
                 # Horizon reached before the next firing: let the
@@ -299,7 +316,7 @@ class Simulator:
             del clocks[winner]
             event = events[winner]
             transition = self._choose_weighted(
-                event.branches, event.total_weight, rng
+                event.branches, event.total_weight, rng, streams
             )
             if now >= warmup:
                 for accumulator in accumulators:
@@ -369,11 +386,15 @@ class Simulator:
     def _choose_weighted(
         transitions: List[Transition],
         total_weight: float,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator],
+        streams=None,
     ) -> Transition:
         if len(transitions) == 1:
             return transitions[0]
-        pick = rng.uniform(0.0, total_weight)
+        if streams is not None:
+            pick = streams.branch() * total_weight
+        else:
+            pick = rng.uniform(0.0, total_weight)
         acc = 0.0
         for transition in transitions:
             weight = (

@@ -15,7 +15,9 @@ cross-validation of Sect. 5.1 meaningful.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
 
 from ..ctmc.measures import Measure
 from ..lts.lts import LTS
@@ -78,3 +80,63 @@ def make_accumulators(
 ) -> List[MeasureAccumulator]:
     """Build one accumulator per measure."""
     return [MeasureAccumulator(m, lts) for m in measures]
+
+
+class CompiledRewards:
+    """Vectorized reward tables for a measure set over one LTS.
+
+    The scalar :class:`MeasureAccumulator` evaluates rewards lazily per
+    state/label; the vectorized kernel needs them as dense arrays so a
+    whole batch of runs can accumulate in a couple of numpy operations:
+
+    * ``state_reward_matrix(n)[s, j]`` — state reward of measure *j* in
+      state *s* (0.0 where the measure has no ``STATE_REWARD`` clauses);
+    * ``label_row(label)`` — a stable integer id for a transition label;
+      after :meth:`finalize`, ``label_rewards[row, j]`` is the impulse of
+      measure *j* when a transition with that label fires.
+
+    Both tables evaluate exactly the expressions the accumulator caches
+    (``measure.state_reward`` on the enabled-label set, and
+    ``measure.trans_reward`` on the label), so per-step accumulation of
+    ``state_reward * elapsed`` and row-wise impulse adds reproduces the
+    scalar engine's sums bit for bit — zero rewards contribute ``+0.0``,
+    which IEEE addition leaves invisible.
+    """
+
+    def __init__(self, measures: Iterable[Measure], lts: LTS):
+        self.measures = list(measures)
+        self._lts = lts
+        self._label_rows: Dict[str, int] = {}
+        self._label_order: List[str] = []
+
+    def state_reward_matrix(self, n_states: int) -> np.ndarray:
+        """Dense ``(n_states, n_measures)`` state-reward table."""
+        matrix = np.zeros((n_states, len(self.measures)), float)
+        has_state = [m.has_state_clauses() for m in self.measures]
+        if not any(has_state):
+            return matrix
+        for state in range(n_states):
+            enabled = {t.label for t in self._lts.outgoing(state)}
+            for j, measure in enumerate(self.measures):
+                if has_state[j]:
+                    matrix[state, j] = measure.state_reward(enabled)
+        return matrix
+
+    def label_row(self, label: str) -> int:
+        """Stable row id of *label* in the finalized impulse table."""
+        row = self._label_rows.get(label)
+        if row is None:
+            row = len(self._label_order)
+            self._label_rows[label] = row
+            self._label_order.append(label)
+        return row
+
+    def finalize(self) -> Tuple[List[str], np.ndarray]:
+        """``(labels, label_rewards)`` for every label seen so far."""
+        labels = list(self._label_order)
+        rewards = np.zeros((max(1, len(labels)), len(self.measures)), float)
+        for row, label in enumerate(labels):
+            for j, measure in enumerate(self.measures):
+                if measure.has_trans_clauses():
+                    rewards[row, j] = measure.trans_reward(label)
+        return labels, rewards

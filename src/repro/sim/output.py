@@ -4,6 +4,21 @@ The paper's simulation experiments average over 30 independent runs and
 report 90% confidence intervals (Fig. 5).  :func:`replicate` reproduces
 that protocol: independent seeded streams, optional warm-up deletion,
 Student-t intervals per measure.
+
+Two engines run the replications (docs/SIMULATION.md):
+
+* ``engine="reference"`` — the pure-Python event loop with its
+  historical per-run streams (the seed discipline every committed
+  result was produced under);
+* ``engine="fast"`` — the vectorized kernel on per-event-type streams.
+  Same model semantics, different (equally valid) random streams, so
+  estimates agree statistically, not bitwise, with the reference.
+
+:func:`replicate_paired` evaluates two model variants (the paper's
+DPM-on vs DPM-off comparisons) with **common random numbers**: shared
+per-event-type streams make the two trajectories positively correlated,
+so the per-run *differences* — what Sect. 5's tables actually report —
+have far smaller variance than independent runs would give.
 """
 
 from __future__ import annotations
@@ -22,7 +37,23 @@ from ..runtime.executor import ParallelExecutor, RetryPolicy
 from ..runtime.faults import FaultInjector
 from ..runtime.trace import TraceRecorder
 from .engine import Simulator
+from .fastengine import FastSimulator
 from .random import generator_for_run, spawn_generators
+from .streams import EventStreamAllocator, independent_allocator
+
+#: Engines selectable wherever replications are run.
+ENGINES = ("reference", "fast")
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Validate an engine name (``None`` means the reference engine)."""
+    resolved = engine or "reference"
+    if resolved not in ENGINES:
+        raise SimulationError(
+            f"unknown simulation engine {engine!r} (use one of "
+            f"{', '.join(ENGINES)})"
+        )
+    return resolved
 
 
 @dataclass(frozen=True)
@@ -145,6 +176,120 @@ def _seed_worker_sim(shared: Any, simulator: Simulator) -> None:
     """Pre-populate this process's simulator memo (serial path reuse)."""
     global _WORKER_SIM
     _WORKER_SIM = (shared, simulator)
+
+
+# Per-process compiled-model reuse for the vectorized engine: one
+# CompiledModel (or pair, for CRN runs) per shared payload.
+_WORKER_FAST: Optional[Tuple[Any, Any]] = None
+
+
+def _run_chunks(runs: int, workers: int) -> List[Tuple[int, ...]]:
+    """Contiguous run-index chunks, one per worker (last may be short).
+
+    The vectorized kernel amortises per-step overhead across its batch,
+    so runs are split into a few large chunks rather than scattered —
+    and because every stream is a pure function of ``(seed, run index,
+    event type)``, the chunking never changes any run's numbers.
+    """
+    if workers <= 1 or runs <= 1:
+        return [tuple(range(runs))]
+    size = math.ceil(runs / min(workers, runs))
+    return [
+        tuple(range(lo, min(lo + size, runs)))
+        for lo in range(0, runs, size)
+    ]
+
+
+def _fast_batch(shared: Any, chunk: Tuple[int, ...]) -> List[Dict[str, float]]:
+    """Run one chunk of replications on the vectorized engine.
+
+    Stream identity depends only on ``(seed, run index, event type)``,
+    so any split of the run indices into chunks — serial, or one chunk
+    per worker — produces bit-identical per-run results.
+    """
+    global _WORKER_FAST
+    lts, measures, clock_semantics, run_length, warmup, seed = shared
+    if _WORKER_FAST is None or _WORKER_FAST[0] is not shared:
+        _WORKER_FAST = (
+            shared,
+            FastSimulator(lts, measures, clock_semantics),
+        )
+    simulator = _WORKER_FAST[1]
+    results = simulator.run_many(
+        run_length,
+        seed=seed,
+        warmup=warmup,
+        run_indices=list(chunk),
+    )
+    return [result.measures for result in results]
+
+
+def _paired_batch(
+    shared: Any, chunk: Tuple[int, ...]
+) -> List[Tuple[Dict[str, float], Dict[str, float]]]:
+    """Run one chunk of paired replications (two model variants).
+
+    With ``crn`` the two variants draw from allocators with *identical*
+    stream parameters, so shared event types see the same durations run
+    by run; otherwise the second variant gets decorrelated streams (the
+    independent baseline the benchmarks compare against).
+    """
+    global _WORKER_FAST
+    (
+        lts_first, lts_second, measures, clock_semantics,
+        run_length, warmup, seed, crn, engine,
+    ) = shared
+    if _WORKER_FAST is None or _WORKER_FAST[0] is not shared:
+        if engine == "fast":
+            sims = (
+                FastSimulator(lts_first, measures, clock_semantics),
+                FastSimulator(lts_second, measures, clock_semantics),
+            )
+        else:
+            sims = (
+                Simulator(lts_first, measures, clock_semantics),
+                Simulator(lts_second, measures, clock_semantics),
+            )
+        _WORKER_FAST = (shared, sims)
+    sim_first, sim_second = _WORKER_FAST[1]
+    indices = list(chunk)
+    alloc_first = EventStreamAllocator(seed, indices)
+    alloc_second = (
+        EventStreamAllocator(seed, indices)
+        if crn
+        else independent_allocator(seed, indices)
+    )
+    if engine == "fast":
+        first = sim_first.run_many(
+            run_length,
+            warmup=warmup,
+            run_indices=indices,
+            allocator=alloc_first,
+        )
+        second = sim_second.run_many(
+            run_length,
+            warmup=warmup,
+            run_indices=indices,
+            allocator=alloc_second,
+        )
+    else:
+        first = [
+            sim_first.run(
+                run_length, None, warmup,
+                streams=alloc_first.run_view(row),
+            )
+            for row in range(len(indices))
+        ]
+        second = [
+            sim_second.run(
+                run_length, None, warmup,
+                streams=alloc_second.run_view(row),
+            )
+            for row in range(len(indices))
+        ]
+    return [
+        (a.measures, b.measures) for a, b in zip(first, second)
+    ]
 
 
 def replicate_until(
@@ -308,6 +453,7 @@ def replicate(
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultInjector] = None,
     tracer: Optional[TraceRecorder] = None,
+    engine: Optional[str] = None,
 ) -> ReplicationResult:
     """Independent-replications estimation of all measures.
 
@@ -321,6 +467,12 @@ def replicate(
     engage the fault-tolerant executor path: failed runs are re-executed
     on the same stream index (same value), so faults and retries cannot
     change the estimates.
+
+    ``engine="fast"`` runs the replications on the vectorized kernel
+    with per-event-type streams — statistically equivalent to, but on a
+    different stream discipline than, the reference engine (so not
+    bitwise comparable across engines; each engine is bit-reproducible
+    against itself for any worker count).
     """
     if runs < 2:
         raise SimulationError("need at least two runs for an interval")
@@ -332,6 +484,24 @@ def replicate(
             "retry": retry, "faults": faults, "tracer": tracer,
             "phase": "replicate",
         }
+    if resolve_engine(engine) == "fast":
+        shared = (lts, measures, clock_semantics, run_length, warmup, seed)
+        chunks = _run_chunks(runs, executor.workers)
+        for batch in executor.map(
+            _fast_batch,
+            chunks,
+            shared=shared,
+            chunksize=1,
+            **resilience,
+        ):
+            for measured in batch:
+                for name, value in measured.items():
+                    samples[name].append(value)
+        estimates = {
+            name: summarize(values, confidence)
+            for name, values in samples.items()
+        }
+        return ReplicationResult(estimates, samples)
     if executor.is_serial and not resilience:
         if simulator is None:
             simulator = Simulator(lts, measures, clock_semantics)
@@ -359,3 +529,136 @@ def replicate(
         for name, values in samples.items()
     }
     return ReplicationResult(estimates, samples)
+
+
+def summarize_paired(
+    first: Sequence[float],
+    second: Sequence[float],
+    confidence: float = 0.90,
+) -> Estimate:
+    """Student-t summary of the mean *difference* ``first - second``.
+
+    The paired-t construction: the interval is computed on the per-run
+    deltas, so whatever noise the two samples share (common random
+    numbers) cancels before the variance is estimated.  With independent
+    samples this degrades gracefully to an ordinary difference interval.
+    """
+    if len(first) != len(second):
+        raise SimulationError(
+            f"paired samples must align run by run "
+            f"({len(first)} vs {len(second)})"
+        )
+    deltas = [a - b for a, b in zip(first, second)]
+    return summarize(deltas, confidence)
+
+
+@dataclass
+class PairedReplicationResult:
+    """Two variants' estimates plus paired-delta intervals.
+
+    ``delta`` summarises ``first - second`` run by run — with common
+    random numbers these intervals are the headline: correlated noise
+    cancels in the differences, so they are far narrower than what the
+    two marginal intervals would suggest.
+    """
+
+    first: ReplicationResult
+    second: ReplicationResult
+    delta: Dict[str, Estimate]
+    delta_samples: Dict[str, List[float]]
+    #: Whether the variants shared common random numbers.
+    crn: bool
+
+    def __getitem__(self, name: str) -> Estimate:
+        return self.delta[name]
+
+
+def replicate_paired(
+    lts_first: LTS,
+    lts_second: LTS,
+    measures: Sequence[Measure],
+    run_length: float,
+    runs: int = 30,
+    warmup: float = 0.0,
+    seed: int = 20040628,
+    confidence: float = 0.90,
+    clock_semantics: str = "enabling_memory",
+    workers: int = 1,
+    engine: Optional[str] = "fast",
+    crn: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultInjector] = None,
+    tracer: Optional[TraceRecorder] = None,
+) -> PairedReplicationResult:
+    """Paired replications of two model variants (CRN by default).
+
+    Evaluates the same measures on two models — the paper's DPM-on vs
+    DPM-off comparisons — with run *i* of one variant paired against run
+    *i* of the other.  With ``crn`` (the default) both variants draw
+    from identical per-event-type streams, so event types the models
+    share (the workload, the service times) see the same durations run
+    by run and the per-run deltas cancel their common noise; the
+    benchmarks measure the resulting interval shrinkage.  ``crn=False``
+    gives the independent baseline at the same event budget.
+
+    Pairing happens inside each worker chunk, and streams are pure
+    functions of ``(seed, run index, event type)``, so results are
+    bit-identical for any worker count.
+    """
+    if runs < 2:
+        raise SimulationError("need at least two runs for an interval")
+    resolved_engine = resolve_engine(engine)
+    executor = ParallelExecutor(workers)
+    resilience = {}
+    if retry is not None or faults is not None or tracer is not None:
+        resilience = {
+            "retry": retry, "faults": faults, "tracer": tracer,
+            "phase": "replicate-paired",
+        }
+    shared = (
+        lts_first, lts_second, measures, clock_semantics,
+        run_length, warmup, seed, crn, resolved_engine,
+    )
+    names = [m.name for m in measures]
+    first_samples: Dict[str, List[float]] = {name: [] for name in names}
+    second_samples: Dict[str, List[float]] = {name: [] for name in names}
+    chunks = _run_chunks(runs, executor.workers)
+    for batch in executor.map(
+        _paired_batch,
+        chunks,
+        shared=shared,
+        chunksize=1,
+        **resilience,
+    ):
+        for measured_first, measured_second in batch:
+            for name in names:
+                first_samples[name].append(measured_first[name])
+                second_samples[name].append(measured_second[name])
+    first = ReplicationResult(
+        {
+            name: summarize(values, confidence)
+            for name, values in first_samples.items()
+        },
+        first_samples,
+    )
+    second = ReplicationResult(
+        {
+            name: summarize(values, confidence)
+            for name, values in second_samples.items()
+        },
+        second_samples,
+    )
+    delta_samples = {
+        name: [
+            a - b
+            for a, b in zip(first_samples[name], second_samples[name])
+        ]
+        for name in names
+    }
+    delta = {
+        name: summarize(values, confidence)
+        for name, values in delta_samples.items()
+    }
+    return PairedReplicationResult(
+        first, second, delta, delta_samples, crn
+    )

@@ -4,10 +4,27 @@ Independent replications need independent, reproducible random streams.
 NumPy's :class:`~numpy.random.SeedSequence` spawning provides exactly that:
 one master seed deterministically derives any number of high-quality
 independent child streams.
+
+Two stream disciplines coexist:
+
+* **per-run streams** (:func:`generator_for_run`) — one stream per
+  replication index, consumed by every sampling site of that run.  This
+  is the historical discipline of the pure-Python engine.
+* **per-event-type streams** (:func:`event_generator`) — one stream per
+  ``(seed, run, event type)``, identified by the *name* of the event
+  type, not by any enumeration order.  This is the discipline of the
+  common-random-numbers layer (docs/SIMULATION.md): two model variants
+  that share an event type (e.g. ``C.process_result_packet`` with and
+  without the DPM) draw *the same* durations for it, so paired-delta
+  measures see correlated noise that cancels.  Deriving the substream
+  from the event-type **name** (hashed, not enumerated) is what keeps
+  the identity stable: adding an event type to a model cannot reshuffle
+  any other event type's stream.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import List
 
 import numpy as np
@@ -34,3 +51,46 @@ def generator_for_run(seed: int, index: int) -> np.random.Generator:
 def make_generator(seed: int) -> np.random.Generator:
     """Single generator from a seed (PCG64)."""
     return np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
+
+
+#: Spawn-key namespace separating event-type streams from the plain
+#: per-run streams of :func:`generator_for_run` (whose keys are ``(i,)``).
+_EVENT_STREAM_NAMESPACE = 0xE5E17
+
+
+def event_stream_key(event_type: str) -> tuple:
+    """Stable spawn-key words identifying one event type by *name*.
+
+    The identity is a SHA-256 digest of the UTF-8 name, folded into two
+    64-bit words — a pure function of the string, independent of how
+    many event types a model has, of the order they are first seen in,
+    and of the Python process (``PYTHONHASHSEED`` does not enter).
+    Earlier stream derivations enumerated streams by index, so adding an
+    event type to a model silently reshuffled every stream after it;
+    the regression test pins that this cannot happen again.
+    """
+    digest = hashlib.sha256(event_type.encode("utf-8")).digest()
+    return (
+        int.from_bytes(digest[:8], "little"),
+        int.from_bytes(digest[8:16], "little"),
+    )
+
+
+def event_generator(
+    seed: int, run_index: int, event_type: str
+) -> np.random.Generator:
+    """The substream of one event type in one replication.
+
+    Derived from ``(seed, run_index, name digest)`` alone: the same
+    triple yields the same stream in every process, whichever other
+    event types exist, and whatever order they were requested in.  Two
+    model variants sharing an event type therefore share its durations
+    run by run — the common-random-numbers pairing of
+    docs/SIMULATION.md.
+    """
+    child = np.random.SeedSequence(
+        seed,
+        spawn_key=(_EVENT_STREAM_NAMESPACE, run_index)
+        + event_stream_key(event_type),
+    )
+    return np.random.Generator(np.random.PCG64(child))

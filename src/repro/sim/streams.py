@@ -1,0 +1,252 @@
+"""Per-event-type random streams: the common-random-numbers layer.
+
+The GSMP engines draw two kinds of randomness: event *durations* and
+*branch picks* (weighted choice among probabilistic branches).  The
+:class:`EventStreamAllocator` gives every ``(run, event type)`` pair its
+own substream — derived from ``(seed, run index, event-type name)`` by
+:func:`repro.sim.random.event_generator` — plus one branch-pick stream
+per run.  Three properties follow:
+
+* **Engine independence.**  Both the pure-Python reference engine
+  (``Simulator.run(..., streams=...)``) and the vectorized kernel
+  (:mod:`repro.sim.fastengine`) consume durations from the same buffered
+  pools, in the same per-stream order, so their trajectories are
+  bit-identical by construction (docs/SIMULATION.md).
+* **Common random numbers.**  The streams depend only on ``(seed, run,
+  event-type name)`` — not on the model.  Two model variants sharing an
+  event type (DPM-on vs DPM-off) draw identical durations for it, so
+  paired-delta measures subtract correlated noise.
+* **Stable identity.**  The name — not an enumeration index — keys the
+  stream: adding an event type to a model reshuffles nobody else.
+
+Durations are pre-drawn in blocks (one vectorized ``sample_block`` call
+refills a whole buffer row), which is also where the kernel's sampling
+speed comes from: per-event consumption is array indexing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distributions import Distribution
+from .random import event_generator
+
+__all__ = ["BRANCH_STREAM", "EventStreamAllocator", "RunStreams"]
+
+#: Reserved stream name for branch picks.  Starts with a NUL byte so it
+#: can never collide with an action label from a specification.
+BRANCH_STREAM = "\x00branch-picks"
+
+#: Durations pre-drawn per (run, event type, distribution) buffer row.
+#: Block size never changes the numbers drawn (a stream is the
+#: concatenation of its blocks) — only the refill amortisation.
+DEFAULT_BLOCK = 256
+
+
+class _Pool:
+    """Buffered samples for one (event type, distribution) pair.
+
+    ``buf[row]`` holds the next pre-drawn durations of run *row*;
+    ``cur[row]`` is the consumption cursor (``block`` means exhausted —
+    rows start exhausted so the first draw triggers a lazily seeded
+    refill).
+    """
+
+    __slots__ = ("buf", "cur")
+
+    def __init__(self, runs: int, block: int):
+        self.buf = np.empty((runs, block), float)
+        self.cur = np.full(runs, block, np.int64)
+
+
+class EventStreamAllocator:
+    """Per-(run, event-type) buffered substreams for a set of runs.
+
+    *run_indices* are the absolute replication indices the rows map to:
+    row ``i`` of every pool draws from streams derived from
+    ``(seed, run_indices[i], name)``.  A parallel worker holding rows
+    ``[8..15]`` therefore produces exactly the numbers the serial
+    execution would for those runs.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        run_indices: Sequence[int],
+        block: int = DEFAULT_BLOCK,
+    ):
+        self.seed = int(seed)
+        self.run_indices = [int(i) for i in run_indices]
+        self.block = int(block)
+        if self.block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        self._gens: Dict[Tuple[int, str], np.random.Generator] = {}
+        self._pools: Dict[Tuple[str, Distribution], _Pool] = {}
+        self._branch: Optional[_Pool] = None
+        #: Buffer rows refilled so far (amortised cost diagnostic).
+        self.refills = 0
+
+    @property
+    def runs(self) -> int:
+        """Number of rows (runs) this allocator serves."""
+        return len(self.run_indices)
+
+    # -- stream plumbing ---------------------------------------------------
+
+    def _generator(self, row: int, name: str) -> np.random.Generator:
+        """The (lazily created) generator behind one (row, name) stream."""
+        key = (row, name)
+        gen = self._gens.get(key)
+        if gen is None:
+            gen = event_generator(self.seed, self.run_indices[row], name)
+            self._gens[key] = gen
+        return gen
+
+    def _refill(
+        self, pool: _Pool, row: int, name: str, distribution: Distribution
+    ) -> None:
+        pool.buf[row] = distribution.sample_block(
+            self._generator(row, name), self.block
+        )
+        pool.cur[row] = 0
+        self.refills += 1
+
+    def _pool(self, name: str, distribution: Distribution) -> _Pool:
+        key = (name, distribution)
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = _Pool(self.runs, self.block)
+            self._pools[key] = pool
+        return pool
+
+    # -- durations ---------------------------------------------------------
+
+    def take(
+        self,
+        name: str,
+        distribution: Distribution,
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        """One duration of event type *name* for each row in *rows*."""
+        pool = self._pool(name, distribution)
+        cur = pool.cur[rows]
+        if (cur >= self.block).any():
+            for row in rows[cur >= self.block]:
+                self._refill(pool, int(row), name, distribution)
+            cur = pool.cur[rows]
+        values = pool.buf[rows, cur]
+        pool.cur[rows] = cur + 1
+        return values
+
+    def take_one(
+        self, row: int, name: str, distribution: Distribution
+    ) -> float:
+        """Scalar-path variant of :meth:`take` (reference engine)."""
+        pool = self._pool(name, distribution)
+        cur = pool.cur[row]
+        if cur >= self.block:
+            self._refill(pool, row, name, distribution)
+            cur = 0
+        value = pool.buf[row, cur]
+        pool.cur[row] = cur + 1
+        return float(value)
+
+    # -- branch picks ------------------------------------------------------
+
+    def _branch_pool(self) -> _Pool:
+        if self._branch is None:
+            self._branch = _Pool(self.runs, self.block)
+        return self._branch
+
+    def _refill_branch(self, pool: _Pool, row: int) -> None:
+        pool.buf[row] = self._generator(row, BRANCH_STREAM).random(
+            self.block
+        )
+        pool.cur[row] = 0
+        self.refills += 1
+
+    def branch_uniforms(self, rows: np.ndarray) -> np.ndarray:
+        """One uniform in ``[0, 1)`` per row, from the branch streams."""
+        pool = self._branch_pool()
+        cur = pool.cur[rows]
+        if (cur >= self.block).any():
+            for row in rows[cur >= self.block]:
+                self._refill_branch(pool, int(row))
+            cur = pool.cur[rows]
+        values = pool.buf[rows, cur]
+        pool.cur[rows] = cur + 1
+        return values
+
+    def branch_one(self, row: int) -> float:
+        """Scalar-path variant of :meth:`branch_uniforms`."""
+        pool = self._branch_pool()
+        cur = pool.cur[row]
+        if cur >= self.block:
+            self._refill_branch(pool, row)
+            cur = 0
+        value = pool.buf[row, cur]
+        pool.cur[row] = cur + 1
+        return float(value)
+
+    # -- per-run facade ----------------------------------------------------
+
+    def run_view(self, row: int) -> "RunStreams":
+        """Scalar facade binding one row (for the reference engine)."""
+        return RunStreams(self, row)
+
+
+class RunStreams:
+    """One run's view of an allocator: the reference engine's sampler.
+
+    Passing this to :meth:`repro.sim.engine.Simulator.run` replaces the
+    single shared ``rng`` with the per-event-type stream discipline, so
+    the reference trajectory is bit-identical to the vectorized kernel's
+    (same allocator parameters, same row).
+    """
+
+    __slots__ = ("allocator", "row")
+
+    def __init__(self, allocator: EventStreamAllocator, row: int):
+        self.allocator = allocator
+        self.row = row
+
+    def duration(self, name: str, distribution: Distribution) -> float:
+        """Next duration of event type *name* in this run."""
+        return self.allocator.take_one(self.row, name, distribution)
+
+    def branch(self) -> float:
+        """Next branch-pick uniform in ``[0, 1)`` for this run."""
+        return self.allocator.branch_one(self.row)
+
+
+def paired_allocators(
+    seed: int, run_indices: Sequence[int], block: int = DEFAULT_BLOCK
+) -> Tuple[EventStreamAllocator, EventStreamAllocator]:
+    """Two allocators drawing *identical* streams (CRN pairing).
+
+    One for the DPM-on model, one for the DPM-off model: separate
+    cursor state (the two trajectories consume at their own pace), same
+    underlying substreams (shared event types see the same durations).
+    """
+    return (
+        EventStreamAllocator(seed, run_indices, block),
+        EventStreamAllocator(seed, run_indices, block),
+    )
+
+
+def independent_allocator(
+    seed: int, run_indices: Sequence[int], block: int = DEFAULT_BLOCK
+) -> EventStreamAllocator:
+    """An allocator decorrelated from ``seed`` (independent baseline).
+
+    Used by benchmarks and tests that compare paired against independent
+    runs at the same event budget: the offset keeps every stream disjoint
+    from the CRN-paired ones with the original seed.
+    """
+    return EventStreamAllocator(seed ^ 0x5EEDC0DE, run_indices, block)
+
+
+__all__.append("paired_allocators")
+__all__.append("independent_allocator")
