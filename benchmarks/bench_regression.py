@@ -21,6 +21,12 @@ files and fails when the numbers drift outside tolerance bands:
   narrowing), and a reduced-budget re-measure must reproduce both
   effects within generous bands (same-run ratios again, so machine
   speed cancels).
+* ``BENCH_splitting.json`` — the committed rare-event numbers must
+  still honour the splitting gates (>= 100x work-normalised variance
+  reduction, interval covering the analytic probability), and the
+  moderate-rarity smoke configuration is re-measured: its pinned-seed
+  estimate must stay inside a generous band of the committed value and
+  its interval must still cover the analytic probability.
 
 Wall-clock is reported but never gated — CI machines are too noisy for
 timing assertions, and the committed ``seconds`` fields are documentation,
@@ -43,12 +49,15 @@ from repro.core.methodology import IncrementalMethodology
 from repro.ctmc.steady_state import steady_state_solution
 
 from bench_solvers import CASES, _build_ctmc
+from bench_splitting import EFFICIENCY_GATE as SPLITTING_EFFICIENCY_GATE
+from bench_splitting import collect as collect_splitting
 
 ROOT = Path(__file__).resolve().parent.parent
 SOLVERS_BASELINE = ROOT / "BENCH_solvers.json"
 RUNTIME_BASELINE = ROOT / "BENCH_runtime.json"
 PARAMETRIC_BASELINE = ROOT / "BENCH_parametric.json"
 SIM_BASELINE = ROOT / "BENCH_sim.json"
+SPLITTING_BASELINE = ROOT / "BENCH_splitting.json"
 
 #: Iteration counts may drift with library versions (ILU fill, GMRES
 #: restarts) but an honest reimplementation stays within a 2x band.
@@ -86,6 +95,11 @@ SIM_RECHECK_WARMUP = 100.0
 SIM_RECHECK_FAST_RUNS = 64
 SIM_RECHECK_REFERENCE_RUNS = 6
 SIM_RECHECK_CRN_RUNS = 10
+
+#: The smoke re-measure is deterministic (pinned seed, worker-count
+#: invariant streams), so the band only absorbs cross-platform float
+#: noise — it is tight by design.
+SPLITTING_SMOKE_BAND = (0.5, 2.0)
 
 
 def _check(failures: List[str], condition: bool, message: str) -> None:
@@ -386,6 +400,49 @@ def _sim_regressions(baseline: dict, failures: List[str]) -> dict:
     }
 
 
+def _splitting_regressions(baseline: dict, failures: List[str]) -> dict:
+    """Committed splitting gates + a deterministic smoke re-measure."""
+    rare = baseline["rare"]
+    _check(
+        failures,
+        rare["efficiency"] >= SPLITTING_EFFICIENCY_GATE,
+        f"splitting: committed efficiency {rare['efficiency']}x below "
+        f"the {SPLITTING_EFFICIENCY_GATE}x gate",
+    )
+    _check(
+        failures,
+        rare["covers_analytic"],
+        "splitting: committed rare interval does not cover the "
+        "analytic probability",
+    )
+    smoke = collect_splitting(smoke=True, workers=1)["smoke"]
+    _check(
+        failures,
+        smoke["covers_analytic"],
+        f"splitting: re-measured smoke interval "
+        f"[{smoke['interval_low']:.3g}, {smoke['interval_high']:.3g}] "
+        f"misses the analytic probability "
+        f"{smoke['analytic_probability']:.3g}",
+    )
+    committed = baseline["smoke"]["estimate"]
+    ratio = smoke["estimate"] / committed if committed else 0.0
+    low, high = SPLITTING_SMOKE_BAND
+    _check(
+        failures,
+        low <= ratio <= high,
+        f"splitting: re-measured smoke estimate {smoke['estimate']:.3g} "
+        f"drifted {ratio:.2f}x from committed {committed:.3g} — the "
+        f"pinned-seed run is supposed to be deterministic",
+    )
+    return {
+        "baseline_efficiency": rare["efficiency"],
+        "smoke_estimate": smoke["estimate"],
+        "baseline_smoke_estimate": committed,
+        "smoke_covers_analytic": smoke["covers_analytic"],
+        "seconds": smoke["seconds"],
+    }
+
+
 def collect() -> dict:
     """Run every regression check; the report carries the failures."""
     failures: List[str] = []
@@ -394,6 +451,7 @@ def collect() -> dict:
         "BENCH_runtime.json": RUNTIME_BASELINE,
         "BENCH_parametric.json": PARAMETRIC_BASELINE,
         "BENCH_sim.json": SIM_BASELINE,
+        "BENCH_splitting.json": SPLITTING_BASELINE,
     }
     missing = [name for name, path in baselines.items() if not path.exists()]
     if missing:
@@ -405,6 +463,7 @@ def collect() -> dict:
     runtime_baseline = json.loads(RUNTIME_BASELINE.read_text())
     parametric_baseline = json.loads(PARAMETRIC_BASELINE.read_text())
     sim_baseline = json.loads(SIM_BASELINE.read_text())
+    splitting_baseline = json.loads(SPLITTING_BASELINE.read_text())
     return {
         "solvers": _solver_regressions(solvers_baseline, failures),
         "runtime": {
@@ -414,6 +473,9 @@ def collect() -> dict:
             parametric_baseline, failures
         ),
         "sim": _sim_regressions(sim_baseline, failures),
+        "splitting": _splitting_regressions(
+            splitting_baseline, failures
+        ),
         "failures": failures,
         "passed": not failures,
     }
@@ -467,6 +529,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"({sim['speedup']}x, committed {sim['baseline_speedup']}x), "
         f"CRN narrowing {sim['crn_narrowing']}x "
         f"(committed {sim['baseline_crn_narrowing']}x)"
+    )
+    splitting = report["splitting"]
+    print(
+        f"  splitting: committed efficiency "
+        f"{splitting['baseline_efficiency']}x, smoke estimate "
+        f"{splitting['smoke_estimate']:.3g} (committed "
+        f"{splitting['baseline_smoke_estimate']:.3g}) in "
+        f"{splitting['seconds']}s"
     )
     if report["failures"]:
         for failure in report["failures"]:

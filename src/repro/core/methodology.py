@@ -53,6 +53,7 @@ from ..sim.output import (
     replicate_paired,
     resolve_engine,
 )
+from ..sim.splitting import SplittingResult, split_replicate
 from ..workload.hooks import apply_workload, workload_fingerprint
 from .noninterference import NoninterferenceResult, check_noninterference
 from .validation import ValidationReport, cross_validate
@@ -229,6 +230,39 @@ def _general_point_paired(shared: Any, value: float) -> Dict[str, Dict[str, floa
         "delta_half_width": {
             name: est.half_width for name, est in paired.delta.items()
         },
+    }
+
+
+def _rare_point(
+    shared: Any, overrides: Mapping[str, object]
+) -> Dict[str, object]:
+    """Rare-event splitting estimate at one general sweep point.
+
+    One task per point, one splitting tree per replication inside it —
+    the whole point runs on deterministic slot streams, so parallel
+    sweeps are bit-identical to serial ones just like the plain general
+    sweep workers.
+    """
+    (
+        archi, measures, rare_measure, run_length, runs, warmup, seed,
+        max_states, pattern, workload, engine, levels, splits, segments,
+    ) = shared
+    lts = generate_lts(archi, overrides, max_states)
+    if workload is not None:
+        lts = apply_workload(lts, pattern, workload)
+    result = split_replicate(
+        lts, measures, run_length, levels=levels, splits=splits,
+        segments=segments, rare_measure=rare_measure, runs=runs,
+        warmup=warmup, seed=seed, engine=engine,
+    )
+    rare = result.rare_probability()
+    return {
+        "measures": {
+            name: est.mean for name, est in result.estimates.items()
+        },
+        "rare_probability": rare.mean,
+        "rare_low": rare.low,
+        "rare_high": rare.high,
     }
 
 
@@ -963,6 +997,151 @@ class IncrementalMethodology:
             for group, columns in series.items():
                 for name in columns:
                     columns[name].append(point_result[group][name])
+        return series
+
+    def replicate_rare(
+        self,
+        variant: str = "dpm",
+        const_overrides: Optional[Mapping[str, object]] = None,
+        run_length: float = 20_000.0,
+        levels: int = 4,
+        splits: int = 4,
+        segments: int = 32,
+        rare_measure: Optional[str] = None,
+        runs: int = 30,
+        warmup: float = 0.0,
+        seed: int = 20040628,
+        confidence: float = 0.90,
+        workers: Optional[int] = None,
+        workload: Optional[Distribution] = None,
+        engine: Optional[str] = None,
+    ) -> SplittingResult:
+        """Estimate the measures by rare-event importance splitting.
+
+        The splitting counterpart of :meth:`simulate_general`: grows
+        ``runs`` RESTART trajectory trees over the general model, with
+        the importance function derived from the reward support of
+        *rare_measure* (default: the family's first measure), and
+        returns the :class:`~repro.sim.splitting.SplittingResult` whose
+        ``rare_probability()`` carries the asymmetric near-zero interval
+        (docs/SIMULATION.md).
+        """
+        lts = self._apply_workload(
+            self.build_lts("general", variant, const_overrides),
+            self._resolve_workload(workload),
+        )
+        with self.timer.span("simulate"):
+            return split_replicate(
+                lts,
+                self.family.measures,
+                run_length,
+                levels=levels,
+                splits=splits,
+                segments=segments,
+                rare_measure=rare_measure,
+                runs=runs,
+                warmup=warmup,
+                seed=seed,
+                confidence=confidence,
+                workers=self._executor(workers).workers,
+                retry=self.retry,
+                faults=self.faults,
+                tracer=self.tracer,
+                engine=self._engine(engine),
+            )
+
+    def sweep_rare(
+        self,
+        parameter: str,
+        values: Sequence[float],
+        variant: str = "dpm",
+        const_overrides: Optional[Mapping[str, object]] = None,
+        run_length: float = 20_000.0,
+        levels: int = 4,
+        splits: int = 4,
+        segments: int = 32,
+        rare_measure: Optional[str] = None,
+        runs: int = 10,
+        warmup: float = 0.0,
+        seed: int = 20040628,
+        workers: Optional[int] = None,
+        checkpoint: Optional[str] = None,
+        workload: Optional[Distribution] = None,
+        engine: Optional[str] = None,
+    ) -> Dict[str, List[float]]:
+        """Rare-event splitting sweep over the general model.
+
+        Like :meth:`sweep_general` but every point runs the splitting
+        estimator, so measures whose per-point probability is far below
+        ``1/(runs * run_length)`` still get stable estimates.  Returns
+        the measure mean series plus three extra series:
+        ``"rare_probability"`` (top-level occupancy product) and
+        ``"rare_low"``/``"rare_high"`` (its asymmetric near-zero
+        interval bounds).  The splitting configuration — levels, splits,
+        segments, and the importance-defining *rare_measure* — is part
+        of the checkpoint identity: a journal written under one
+        splitting geometry refuses to resume under another, because the
+        per-point samples would not be comparable (docs/RELIABILITY.md).
+        """
+        workload = self._resolve_workload(workload)
+        engine = self._engine(engine)
+        archi, points, _ = self._sweep_points(
+            "general", variant, parameter, values, const_overrides
+        )
+        _LOG.info(
+            "rare sweep: %s over %s (%d points, %d trees each, "
+            "levels=%d splits=%d segments=%d)",
+            self.family.name, parameter, len(points), runs, levels,
+            splits, segments,
+        )
+        executor = self._executor(workers)
+        journal = self._sweep_checkpoint(
+            checkpoint,
+            kind="rare",
+            variant=variant,
+            parameter=parameter,
+            values=list(values),
+            const_overrides=sorted((const_overrides or {}).items()),
+            run_length=run_length,
+            runs=runs,
+            warmup=warmup,
+            seed=seed,
+            workload=workload_fingerprint(workload),
+            engine=engine,
+            levels=levels,
+            splits=splits,
+            segments=segments,
+            rare=rare_measure,
+        )
+        resilience = self._resilience(journal, "simulate")
+        shared = (
+            archi, self.family.measures, rare_measure, run_length, runs,
+            warmup, seed, self.max_states, self.family.workload_pattern,
+            workload, engine, levels, splits, segments,
+        )
+        try:
+            with self.timer.span("simulate"):
+                results = executor.map(
+                    _rare_point, points, shared, **resilience
+                )
+        finally:
+            if journal is not None:
+                journal.close()
+        _count_sweep_points(self.family.name, "rare", len(results))
+        series: Dict[str, List[float]] = {
+            name: [] for name in self.family.measure_names()
+        }
+        series["rare_probability"] = []
+        series["rare_low"] = []
+        series["rare_high"] = []
+        for point_result in results:
+            for name in self.family.measure_names():
+                series[name].append(point_result["measures"][name])
+            series["rare_probability"].append(
+                point_result["rare_probability"]
+            )
+            series["rare_low"].append(point_result["rare_low"])
+            series["rare_high"].append(point_result["rare_high"])
         return series
 
     def sweep_workloads(

@@ -301,6 +301,34 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--rare", action="store_true",
+        help=(
+            "general phase only: estimate each point by rare-event "
+            "importance splitting (RESTART) instead of naive "
+            "replication, adding rare_probability/rare_low/rare_high "
+            "series with near-zero-safe intervals (docs/SIMULATION.md)"
+        ),
+    )
+    parser.add_argument(
+        "--levels", type=int, default=4, metavar="N",
+        help="with --rare: importance levels between base and rare set",
+    )
+    parser.add_argument(
+        "--splits", type=int, default=4, metavar="N",
+        help="with --rare: fixed effort (trajectories) per rare level",
+    )
+    parser.add_argument(
+        "--segments", type=int, default=32, metavar="N",
+        help="with --rare: resampling boundaries per replication",
+    )
+    parser.add_argument(
+        "--rare-measure", default=None, metavar="NAME",
+        help=(
+            "with --rare: measure whose reward support defines the "
+            "importance function (default: the family's first measure)"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint", default=None, metavar="FILE",
         help="JSONL journal of completed points (enables resume)",
     )
@@ -387,6 +415,13 @@ def run_sweep(argv: List[str]) -> int:
         raise SystemExit("--paired requires --phase general")
     if args.independent and not args.paired:
         raise SystemExit("--independent only makes sense with --paired")
+    if args.rare and args.phase != "general":
+        raise SystemExit("--rare requires --phase general")
+    if args.rare and args.paired:
+        raise SystemExit(
+            "--rare and --paired are mutually exclusive: splitting "
+            "trees cannot share the CRN stream discipline"
+        )
     options = _run_options(args)
     methodology = IncrementalMethodology(
         _CASES[args.case](),
@@ -414,6 +449,21 @@ def run_sweep(argv: List[str]) -> int:
                 checkpoint=args.checkpoint,
                 crn=not args.independent,
             )
+        elif args.rare:
+            series = methodology.sweep_rare(
+                args.parameter,
+                values,
+                variant=args.variant,
+                run_length=args.run_length,
+                levels=args.levels,
+                splits=args.splits,
+                segments=args.segments,
+                rare_measure=args.rare_measure,
+                runs=args.runs,
+                warmup=args.warmup,
+                seed=args.seed,
+                checkpoint=args.checkpoint,
+            )
         else:
             series = methodology.sweep_general(
                 args.parameter,
@@ -437,6 +487,13 @@ def run_sweep(argv: List[str]) -> int:
     }
     if args.paired:
         payload["paired"] = {"crn": not args.independent}
+    if args.rare:
+        payload["rare"] = {
+            "levels": args.levels,
+            "splits": args.splits,
+            "segments": args.segments,
+            "measure": args.rare_measure,
+        }
     # json round-trips floats exactly (repr-based), so two runs are
     # bit-identical iff their series are.
     rendered = json.dumps(payload, sort_keys=True, indent=2)

@@ -653,6 +653,23 @@ WORKLOAD_KS_STATISTIC = MetricSpec(
     ("family",),
 )
 
+SPLITTING_TREES = MetricSpec(
+    "repro_splitting_trees_total", "counter",
+    "Splitting trees (rare-event replications) completed.",
+)
+SPLITTING_CLONES = MetricSpec(
+    "repro_splitting_clones_total", "counter",
+    "Trajectories cloned by up-crossing resampling (weight halved).",
+)
+SPLITTING_MERGES = MetricSpec(
+    "repro_splitting_merges_total", "counter",
+    "Trajectories merged by weight-conserving roulette at boundaries.",
+)
+SPLITTING_EVENTS = MetricSpec(
+    "repro_splitting_events_total", "counter",
+    "Events fired across all trajectories of splitting trees.",
+)
+
 #: Bucket schema for parametric per-point evaluations (microseconds).
 PARAMETRIC_EVAL_BUCKETS: Tuple[float, ...] = (
     1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1e-2,
@@ -716,6 +733,10 @@ CATALOG: Tuple[MetricSpec, ...] = (
     WORKLOAD_EVENTS_REPLAYED,
     WORKLOAD_FIT_ITERATIONS,
     WORKLOAD_KS_STATISTIC,
+    SPLITTING_TREES,
+    SPLITTING_CLONES,
+    SPLITTING_MERGES,
+    SPLITTING_EVENTS,
     PARAMETRIC_ELIMINATIONS,
     PARAMETRIC_ELIMINATION_SECONDS,
     PARAMETRIC_EVALUATIONS,

@@ -42,7 +42,7 @@ from ..lts.lts import LTS
 from ..obs import metrics as obs_metrics
 from .engine import SimulationResult, Simulator, _MAX_IMMEDIATE_CHAIN
 from .estimators import CompiledRewards
-from .streams import EventStreamAllocator
+from .streams import EventStreamAllocator, normalize_stream_index
 
 __all__ = ["CompiledModel", "FastSimulator"]
 
@@ -239,7 +239,9 @@ class FastSimulator:
             else:
                 run_indices = list(range(runs))
         else:
-            run_indices = [int(i) for i in run_indices]
+            run_indices = [
+                normalize_stream_index(i) for i in run_indices
+            ]
         n_runs = len(run_indices)
         if n_runs == 0:
             return []

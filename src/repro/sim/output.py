@@ -37,6 +37,7 @@ from ..runtime.executor import ParallelExecutor, RetryPolicy
 from ..runtime.faults import FaultInjector
 from ..runtime.trace import TraceRecorder
 from .engine import Simulator
+from .estimators import log_scale_interval, wilson_interval
 from .fastengine import FastSimulator
 from .random import generator_for_run, spawn_generators
 from .streams import EventStreamAllocator, independent_allocator
@@ -89,6 +90,87 @@ class Estimate:
             f"{self.mean:.6g} ± {self.half_width:.3g} "
             f"({self.confidence:.0%}, n={self.runs})"
         )
+
+
+@dataclass(frozen=True)
+class RareEstimate:
+    """Point estimate of a *nonnegative* rare quantity with an
+    asymmetric confidence interval.
+
+    The symmetric Student-t interval of :class:`Estimate` is the wrong
+    shape near zero: its lower bound goes negative (impossible for a
+    probability) and, when no run observed the event at all, it
+    collapses to zero width — reading "exactly zero, with certainty"
+    off a finite sample.  A :class:`RareEstimate` carries explicit
+    ``low``/``high`` bounds from a Wilson score interval (binary or
+    all-zero samples) or a log-scale delta-method interval (positive
+    continuous samples), so ``low >= 0`` always, and zero observed
+    events still yield a strictly positive ``high``
+    (docs/RELIABILITY.md).
+    """
+
+    mean: float
+    low: float
+    high: float
+    std_dev: float
+    runs: int
+    confidence: float
+    #: Interval construction used: ``"wilson"`` or ``"log-t"``.
+    method: str
+
+    def overlaps(self, value: float) -> bool:
+        """True when *value* falls inside the confidence interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.6g} [{self.low:.3g}, {self.high:.3g}] "
+            f"({self.confidence:.0%}, {self.method}, n={self.runs})"
+        )
+
+
+def summarize_rare(
+    samples: Sequence[float], confidence: float = 0.95
+) -> RareEstimate:
+    """Rare-probability summary of i.i.d. nonnegative samples.
+
+    Chooses the interval construction by the shape of the data:
+
+    * **all samples zero** — no run observed the event; each run is
+      treated as one Bernoulli trial of "saw it", and the Wilson score
+      interval with zero successes gives the honest upper bound
+      ``z²/(n+z²)`` instead of a zero-width interval;
+    * **binary samples** (every value 0 or 1) — Wilson score interval
+      on the success proportion;
+    * **positive continuous samples** — Student-t interval on the log
+      of the mean (delta method), i.e. a multiplicative interval
+      ``mean · exp(±t·s/(√n·mean))`` whose lower bound stays positive.
+    """
+    values = np.asarray(list(samples), float)
+    runs = len(values)
+    if runs == 0:
+        raise SimulationError("cannot summarise zero samples")
+    if (values < 0).any():
+        raise SimulationError(
+            "rare-probability summaries need nonnegative samples"
+        )
+    mean = float(values.mean())
+    std_dev = float(values.std(ddof=1)) if runs > 1 else math.inf
+    binary = bool(np.isin(values, (0.0, 1.0)).all())
+    if binary or not values.any():
+        successes = int(np.count_nonzero(values))
+        low, high = wilson_interval(successes, runs, confidence)
+        return RareEstimate(
+            mean, low, high, std_dev, runs, confidence, "wilson"
+        )
+    if runs == 1:
+        return RareEstimate(
+            mean, 0.0, math.inf, math.inf, 1, confidence, "log-t"
+        )
+    low, high = log_scale_interval(mean, std_dev, runs, confidence)
+    return RareEstimate(
+        mean, low, high, std_dev, runs, confidence, "log-t"
+    )
 
 
 @dataclass
@@ -297,6 +379,7 @@ def replicate_until(
     measures: Sequence[Measure],
     run_length: float,
     relative_half_width: float = 0.05,
+    absolute_half_width: Optional[float] = None,
     min_runs: int = 5,
     max_runs: int = 200,
     warmup: float = 0.0,
@@ -327,7 +410,14 @@ def replicate_until(
       counts as converged.  A measure that is merely *near* zero but
       noisy does **not**: its relative criterion is undefined, so it
       keeps the loop running rather than silently masking
-      non-convergence.
+      non-convergence.  That policy makes a *relative* target
+      unreachable for a measure whose true value is ~0 (a rare-event
+      probability): the loop runs to ``max_runs`` every time.
+      ``absolute_half_width`` is the escape hatch — a measure whose
+      interval half-width is already below that absolute floor counts
+      as converged regardless of how small its mean is, which is the
+      right stopping rule for rare probabilities ("know it to within
+      1e-4" rather than "know it to within 5% of itself").
     * With ``reuse_warmup_state`` (and ``warmup > 0``) the warm-up
       transient is simulated once and every replication starts from the
       resulting state instead of re-paying the warm-up per run.  The
@@ -342,6 +432,11 @@ def replicate_until(
         raise SimulationError(
             f"relative_half_width must be in (0, 1), "
             f"got {relative_half_width}"
+        )
+    if absolute_half_width is not None and absolute_half_width <= 0:
+        raise SimulationError(
+            f"absolute_half_width must be positive, "
+            f"got {absolute_half_width}"
         )
     if min_runs < 2 or max_runs < min_runs:
         raise SimulationError(
@@ -370,9 +465,6 @@ def replicate_until(
         for stat in running.values():
             if stat.std_dev == 0.0:
                 continue  # exactly constant (e.g. identically zero)
-            scale = abs(stat.mean)
-            if scale < _ZERO_SCALE:
-                return False  # noisy around zero: never call it converged
             critical = criticals.get(stat.count)
             if critical is None:
                 critical = float(
@@ -380,6 +472,14 @@ def replicate_until(
                 )
                 criticals[stat.count] = critical
             half_width = critical * stat.std_dev / math.sqrt(stat.count)
+            if (
+                absolute_half_width is not None
+                and half_width <= absolute_half_width
+            ):
+                continue  # absolute floor reached: converged at any scale
+            scale = abs(stat.mean)
+            if scale < _ZERO_SCALE:
+                return False  # noisy around zero: never call it converged
             if half_width > relative_half_width * scale:
                 return False
         return True

@@ -31,9 +31,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..distributions import Distribution
-from .random import event_generator
+from .random import event_generator, splitting_event_generator
 
-__all__ = ["BRANCH_STREAM", "EventStreamAllocator", "RunStreams"]
+__all__ = [
+    "BRANCH_STREAM",
+    "EventStreamAllocator",
+    "RunStreams",
+    "normalize_stream_index",
+]
 
 #: Reserved stream name for branch picks.  Starts with a NUL byte so it
 #: can never collide with an action label from a specification.
@@ -43,6 +48,22 @@ BRANCH_STREAM = "\x00branch-picks"
 #: Block size never changes the numbers drawn (a stream is the
 #: concatenation of its blocks) — only the refill amortisation.
 DEFAULT_BLOCK = 256
+
+
+def normalize_stream_index(index):
+    """Canonical form of one allocator row index.
+
+    Plain replications use an ``int`` run index; splitting trajectories
+    (:mod:`repro.sim.splitting`) use a ``(run, trajectory)`` pair that
+    selects the namespaced substreams of
+    :func:`repro.sim.random.splitting_event_generator`.  Both forms are
+    pure stream coordinates: the same index draws the same numbers in
+    every process and for any batch composition.
+    """
+    if isinstance(index, tuple):
+        run, trajectory = index
+        return (int(run), int(trajectory))
+    return int(index)
 
 
 class _Pool:
@@ -78,7 +99,9 @@ class EventStreamAllocator:
         block: int = DEFAULT_BLOCK,
     ):
         self.seed = int(seed)
-        self.run_indices = [int(i) for i in run_indices]
+        self.run_indices = [
+            normalize_stream_index(i) for i in run_indices
+        ]
         self.block = int(block)
         if self.block < 1:
             raise ValueError(f"block must be >= 1, got {block}")
@@ -100,7 +123,14 @@ class EventStreamAllocator:
         key = (row, name)
         gen = self._gens.get(key)
         if gen is None:
-            gen = event_generator(self.seed, self.run_indices[row], name)
+            index = self.run_indices[row]
+            if isinstance(index, tuple):
+                run, trajectory = index
+                gen = splitting_event_generator(
+                    self.seed, run, trajectory, name
+                )
+            else:
+                gen = event_generator(self.seed, index, name)
             self._gens[key] = gen
         return gen
 
@@ -189,6 +219,91 @@ class EventStreamAllocator:
         value = pool.buf[row, cur]
         pool.cur[row] = cur + 1
         return float(value)
+
+    # -- dynamic rows (splitting trees) ------------------------------------
+
+    def add_row(self, index) -> int:
+        """Append a row for *index*; returns the new row id.
+
+        Grows every existing pool by one (exhausted) row, so the first
+        draw lazily refills from the new index's generators.  Used by
+        :mod:`repro.sim.splitting` when a resampling step clones a
+        trajectory: the clone gets a fresh ``(run, trajectory)`` stream
+        coordinate without touching any other row's cursor.
+        """
+        row = len(self.run_indices)
+        self.run_indices.append(normalize_stream_index(index))
+        for pool in self._pools.values():
+            self._ensure_row(pool, row)
+        if self._branch is not None:
+            self._ensure_row(self._branch, row)
+        for key in [k for k in self._gens if k[0] == row]:
+            del self._gens[key]
+        return row
+
+    def rebind_row(self, row: int, index) -> None:
+        """Recycle *row* for a new stream *index*.
+
+        Cursors are marked exhausted and the cached generators dropped,
+        so the row's next draw starts the new index's streams from their
+        beginning — the numbers depend only on the index, never on what
+        the row previously served.
+        """
+        self.run_indices[row] = normalize_stream_index(index)
+        for key in [k for k in self._gens if k[0] == row]:
+            del self._gens[key]
+        for pool in self._pools.values():
+            pool.cur[row] = self.block
+        if self._branch is not None:
+            self._branch.cur[row] = self.block
+
+    def move_row(self, src: int, dst: int) -> None:
+        """Relocate *src*'s stream state onto row *dst* (continuity).
+
+        Buffers, cursors, and live generators all move, so the
+        trajectory keeps drawing exactly the numbers it would have on
+        its old row — rows are storage, stream identity lives in the
+        index.  The vacated row is left for :meth:`truncate_rows` or
+        :meth:`rebind_row`.
+        """
+        if src == dst:
+            return
+        self.run_indices[dst] = self.run_indices[src]
+        for pool in self._pools.values():
+            pool.buf[dst] = pool.buf[src]
+            pool.cur[dst] = pool.cur[src]
+        if self._branch is not None:
+            self._branch.buf[dst] = self._branch.buf[src]
+            self._branch.cur[dst] = self._branch.cur[src]
+        for key in [k for k in self._gens if k[0] == src]:
+            self._gens[(dst, key[1])] = self._gens.pop(key)
+
+    def truncate_rows(self, rows: int) -> None:
+        """Drop every row at index >= *rows* (after compaction).
+
+        Only the logical row count shrinks — pool buffers keep their
+        capacity, and a recycled physical row is reset by
+        :meth:`add_row`/:meth:`rebind_row` before its next draw.
+        """
+        if rows >= len(self.run_indices):
+            return
+        del self.run_indices[rows:]
+        for key in [k for k in self._gens if k[0] >= rows]:
+            del self._gens[key]
+
+    def _ensure_row(self, pool: _Pool, row: int) -> None:
+        """Make *row* usable in *pool*: grow capacity (amortised
+        doubling), and mark the row exhausted so its first draw refills
+        from the current index's generator."""
+        have = pool.buf.shape[0]
+        if row >= have:
+            capacity = max(row + 1, 2 * have)
+            buf = np.empty((capacity, self.block), float)
+            buf[:have] = pool.buf
+            cur = np.full(capacity, self.block, np.int64)
+            cur[:have] = pool.cur
+            pool.buf, pool.cur = buf, cur
+        pool.cur[row] = self.block
 
     # -- per-run facade ----------------------------------------------------
 

@@ -135,3 +135,55 @@ class TestFullAssessment:
         assert not assessment.completed
         assert assessment.markovian_dpm is None
         assert "phases 2-3 skipped" in assessment.report()
+
+
+class TestRareSweep:
+    def _sweep(self, rpc_family, tmp_path, **overrides):
+        methodology = IncrementalMethodology(rpc_family)
+        settings = dict(
+            variant="dpm",
+            run_length=60.0,
+            levels=2,
+            splits=2,
+            segments=4,
+            runs=2,
+            seed=5,
+            checkpoint=str(tmp_path / "rare.jsonl"),
+        )
+        settings.update(overrides)
+        return methodology.sweep_rare(
+            "shutdown_timeout", [4.0, 8.0], **settings
+        )
+
+    def test_rare_series_shapes(self, rpc_family, tmp_path):
+        series = self._sweep(rpc_family, tmp_path)
+        for name in rpc_family.measure_names() + [
+            "rare_probability", "rare_low", "rare_high",
+        ]:
+            assert len(series[name]) == 2
+        for low, prob, high in zip(
+            series["rare_low"], series["rare_probability"],
+            series["rare_high"],
+        ):
+            assert 0.0 <= low <= high
+            assert prob >= 0.0
+
+    def test_resume_is_bit_identical(self, rpc_family, tmp_path):
+        first = self._sweep(rpc_family, tmp_path)
+        resumed = self._sweep(rpc_family, tmp_path)
+        assert resumed == first
+
+    def test_journal_refuses_other_splitting_geometry(
+        self, rpc_family, tmp_path
+    ):
+        from repro.errors import CheckpointError
+
+        self._sweep(rpc_family, tmp_path)
+        for change in (
+            {"levels": 3},
+            {"splits": 3},
+            {"segments": 8},
+            {"rare_measure": "energy"},
+        ):
+            with pytest.raises(CheckpointError):
+                self._sweep(rpc_family, tmp_path, **change)

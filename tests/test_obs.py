@@ -86,6 +86,10 @@ EXPECTED_CATALOG = {
     "repro_workload_events_replayed_total": ("counter", ("mode",)),
     "repro_workload_fit_iterations_total": ("counter", ("family",)),
     "repro_workload_ks_statistic": ("gauge", ("family",)),
+    "repro_splitting_trees_total": ("counter", ()),
+    "repro_splitting_clones_total": ("counter", ()),
+    "repro_splitting_merges_total": ("counter", ()),
+    "repro_splitting_events_total": ("counter", ()),
     "repro_parametric_eliminations_total": ("counter", ("status",)),
     "repro_parametric_elimination_seconds": ("histogram", ()),
     "repro_parametric_evaluations_total": ("counter", ()),

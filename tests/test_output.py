@@ -200,3 +200,141 @@ class TestReplicateUntil:
         with pytest.raises(SimulationError):
             replicate_until(simple_lts(), self._measures(), 100.0,
                             min_runs=1)
+
+
+class TestNearZeroIntervals:
+    """Regression tests for the near-zero interval fix: symmetric
+    Student-t intervals go negative (or collapse to zero width) exactly
+    where rare-event probabilities live (docs/RELIABILITY.md)."""
+
+    def test_wilson_zero_successes_has_positive_upper_bound(self):
+        from repro.sim import wilson_interval
+
+        low, high = wilson_interval(0, 20, confidence=0.95)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        # k = 0 closed form: z^2 / (n + z^2).
+        z = 1.959963984540054
+        assert high == pytest.approx(z * z / (20 + z * z))
+        assert high > 0.0
+
+    def test_wilson_stays_inside_unit_interval(self):
+        from repro.sim import wilson_interval
+
+        for successes, trials in [(0, 5), (5, 5), (1, 3), (99, 100)]:
+            low, high = wilson_interval(successes, trials)
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_wilson_rejects_bad_counts(self):
+        from repro.sim import wilson_interval
+
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_log_scale_lower_bound_never_negative(self):
+        from repro.sim import log_scale_interval
+
+        # Symmetric t interval here: 1e-6 +- 2.776 * 2e-6 / sqrt(5),
+        # i.e. a negative lower bound; the log-scale one stays > 0.
+        low, high = log_scale_interval(1e-6, 2e-6, 5, confidence=0.95)
+        assert 0.0 < low < 1e-6 < high
+
+    def test_log_scale_is_multiplicative(self):
+        from repro.sim import log_scale_interval
+
+        low, high = log_scale_interval(1e-4, 5e-5, 10)
+        assert high / 1e-4 == pytest.approx(1e-4 / low)
+
+    def test_log_scale_rejects_degenerate_input(self):
+        from repro.sim import log_scale_interval
+
+        with pytest.raises(ValueError):
+            log_scale_interval(0.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            log_scale_interval(1e-6, 1.0, 1)
+
+    def test_summarize_rare_all_zero_samples(self):
+        from repro.sim import summarize_rare
+
+        rare = summarize_rare([0.0] * 12, confidence=0.95)
+        assert rare.method == "wilson"
+        assert rare.mean == 0.0
+        assert rare.low == pytest.approx(0.0, abs=1e-12)
+        assert rare.high > 0.0
+        assert not rare.overlaps(rare.high * 1.01)
+
+    def test_summarize_rare_positive_samples_use_log_t(self):
+        from repro.sim import summarize_rare
+
+        rare = summarize_rare([1e-6, 3e-6, 2e-6, 5e-7], confidence=0.95)
+        assert rare.method == "log-t"
+        assert 0.0 < rare.low < rare.mean < rare.high
+
+    def test_summarize_rare_rejects_negative_samples(self):
+        from repro.sim import summarize_rare
+
+        with pytest.raises(SimulationError):
+            summarize_rare([0.1, -0.2])
+
+
+class TestReplicateUntilAbsoluteFloor:
+    """Regression tests for the absolute-floor stopping rule: a
+    near-zero measure can never satisfy a *relative* half-width target,
+    so without the floor the loop always burns max_runs."""
+
+    def _blip_lts(self):
+        # A rare "blip" transition: ~1.6 firings per 200-unit run, so
+        # its rate samples hover noisily just above zero — the regime
+        # where a relative half-width target is unreachable.
+        lts = simple_lts()
+        lts.add_transition(1, "blip", 0, ExpRate(0.02), "blip")
+        return lts
+
+    def _measures(self):
+        return [
+            measure("in0", state_clause("up", 1.0)),
+            measure("blip_rate", trans_clause("blip", 1.0)),
+        ]
+
+    def test_absolute_floor_unblocks_near_zero_measure(self):
+        from repro.sim import replicate_until
+
+        floored = replicate_until(
+            self._blip_lts(), self._measures(), run_length=200.0,
+            relative_half_width=0.05, absolute_half_width=5e-3,
+            min_runs=3, max_runs=40, seed=23,
+        )
+        assert floored["blip_rate"].runs < 40
+        # Without the floor the relative criterion (5% of a ~0.008
+        # mean) keeps the loop running to max_runs every time.
+        unfloored = replicate_until(
+            self._blip_lts(), self._measures(), run_length=200.0,
+            relative_half_width=0.05, min_runs=3, max_runs=40, seed=23,
+        )
+        assert unfloored["blip_rate"].runs == 40
+
+    def test_floor_does_not_loosen_the_healthy_measure(self):
+        from repro.sim import replicate_until
+
+        result = replicate_until(
+            self._blip_lts(), self._measures(), run_length=2_000.0,
+            relative_half_width=0.10, absolute_half_width=1e-6,
+            min_runs=3, max_runs=100, seed=11,
+        )
+        estimate = result["in0"]
+        assert estimate.half_width <= 0.10 * abs(estimate.mean)
+
+    def test_absolute_floor_validation(self):
+        from repro.sim import replicate_until
+
+        with pytest.raises(SimulationError):
+            replicate_until(
+                self._blip_lts(), self._measures(), 100.0,
+                absolute_half_width=0.0,
+            )
+        with pytest.raises(SimulationError):
+            replicate_until(
+                self._blip_lts(), self._measures(), 100.0,
+                absolute_half_width=-1e-6,
+            )
