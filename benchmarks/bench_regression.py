@@ -27,6 +27,10 @@ files and fails when the numbers drift outside tolerance bands:
   moderate-rarity smoke configuration is re-measured: its pinned-seed
   estimate must stay inside a generous band of the committed value and
   its interval must still cover the analytic probability.
+* ``BENCH_obs.json`` — the committed tracing-overhead ratio must
+  honour the <= 5% contract, and a fresh traced fig3 sweep must emit
+  exactly the committed span counts while staying bit-identical to an
+  untraced one (walls report-only).
 
 Wall-clock is reported but never gated — CI machines are too noisy for
 timing assertions, and the committed ``seconds`` fields are documentation,
@@ -58,6 +62,12 @@ RUNTIME_BASELINE = ROOT / "BENCH_runtime.json"
 PARAMETRIC_BASELINE = ROOT / "BENCH_parametric.json"
 SIM_BASELINE = ROOT / "BENCH_sim.json"
 SPLITTING_BASELINE = ROOT / "BENCH_splitting.json"
+OBS_BASELINE = ROOT / "BENCH_obs.json"
+
+#: The committed tracing-overhead ratio (median of paired traced vs
+#: untraced fig3 sweeps, ``benchmarks/bench_obs.py``) must honour the
+#: ≤ 5% contract; fresh wall-clock is report-only, span counts exact.
+OBS_OVERHEAD_GATE = 1.05
 
 #: Iteration counts may drift with library versions (ILU fill, GMRES
 #: restarts) but an honest reimplementation stays within a 2x band.
@@ -443,6 +453,72 @@ def _splitting_regressions(baseline: dict, failures: List[str]) -> dict:
     }
 
 
+def _obs_regressions(baseline: dict, failures: List[str]) -> dict:
+    """One fresh traced fig3 sweep compared against ``BENCH_obs.json``.
+
+    The committed file carries the tracing-overhead contract (median
+    paired-run ratio ≤ 5%); a fresh wall-clock ratio is far too noisy
+    to gate in CI, so the re-measure only gates what is deterministic:
+    the per-name span counts of the sweep's trace, and bit-identity of
+    the traced vs untraced series.  Fresh walls are report-only.
+    """
+    from collections import Counter
+
+    from repro.obs import tracing
+
+    base = baseline["fig3_sweep"]
+    _check(
+        failures,
+        base["overhead_ratio"] <= OBS_OVERHEAD_GATE,
+        f"obs: committed tracing overhead ratio "
+        f"{base['overhead_ratio']} exceeds the "
+        f"{OBS_OVERHEAD_GATE} contract",
+    )
+    _check(
+        failures,
+        base["bit_identical"] is True,
+        "obs: committed baseline was not bit-identical traced vs untraced",
+    )
+    values = list(rpc.SHUTDOWN_TIMEOUT_SWEEP)
+    started = time.perf_counter()
+    series_off = IncrementalMethodology(rpc.family()).sweep_markovian(
+        base["parameter"], values
+    )
+    wall_off = time.perf_counter() - started
+    tracer = tracing.Tracer()
+    previous = tracing.set_tracer(tracer)
+    try:
+        started = time.perf_counter()
+        series_on = IncrementalMethodology(rpc.family()).sweep_markovian(
+            base["parameter"], values
+        )
+        wall_on = time.perf_counter() - started
+    finally:
+        tracing.set_tracer(previous)
+        tracer.close()
+    by_name = dict(
+        sorted(Counter(r["name"] for r in tracer.records()).items())
+    )
+    _check(
+        failures,
+        series_on == series_off,
+        "obs: traced sweep series differ from untraced",
+    )
+    _check(
+        failures,
+        by_name == base["spans"]["by_name"],
+        f"obs: span counts {by_name} differ from committed "
+        f"{base['spans']['by_name']}",
+    )
+    return {
+        "points": len(values),
+        "spans": {"total": len(tracer.records()), "by_name": by_name},
+        "baseline_overhead_ratio": base["overhead_ratio"],
+        "wall_off": round(wall_off, 4),
+        "wall_on": round(wall_on, 4),
+    }
+
+
 def collect() -> dict:
     """Run every regression check; the report carries the failures."""
     failures: List[str] = []
@@ -452,6 +528,7 @@ def collect() -> dict:
         "BENCH_parametric.json": PARAMETRIC_BASELINE,
         "BENCH_sim.json": SIM_BASELINE,
         "BENCH_splitting.json": SPLITTING_BASELINE,
+        "BENCH_obs.json": OBS_BASELINE,
     }
     missing = [name for name, path in baselines.items() if not path.exists()]
     if missing:
@@ -464,6 +541,7 @@ def collect() -> dict:
     parametric_baseline = json.loads(PARAMETRIC_BASELINE.read_text())
     sim_baseline = json.loads(SIM_BASELINE.read_text())
     splitting_baseline = json.loads(SPLITTING_BASELINE.read_text())
+    obs_baseline = json.loads(OBS_BASELINE.read_text())
     return {
         "solvers": _solver_regressions(solvers_baseline, failures),
         "runtime": {
@@ -476,6 +554,7 @@ def collect() -> dict:
         "splitting": _splitting_regressions(
             splitting_baseline, failures
         ),
+        "obs": _obs_regressions(obs_baseline, failures),
         "failures": failures,
         "passed": not failures,
     }
@@ -537,6 +616,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{splitting['smoke_estimate']:.3g} (committed "
         f"{splitting['baseline_smoke_estimate']:.3g}) in "
         f"{splitting['seconds']}s"
+    )
+    obs = report["obs"]
+    print(
+        f"  obs: {obs['spans']['total']} spans over {obs['points']} "
+        f"points, committed overhead ratio "
+        f"{obs['baseline_overhead_ratio']} (fresh walls "
+        f"{obs['wall_off']}s untraced / {obs['wall_on']}s traced, "
+        f"report-only)"
     )
     if report["failures"]:
         for failure in report["failures"]:

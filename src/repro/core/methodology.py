@@ -20,6 +20,7 @@ DPM — together with the high/low action sets and the performance measures.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -34,6 +35,7 @@ from ..errors import AnalysisError, ParametricError
 from ..lts.lts import LTS
 from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from ..runtime import (
     FaultInjector,
     ParallelExecutor,
@@ -69,6 +71,28 @@ VARIANTS = ("dpm", "nodpm")
 PARAMETRIC_AUTO_THRESHOLD = 100
 
 _LOG = obs_log.get_logger("methodology")
+
+
+def _phase_span(name: str):
+    """Open a tracing span named *name* around a methodology phase.
+
+    A no-op when no tracer is active; when one is, the phase span is the
+    parent every executor point span (and, through
+    :class:`~repro.obs.tracing.TraceContext` propagation, every
+    worker-side span) attaches under.  It is opened *before* the sweep
+    journal loads so a checkpoint resume can stamp its ``resumed_from``
+    attribute onto the phase.
+    """
+
+    def wrap(fn):
+        @functools.wraps(fn)
+        def inner(self, *args, **kwargs):
+            with tracing.span(name, case=self.family.name):
+                return fn(self, *args, **kwargs)
+
+        return inner
+
+    return wrap
 
 
 def _count_sweep_points(case: str, kind: str, count: int) -> None:
@@ -153,10 +177,11 @@ def _markov_point_parametric(shared: Any, value: float) -> Dict[str, object]:
     the task is just microseconds instead of a full solve.
     """
     (solution,) = shared
-    return {
-        "measures": solution.evaluate(value),
-        "solver": solution.report_dict(),
-    }
+    with tracing.span("parametric:eval", value=float(value)):
+        return {
+            "measures": solution.evaluate(value),
+            "solver": solution.report_dict(),
+        }
 
 
 def _general_point_cached(shared: Any, env: Mapping[str, object]) -> Dict[str, float]:
@@ -537,6 +562,7 @@ class IncrementalMethodology:
 
     # -- phase 1: functional -------------------------------------------------
 
+    @_phase_span("phase:functional")
     def assess_functionality(
         self,
         const_overrides: Optional[Mapping[str, object]] = None,
@@ -552,6 +578,7 @@ class IncrementalMethodology:
 
     # -- phase 2: Markovian -----------------------------------------------------
 
+    @_phase_span("solve:markovian")
     def solve_markovian(
         self,
         variant: str = "dpm",
@@ -643,6 +670,7 @@ class IncrementalMethodology:
             )
             return None
 
+    @_phase_span("sweep:markovian")
     def sweep_markovian(
         self,
         parameter: str,
@@ -689,6 +717,10 @@ class IncrementalMethodology:
             else "cached skeleton" if rate_only
             else "fresh state spaces",
             self.workers if workers is None else resolve_workers(workers),
+        )
+        tracing.add_attributes(
+            parameter=parameter, points=len(points), method=method,
+            variant=variant,
         )
         executor = self._executor(workers)
         journal = self._sweep_checkpoint(
@@ -751,6 +783,7 @@ class IncrementalMethodology:
 
     # -- phase 3: general ----------------------------------------------------------
 
+    @_phase_span("validate")
     def validate(
         self,
         const_overrides: Optional[Mapping[str, object]] = None,
@@ -781,6 +814,7 @@ class IncrementalMethodology:
                 engine=self._engine(engine),
             )
 
+    @_phase_span("simulate:general")
     def simulate_general(
         self,
         variant: str = "dpm",
@@ -821,6 +855,7 @@ class IncrementalMethodology:
                 engine=self._engine(engine),
             )
 
+    @_phase_span("sweep:general")
     def sweep_general(
         self,
         parameter: str,
@@ -860,6 +895,10 @@ class IncrementalMethodology:
             "general sweep: %s over %s (%d points, %d runs each, %s)",
             self.family.name, parameter, len(points), runs,
             "cached skeleton" if rate_only else "fresh state spaces",
+        )
+        tracing.add_attributes(
+            parameter=parameter, points=len(points), runs=runs,
+            engine=engine, variant=variant,
         )
         executor = self._executor(workers)
         journal = self._sweep_checkpoint(
@@ -917,6 +956,7 @@ class IncrementalMethodology:
                 series[name].append(point_result[name])
         return series
 
+    @_phase_span("sweep:general-paired")
     def sweep_general_paired(
         self,
         parameter: str,
@@ -953,6 +993,10 @@ class IncrementalMethodology:
             "paired general sweep: %s over %s (%d points, %d runs each, "
             "crn=%s, engine=%s)",
             self.family.name, parameter, len(values), runs, crn, engine,
+        )
+        tracing.add_attributes(
+            parameter=parameter, points=len(values), runs=runs,
+            engine=engine, crn=crn,
         )
         executor = self._executor(workers)
         journal = self._sweep_checkpoint(
@@ -999,6 +1043,7 @@ class IncrementalMethodology:
                     columns[name].append(point_result[group][name])
         return series
 
+    @_phase_span("replicate:rare")
     def replicate_rare(
         self,
         variant: str = "dpm",
@@ -1050,6 +1095,7 @@ class IncrementalMethodology:
                 engine=self._engine(engine),
             )
 
+    @_phase_span("sweep:rare")
     def sweep_rare(
         self,
         parameter: str,
@@ -1093,6 +1139,10 @@ class IncrementalMethodology:
             "levels=%d splits=%d segments=%d)",
             self.family.name, parameter, len(points), runs, levels,
             splits, segments,
+        )
+        tracing.add_attributes(
+            parameter=parameter, points=len(points), runs=runs,
+            levels=levels, splits=splits, segments=segments,
         )
         executor = self._executor(workers)
         journal = self._sweep_checkpoint(
@@ -1144,6 +1194,7 @@ class IncrementalMethodology:
             series["rare_high"].append(point_result["rare_high"])
         return series
 
+    @_phase_span("sweep:workloads")
     def sweep_workloads(
         self,
         workloads: Mapping[str, Optional[Distribution]],
@@ -1182,6 +1233,11 @@ class IncrementalMethodology:
             "workload sweep: %s over %s x %d classes (%s; %d tasks)",
             self.family.name, parameter, len(class_names),
             ", ".join(class_names), len(points) * len(class_names),
+        )
+        tracing.add_attributes(
+            parameter=parameter,
+            points=len(points),
+            classes=len(class_names),
         )
         executor = self._executor(workers)
         journal = self._sweep_checkpoint(

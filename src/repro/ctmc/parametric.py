@@ -60,6 +60,7 @@ from ..aemilia.expressions import (
 from ..aemilia.rates import ExpSpec
 from ..errors import ParametricError
 from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from .build import _VanishingResolver, build_ctmc, classify_states
 from .measures import Measure
 from .ratfunc import BarycentricRational, RationalFunction, aaa_fit
@@ -295,6 +296,11 @@ class ParametricSolution:
 
 
 def _record_elimination(status: str, seconds: float) -> None:
+    tracing.record_span(
+        "parametric:build", seconds,
+        status="ok" if status == "built" else "error",
+        outcome=status,
+    )
     registry = obs_metrics.get_registry()
     if not registry.enabled:
         return
@@ -320,6 +326,7 @@ def _record_evaluation(points: int, seconds: float) -> None:
 
 def record_parametric_fallback(reason: str) -> None:
     """Count one fall-back from the parametric path (docs/OBSERVABILITY.md)."""
+    tracing.add_event("parametric:fallback", reason=reason)
     registry = obs_metrics.get_registry()
     if registry.enabled:
         obs_metrics.PARAMETRIC_FALLBACKS.on(registry).labels(

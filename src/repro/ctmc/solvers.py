@@ -66,6 +66,7 @@ from scipy.sparse import linalg as sparse_linalg
 
 from ..errors import SolverError
 from ..obs import metrics as obs_metrics
+from ..obs import tracing
 
 #: Environment variable forcing a default backend (see docs/SOLVERS.md).
 SOLVER_ENV_VAR = "REPRO_SOLVER"
@@ -684,7 +685,21 @@ def _finalize(
 def _record_solve_metrics(
     report: SolverReport, elapsed: float
 ) -> None:
-    """Always-on aggregate metrics for one completed solve."""
+    """Always-on aggregate metrics (and a trace span) per solve.
+
+    Every successful solve funnels through here regardless of which
+    entry point initiated it, so this is also where the causal trace
+    gets its ``solve`` span — nested under whatever span is current
+    (a worker's execute span, or the phase span on the serial path).
+    """
+    tracing.record_span(
+        "solve",
+        elapsed,
+        method=report.method,
+        iterations=report.iterations,
+        residual=report.residual,
+        fallbacks=list(report.fallbacks),
+    )
     registry = obs_metrics.get_registry()
     if not registry.enabled:
         return

@@ -21,6 +21,10 @@ Observability tooling (docs/OBSERVABILITY.md)::
     repro-experiments metrics                       # metric catalog
     repro-experiments metrics out/fig4.json         # inspect an export
     repro-experiments fig4 -vv                      # debug logging (stderr)
+    repro-experiments run-sweep ... --trace-out trace.jsonl --ledger
+    repro-experiments trace-summary trace.jsonl --check
+    repro-experiments runs list                     # the run ledger
+    repro-experiments runs diff last~1 last         # phase/metric deltas
 
 Simulation engine tooling (docs/SIMULATION.md)::
 
@@ -63,6 +67,17 @@ from ..obs import (
     get_registry,
     load_json_export,
     write_exports,
+)
+from ..obs import tracing
+from ..obs.ledger import (
+    LedgerError,
+    RunLedger,
+    condense_metrics,
+    default_ledger_path,
+    diff_entries,
+    render_diff,
+    render_entries_table,
+    render_entry,
 )
 from ..runtime import (
     FaultInjector,
@@ -125,7 +140,32 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         "--trace",
         default=None,
         metavar="FILE",
-        help="stream JSONL span records to FILE (see trace-summary)",
+        help=(
+            "stream flat JSONL attempt records to FILE (legacy "
+            "TraceRecorder view; see trace-summary)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record a hierarchical span trace to FILE (JSONL), plus "
+            "FILE.perfetto.json and FILE.otlp.json when the run "
+            "finishes (docs/OBSERVABILITY.md)"
+        ),
+    )
+    parser.add_argument(
+        "--ledger",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help=(
+            "append a run-ledger entry when done, to FILE or (with no "
+            "FILE) to $REPRO_LEDGER / .repro-runs.jsonl; inspect with "
+            "'repro-experiments runs'"
+        ),
     )
     parser.add_argument(
         "--solver",
@@ -199,6 +239,13 @@ def _run_options(args: argparse.Namespace) -> RunOptions:
             workload = parse_workload(args.workload)
         except WorkloadError as error:
             raise SystemExit(f"--workload: {error}") from None
+    span_tracer = None
+    if getattr(args, "trace_out", None):
+        span_tracer = tracing.Tracer(args.trace_out)
+        tracing.set_tracer(span_tracer)
+    ledger = getattr(args, "ledger", None)
+    if ledger is not None:
+        ledger = ledger or default_ledger_path()
     return RunOptions(
         workers=args.workers,
         retry=retry,
@@ -209,6 +256,9 @@ def _run_options(args: argparse.Namespace) -> RunOptions:
         verbose=args.verbose,
         workload=workload,
         engine=getattr(args, "engine", None),
+        trace_out=getattr(args, "trace_out", None),
+        ledger=ledger,
+        span_tracer=span_tracer,
     )
 
 
@@ -220,6 +270,69 @@ def _export_metrics(options: RunOptions) -> None:
         get_registry(), options.metrics_out
     )
     emit(f"[metrics written to {prom_path} and {json_path}]")
+
+
+def _finish_observability(
+    options: RunOptions,
+    command: str,
+    started: float,
+    cpu_started: float,
+    **fields: object,
+) -> None:
+    """Finalise the ``--trace-out`` / ``--ledger`` side of a run.
+
+    Closes the hierarchical tracer, writes the Perfetto and OTLP views
+    next to the span JSONL, and appends one run-ledger entry carrying
+    the run's identity (command, configuration, trace id, checkpoint
+    link) plus its wall/cpu time, phase timings and condensed metrics.
+    """
+    trace_id = None
+    resumed_from = None
+    if options.span_tracer is not None:
+        tracer = options.span_tracer
+        tracing.set_tracer(None)
+        tracer.close()
+        records = tracer.records()
+        trace_id = tracer.trace_id
+        for record in records:
+            link = record.get("attrs", {}).get("resumed_from")
+            if link:
+                resumed_from = link
+                break
+        if options.trace_out:
+            tracing.write_perfetto(
+                records, options.trace_out + ".perfetto.json"
+            )
+            tracing.write_otlp(records, options.trace_out + ".otlp.json")
+            emit(
+                f"[trace written to {options.trace_out} "
+                "(+ .perfetto.json, .otlp.json)]"
+            )
+    if options.ledger is None:
+        return
+    registry = get_registry()
+    entry = {
+        "command": command,
+        "workers": options.workers,
+        "solver": options.solver,
+        "engine": options.engine,
+        "workload": (
+            repr(options.workload) if options.workload is not None else None
+        ),
+        "wall": round(time.time() - started, 6),
+        "cpu": round(time.process_time() - cpu_started, 6),
+        "trace": options.trace_out,
+        "trace_id": trace_id,
+        "resumed_from": resumed_from,
+        "metrics": condense_metrics(registry.snapshot())
+        if registry.enabled
+        else {},
+    }
+    entry.update(fields)
+    ledger = RunLedger(options.ledger)
+    record = ledger.append(entry)
+    ledger.close()
+    emit(f"[run {record['run_id']} recorded in {ledger.path}]")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -429,52 +542,61 @@ def run_sweep(argv: List[str]) -> int:
         **options.methodology_kwargs(),
     )
     started = time.time()
+    cpu_started = time.process_time()
     try:
-        if args.phase == "markovian":
-            series = methodology.sweep_markovian(
-                args.parameter,
-                values,
-                variant=args.variant,
-                method=args.method,
-                checkpoint=args.checkpoint,
-            )
-        elif args.paired:
-            series = methodology.sweep_general_paired(
-                args.parameter,
-                values,
-                run_length=args.run_length,
-                runs=args.runs,
-                warmup=args.warmup,
-                seed=args.seed,
-                checkpoint=args.checkpoint,
-                crn=not args.independent,
-            )
-        elif args.rare:
-            series = methodology.sweep_rare(
-                args.parameter,
-                values,
-                variant=args.variant,
-                run_length=args.run_length,
-                levels=args.levels,
-                splits=args.splits,
-                segments=args.segments,
-                rare_measure=args.rare_measure,
-                runs=args.runs,
-                warmup=args.warmup,
-                seed=args.seed,
-                checkpoint=args.checkpoint,
-            )
-        else:
-            series = methodology.sweep_general(
-                args.parameter,
-                values,
-                variant=args.variant,
-                run_length=args.run_length,
-                runs=args.runs,
-                warmup=args.warmup,
-                seed=args.seed,
-                checkpoint=args.checkpoint,
-            )
+        with tracing.span(
+            "run-sweep",
+            case=args.case,
+            phase=args.phase,
+            parameter=args.parameter,
+            points=len(values),
+            workers=args.workers,
+        ):
+            if args.phase == "markovian":
+                series = methodology.sweep_markovian(
+                    args.parameter,
+                    values,
+                    variant=args.variant,
+                    method=args.method,
+                    checkpoint=args.checkpoint,
+                )
+            elif args.paired:
+                series = methodology.sweep_general_paired(
+                    args.parameter,
+                    values,
+                    run_length=args.run_length,
+                    runs=args.runs,
+                    warmup=args.warmup,
+                    seed=args.seed,
+                    checkpoint=args.checkpoint,
+                    crn=not args.independent,
+                )
+            elif args.rare:
+                series = methodology.sweep_rare(
+                    args.parameter,
+                    values,
+                    variant=args.variant,
+                    run_length=args.run_length,
+                    levels=args.levels,
+                    splits=args.splits,
+                    segments=args.segments,
+                    rare_measure=args.rare_measure,
+                    runs=args.runs,
+                    warmup=args.warmup,
+                    seed=args.seed,
+                    checkpoint=args.checkpoint,
+                )
+            else:
+                series = methodology.sweep_general(
+                    args.parameter,
+                    values,
+                    variant=args.variant,
+                    run_length=args.run_length,
+                    runs=args.runs,
+                    warmup=args.warmup,
+                    seed=args.seed,
+                    checkpoint=args.checkpoint,
+                )
     except CheckpointError as error:
         _LOG.error("checkpoint rejected: %s", error)
         return 1
@@ -524,25 +646,60 @@ def run_sweep(argv: List[str]) -> int:
         methodology.tracer.close()
     _LOG.info("%s", summary)
     _export_metrics(options)
+    timings = methodology.runtime_stats().get("timings", {})
+    _finish_observability(
+        options,
+        "run-sweep",
+        started,
+        cpu_started,
+        case=args.case,
+        phase=args.phase,
+        parameter=args.parameter,
+        checkpoint=args.checkpoint,
+        phases={
+            name: info["seconds"] for name, info in timings.items()
+        },
+    )
     return 0
 
 
 def trace_summary(argv: List[str]) -> int:
     """``trace-summary``: aggregate a JSONL trace file into tables.
 
+    Reads both trace formats: flat per-attempt records written by the
+    legacy ``--trace`` recorder (phase table with retries and wall/cpu
+    time) and hierarchical span records written by ``--trace-out``
+    (per-span self-time vs cumulative-time).  A file may mix both; each
+    format present gets its own table.
+
     Exit codes: 0 for a valid (possibly empty) trace, 1 for a missing
     file or malformed JSONL (a torn final line — a crash mid-write — is
-    tolerated, corruption anywhere else is not).
+    tolerated, corruption anywhere else is not), and 1 when ``--check``
+    finds a malformed span tree.
     """
     parser = argparse.ArgumentParser(
         prog="repro-experiments trace-summary",
-        description="Summarise a --trace JSONL file (spans by phase/status)",
+        description=(
+            "Summarise a JSONL trace file: flat --trace records "
+            "(spans by phase/status) and/or hierarchical --trace-out "
+            "span trees (self vs cumulative time)"
+        ),
     )
-    parser.add_argument("trace_file", help="JSONL file written by --trace")
+    parser.add_argument(
+        "trace_file", help="JSONL file written by --trace or --trace-out"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "validate the span tree (single root, no orphans, one "
+            "trace id, sane timestamps); exit 1 if malformed"
+        ),
+    )
     args = parser.parse_args(argv)
     configure_logging()
     try:
-        events = read_trace(args.trace_file)
+        records = read_trace(args.trace_file)
     except OSError as error:
         _LOG.error("cannot read trace file: %s", error)
         return 1
@@ -551,7 +708,93 @@ def trace_summary(argv: List[str]) -> int:
             "%s is not a valid JSONL trace: %s", args.trace_file, error
         )
         return 1
-    emit(render_summary(summarize_events(events), title=args.trace_file))
+    spans = [
+        record
+        for record in records
+        if record.get("kind") == tracing.RECORD_KIND
+    ]
+    flat = [
+        record
+        for record in records
+        if record.get("kind") != tracing.RECORD_KIND
+    ]
+    if flat or not spans:
+        emit(render_summary(summarize_events(flat), title=args.trace_file))
+    if spans:
+        if flat:
+            emit()
+        emit(
+            tracing.render_span_summary(
+                tracing.summarize_spans(spans), title=args.trace_file
+            )
+        )
+    if args.check:
+        if not spans:
+            _LOG.error(
+                "%s has no span records to check", args.trace_file
+            )
+            return 1
+        problems = tracing.validate_tree(spans)
+        for problem in problems:
+            _LOG.error("span tree: %s", problem)
+        if problems:
+            return 1
+        emit(f"[span tree OK: {len(spans)} spans, one root]")
+    return 0
+
+
+def runs_command(argv: List[str]) -> int:
+    """``runs list|show|diff``: inspect the persistent run ledger.
+
+    Refs are ``last``, ``last~N`` or a unique ``run_id`` prefix.
+    Exit codes: 0 on success, 1 for an unknown/ambiguous ref or an
+    unreadable ledger.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments runs",
+        description=(
+            "Inspect the persistent run ledger written by --ledger "
+            "(docs/OBSERVABILITY.md)"
+        ),
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help="ledger file (default: $REPRO_LEDGER or .repro-runs.jsonl)",
+    )
+    commands = parser.add_subparsers(dest="action", required=True)
+    commands.add_parser("list", help="one line per recorded run")
+    show = commands.add_parser("show", help="full JSON of one run")
+    show.add_argument("ref", help="run ref: last, last~N, or id prefix")
+    diff = commands.add_parser(
+        "diff",
+        help="config, wall-time, phase-timing and metric deltas",
+    )
+    diff.add_argument("ref_a", help="baseline run ref")
+    diff.add_argument("ref_b", help="comparison run ref")
+    args = parser.parse_args(argv)
+    configure_logging()
+    ledger = RunLedger(args.ledger)
+    try:
+        if args.action == "list":
+            emit(render_entries_table(ledger.entries()))
+        elif args.action == "show":
+            emit(render_entry(ledger.get(args.ref)))
+        else:
+            emit(
+                render_diff(
+                    diff_entries(
+                        ledger.get(args.ref_a), ledger.get(args.ref_b)
+                    )
+                )
+            )
+    except LedgerError as error:
+        _LOG.error("runs: %s", error)
+        return 1
+    except json.JSONDecodeError as error:
+        _LOG.error("%s is not a valid ledger: %s", ledger.path, error)
+        return 1
     return 0
 
 
@@ -799,6 +1042,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return trace_summary(argv[1:])
     if argv and argv[0] == "metrics":
         return metrics_command(argv[1:])
+    if argv and argv[0] == "runs":
+        return runs_command(argv[1:])
     if argv and argv[0] == "workload":
         return workload_command(argv[1:])
     args = build_parser().parse_args(argv)
@@ -812,24 +1057,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         else [args.experiment]
     )
     options = _run_options(args)
-    for target in targets:
-        started = time.time()
-        _LOG.info("running %s (quick=%s)", target, args.quick)
-        emit(
-            run_experiment(
-                target,
-                args.quick,
-                charts=not args.no_charts,
-                options=options,
-            )
-        )
-        emit(f"[{target} done in {time.time() - started:.1f}s]")
-        emit()
+    run_started = time.time()
+    cpu_started = time.process_time()
+    with tracing.span(
+        "experiments",
+        targets=",".join(targets),
+        quick=args.quick,
+        workers=args.workers,
+    ):
+        for target in targets:
+            started = time.time()
+            _LOG.info("running %s (quick=%s)", target, args.quick)
+            with tracing.span("experiment", experiment=target):
+                report = run_experiment(
+                    target,
+                    args.quick,
+                    charts=not args.no_charts,
+                    options=options,
+                )
+            emit(report)
+            emit(f"[{target} done in {time.time() - started:.1f}s]")
+            emit()
     if options.tracer is not None:
         options.tracer.close()
         if args.trace:
             emit(f"[trace written to {args.trace}]")
     _export_metrics(options)
+    _finish_observability(
+        options,
+        args.experiment,
+        run_started,
+        cpu_started,
+        case=None,
+        phase=None,
+        parameter=None,
+        checkpoint=None,
+        phases={},
+    )
     return 0
 
 

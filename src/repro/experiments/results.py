@@ -48,6 +48,16 @@ class RunOptions:
     #: pure-Python ``reference`` engine or the vectorized ``fast``
     #: kernel (docs/SIMULATION.md).  ``None`` means ``reference``.
     engine: Optional[str] = None
+    #: Path for the hierarchical span trace (``--trace-out``); the run
+    #: streams span records there as JSONL and writes Perfetto / OTLP
+    #: views next to it when it finishes (docs/OBSERVABILITY.md).
+    trace_out: Optional[str] = None
+    #: Path of the persistent run ledger (``--ledger``): the finished
+    #: run appends one entry there (``repro-experiments runs``).
+    ledger: Optional[str] = None
+    #: The installed :class:`repro.obs.tracing.Tracer` when
+    #: ``--trace-out`` was given (internal; owned by the CLI).
+    span_tracer: Optional[object] = None
 
     @classmethod
     def resolve(

@@ -19,6 +19,11 @@ One subsystem, three concerns:
   :mod:`repro.obs.profile`) — the ``repro.*`` stderr logger hierarchy
   (``$REPRO_LOG`` / ``--verbose``), the :func:`~repro.obs.profile.observe`
   span timer and the per-iteration solver callback protocol.
+* **Tracing + run ledger** (:mod:`repro.obs.tracing`,
+  :mod:`repro.obs.ledger`) — hierarchical causal spans with
+  cross-process :class:`~repro.obs.tracing.TraceContext` propagation,
+  Perfetto/OTLP exporters, and the append-only registry of top-level
+  runs behind ``repro-experiments runs list|show|diff``.
 
 The invariant the whole layer is built around: **observability never
 perturbs numerics or seed derivation** — a sweep with metrics on is
@@ -47,7 +52,27 @@ from .metrics import (
     set_registry,
     use_registry,
 )
+from .ledger import RunLedger, diff_entries
 from .profile import IterationCallback, IterationSeries, observe
+from .tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    add_attributes,
+    add_event,
+    current_context,
+    export_otlp,
+    export_perfetto,
+    flatten_spans,
+    get_tracer,
+    read_spans,
+    record_span,
+    set_tracer,
+    span,
+    summarize_spans,
+    use_tracer,
+    validate_tree,
+)
 
 __all__ = [
     "CATALOG",
@@ -61,7 +86,26 @@ __all__ = [
     "MetricSpec",
     "NullRegistry",
     "RESIDUAL_BUCKETS",
+    "RunLedger",
+    "Span",
     "TIME_BUCKETS",
+    "TraceContext",
+    "Tracer",
+    "add_attributes",
+    "add_event",
+    "current_context",
+    "diff_entries",
+    "export_otlp",
+    "export_perfetto",
+    "flatten_spans",
+    "get_tracer",
+    "read_spans",
+    "record_span",
+    "set_tracer",
+    "span",
+    "summarize_spans",
+    "use_tracer",
+    "validate_tree",
     "configure_logging",
     "emit",
     "get_logger",

@@ -353,9 +353,15 @@ class MetricRegistry:
     def merge_snapshot(self, snapshot: Mapping[str, Mapping]) -> None:
         """Fold another registry's snapshot into this one.
 
-        Counters and histogram counts/sums add; gauges take the
-        incoming value (last write wins).  Used to aggregate worker
-        registries shipped back to the parent.
+        Counters and histogram counts/sums add; gauges merge as the
+        element-wise **max** across snapshots (the first merge of a
+        fresh series adopts the incoming value outright, so negative
+        gauges like lag-1 autocorrelations are not clamped by the 0.0
+        default).  Max is commutative, so the aggregate is independent
+        of worker completion order — last-write-wins was not, which made
+        multi-worker gauge values nondeterministic under pool
+        scheduling.  Used to aggregate worker registries shipped back
+        to the parent.
         """
         for name, family_snap in snapshot.items():
             kind = family_snap["type"]
@@ -368,9 +374,14 @@ class MetricRegistry:
                         **labels
                     ).inc(float(entry["value"]))
                 elif kind == "gauge":
-                    self.gauge(name, help_text, labelnames).labels(
-                        **labels
-                    ).set(float(entry["value"]))
+                    family = self.gauge(name, help_text, labelnames)
+                    incoming = float(entry["value"])
+                    key = _label_key(family.labelnames, labels)
+                    existing = family._children.get(key)
+                    if existing is None:
+                        family.labels(**labels).set(incoming)
+                    else:
+                        existing.set(max(existing.value, incoming))
                 elif kind == "histogram":
                     buckets = entry.get("buckets", {})
                     bounds = tuple(

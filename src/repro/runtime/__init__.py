@@ -24,10 +24,14 @@ Plus a fault-tolerance and observability layer (see docs/RELIABILITY.md):
   repeated worker deaths, execution degrades gracefully to serial.
 * :class:`SweepCheckpoint` — an append-only JSONL journal of completed
   sweep points; an interrupted sweep resumes bit-identically.
-* :class:`TraceRecorder` — structured span records (phase, point index,
-  worker, retries, wall/cpu time, cache and checkpoint hits) kept
-  in memory and optionally streamed to JSONL for the
-  ``repro-experiments trace-summary`` CLI.
+* :class:`TraceRecorder` — flat per-attempt span records (phase, point
+  index, worker, retries, wall/cpu time, cache and checkpoint hits)
+  kept in memory and optionally streamed to JSONL.  **Deprecated for
+  new instrumentation**: the hierarchical tracer of
+  :mod:`repro.obs.tracing` supersedes it (the executor emits both, and
+  ``repro-experiments trace-summary`` reads either format); the flat
+  records remain as the compatibility view and the source of the
+  ``repro_runtime_*`` metrics.
 
 Every layer mirrors its counters onto the unified metric registry of
 :mod:`repro.obs` (``repro_runtime_*``, ``repro_executor_*``,

@@ -38,6 +38,7 @@ from typing import Any, Dict, Optional
 
 from ..errors import CheckpointError
 from ..obs import metrics as obs_metrics
+from ..obs import tracing
 
 JOURNAL_VERSION = 1
 
@@ -115,6 +116,15 @@ class SweepCheckpoint:
                 )
             self.completed[int(record["index"])] = record["result"]
         _emit_checkpoint_event("replayed", len(self.completed))
+        if self.completed:
+            # A resumed sweep links its new trace to the original run:
+            # the journal fingerprint is the stable join key (the ledger
+            # records it per run), and the replayed count tells a reader
+            # how much of the sweep came from the journal.
+            tracing.add_attributes(
+                resumed_from=self.fingerprint,
+                resumed_points=len(self.completed),
+            )
         return self.completed
 
     def _parse(

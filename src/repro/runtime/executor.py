@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import RetryBudgetExceededError
 from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from . import trace as trace_mod
 from .faults import KILL, FaultInjector
 
@@ -73,19 +74,191 @@ def _resilient_call(
     index: int,
     attempt: int,
     item: Any,
+    ctx: Optional[tracing.TraceContext] = None,
 ):
-    """Worker-side wrapper: apply planned faults, run, report metrics."""
+    """Worker-side wrapper: apply planned faults, run, report metrics.
+
+    When the parent ships a :class:`~repro.obs.tracing.TraceContext`,
+    the task runs under a fresh in-memory collector tracer seeded with
+    that identity — shadowing whatever tracer the fork inherited, so a
+    worker never writes to the parent's trace sink — and the collected
+    span records travel back in ``meta["spans"]`` for the parent to
+    attach under the execute span it pre-allocated at submit time.
+    """
+    started = time.time()
     wall_started = time.perf_counter()
     cpu_started = time.process_time()
     if faults is not None:
         faults.apply(index, attempt, in_worker=True)
-    value = fn(_SHARED, item)
+    spans: List[Dict[str, Any]] = []
+    if ctx is not None:
+        collector = tracing.Tracer(trace_id=ctx.trace_id)
+        with tracing.use_tracer(collector, context=ctx):
+            value = fn(_SHARED, item)
+        spans = collector.records()
+    else:
+        value = fn(_SHARED, item)
+    wall = time.perf_counter() - wall_started
     meta = {
         "worker": os.getpid(),
-        "wall": time.perf_counter() - wall_started,
+        "wall": wall,
         "cpu": time.process_time() - cpu_started,
+        "started": started,
+        "ended": started + wall,
+        "spans": spans,
     }
     return value, meta
+
+
+class _PointSpans:
+    """Parent-side span bookkeeping for the resilient pool path.
+
+    The pool path cannot use :func:`repro.obs.tracing.span` context
+    managers — a point's attempts interleave with other points across
+    rounds — so it *pre-allocates* span ids instead: one point span per
+    index (materialised when the point completes) and one execute span
+    per submission, whose id travels to the worker inside the
+    :class:`~repro.obs.tracing.TraceContext` so worker-side spans parent
+    correctly.  Queue wait (submit → worker start) and execution are
+    emitted as separate child spans of the point.
+    """
+
+    def __init__(self, phase: str):
+        self.tracer = tracing.get_tracer()
+        self.active = self.tracer is not None
+        self.phase = phase
+        if not self.active:
+            return
+        context = tracing.current_context()
+        self.trace_id = context.trace_id if context else self.tracer.trace_id
+        self.parent_id = tracing.current_span_id()
+        self._points: Dict[int, tuple] = {}  # index -> (span_id, start)
+        self._finished: set = set()
+
+    def point_id(self, index: int) -> str:
+        point = self._points.get(index)
+        if point is None:
+            point = (tracing.new_span_id(), time.time())
+            self._points[index] = point
+        return point[0]
+
+    def submit(self, index: int) -> Optional[tracing.TraceContext]:
+        """Allocate the execute-span identity for one submission."""
+        if not self.active:
+            return None
+        self.point_id(index)
+        return tracing.TraceContext(self.trace_id, tracing.new_span_id())
+
+    def executed(
+        self,
+        index: int,
+        ctx: tracing.TraceContext,
+        submitted: float,
+        meta: Dict[str, Any],
+        attempt: int,
+    ) -> None:
+        """Record a completed submission: queue-wait + execute + worker spans."""
+        if not self.active:
+            return
+        point_id = self.point_id(index)
+        started = max(meta["started"], submitted)
+        self.tracer.add_span(
+            "queue-wait",
+            parent_id=point_id,
+            start=submitted,
+            end=started,
+            trace_id=self.trace_id,
+        )
+        self.tracer.add_span(
+            "execute",
+            parent_id=point_id,
+            start=started,
+            end=max(meta["ended"], started),
+            span_id=ctx.span_id,
+            trace_id=self.trace_id,
+            worker=meta["worker"],
+            attempt=attempt,
+            cpu=round(meta["cpu"], 6),
+        )
+        self.tracer.ingest(meta["spans"])
+
+    def failed(
+        self,
+        index: int,
+        ctx: tracing.TraceContext,
+        submitted: float,
+        attempt: int,
+        status: str,
+        error: str,
+    ) -> None:
+        """Record a submission that died without shipping metadata back."""
+        if not self.active:
+            return
+        self.tracer.add_span(
+            "execute",
+            parent_id=self.point_id(index),
+            start=submitted,
+            end=time.time(),
+            status=status,
+            span_id=ctx.span_id,
+            trace_id=self.trace_id,
+            attempt=attempt,
+            error=error,
+        )
+
+    def checkpoint_hit(self, index: int) -> None:
+        """A point answered from the journal: zero-duration point span."""
+        if not self.active:
+            return
+        now = time.time()
+        span_id = self.point_id(index)
+        self._finished.add(index)
+        self.tracer.add_span(
+            "point",
+            parent_id=self.parent_id,
+            start=now,
+            end=now,
+            status=trace_mod.STATUS_CHECKPOINT_HIT,
+            span_id=span_id,
+            trace_id=self.trace_id,
+            phase=self.phase,
+            index=index,
+        )
+
+    def finish(self, index: int, status: str = trace_mod.STATUS_OK) -> None:
+        """Materialise the point span once the point has a result."""
+        if not self.active or index in self._finished:
+            return
+        point = self._points.get(index)
+        if point is None:
+            return
+        self._finished.add(index)
+        self.tracer.add_span(
+            "point",
+            parent_id=self.parent_id,
+            start=point[1],
+            end=time.time(),
+            status=status,
+            span_id=point[0],
+            trace_id=self.trace_id,
+            phase=self.phase,
+            index=index,
+        )
+
+    def finish_abandoned(self) -> None:
+        """Materialise points left open by an aborted run (failed tasks),
+        so even a crashed sweep leaves a well-formed tree behind."""
+        if not self.active:
+            return
+        for index in list(self._points):
+            self.finish(index, status=trace_mod.STATUS_FAILED)
+
+    def reparent(self, index: int):
+        """Context for serial-degrade attempts: nest under the point span."""
+        return tracing.use_tracer(
+            self.tracer,
+            context=tracing.TraceContext(self.trace_id, self.point_id(index)),
+        )
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -187,6 +360,7 @@ class ParallelExecutor:
             or faults is not None
             or checkpoint is not None
             or tracer is not None
+            or tracing.active()
         )
         if not resilient:
             _count_tasks(
@@ -261,11 +435,17 @@ class ParallelExecutor:
                     phase, index=index,
                     status=trace_mod.STATUS_CHECKPOINT_HIT,
                 )
+                tracing.record_span(
+                    "point", 0.0,
+                    status=trace_mod.STATUS_CHECKPOINT_HIT,
+                    phase=phase, index=index,
+                )
                 continue
-            results[index] = self._attempt_serial(
-                fn, shared, item, index, retry, faults, tracer, phase,
-                checkpoint,
-            )
+            with tracing.span("point", phase=phase, index=index):
+                results[index] = self._attempt_serial(
+                    fn, shared, item, index, retry, faults, tracer, phase,
+                    checkpoint,
+                )
         return results
 
     def _attempt_serial(
@@ -287,27 +467,33 @@ class ParallelExecutor:
                 time.sleep(retry.delay_before(attempt - first_attempt))
             wall_started = time.perf_counter()
             cpu_started = time.process_time()
-            try:
-                if faults is not None:
-                    faults.apply(index, attempt, in_worker=False)
-                value = fn(shared, item)
-            except Exception as error:  # noqa: BLE001 — retry any task error
-                last_error = error
-                exhausted = attempt + 1 >= retry.max_attempts
-                tracer.record(
-                    phase,
-                    index=index,
-                    attempt=attempt,
-                    status=(
+            with tracing.span(
+                "execute", phase=phase, index=index, attempt=attempt
+            ) as exec_span:
+                try:
+                    if faults is not None:
+                        faults.apply(index, attempt, in_worker=False)
+                    value = fn(shared, item)
+                except Exception as error:  # noqa: BLE001 — retry task errors
+                    last_error = error
+                    exhausted = attempt + 1 >= retry.max_attempts
+                    status = (
                         trace_mod.STATUS_FAILED
                         if exhausted
                         else trace_mod.STATUS_RETRY
-                    ),
-                    wall=time.perf_counter() - wall_started,
-                    cpu=time.process_time() - cpu_started,
-                    error=repr(error),
-                )
-                continue
+                    )
+                    exec_span.status = status
+                    exec_span.set_attributes(error=repr(error))
+                    tracer.record(
+                        phase,
+                        index=index,
+                        attempt=attempt,
+                        status=status,
+                        wall=time.perf_counter() - wall_started,
+                        cpu=time.process_time() - cpu_started,
+                        error=repr(error),
+                    )
+                    continue
             wall = time.perf_counter() - wall_started
             tracer.record(
                 phase,
@@ -350,6 +536,7 @@ class ParallelExecutor:
         from concurrent.futures import as_completed
         from concurrent.futures.process import BrokenProcessPool
 
+        point_spans = _PointSpans(phase)
         results: Dict[int, Any] = {}
         attempts: Dict[int, int] = {}
         pending: List[int] = []
@@ -360,10 +547,37 @@ class ParallelExecutor:
                     phase, index=index,
                     status=trace_mod.STATUS_CHECKPOINT_HIT,
                 )
+                point_spans.checkpoint_hit(index)
             else:
                 attempts[index] = 0
                 pending.append(index)
 
+        try:
+            return self._run_parallel_rounds(
+                fn, items, shared, retry, faults, checkpoint, tracer,
+                phase, point_spans, results, attempts, pending,
+                as_completed, BrokenProcessPool,
+            )
+        finally:
+            point_spans.finish_abandoned()
+
+    def _run_parallel_rounds(
+        self,
+        fn: Callable[[Any, Any], Any],
+        items: List[Any],
+        shared: Any,
+        retry: RetryPolicy,
+        faults: Optional[FaultInjector],
+        checkpoint: Optional[Any],
+        tracer: trace_mod.TraceRecorder,
+        phase: str,
+        point_spans: _PointSpans,
+        results: Dict[int, Any],
+        attempts: Dict[int, int],
+        pending: List[int],
+        as_completed,
+        BrokenProcessPool,
+    ) -> List[Any]:
         pool_restarts = 0
         while pending:
             if pool_restarts > self.max_pool_restarts:
@@ -374,11 +588,25 @@ class ParallelExecutor:
                     pool_restarts=pool_restarts,
                 )
                 for index in pending:
-                    results[index] = self._attempt_serial(
-                        fn, shared, items[index], index, retry, faults,
-                        tracer, phase, checkpoint,
-                        first_attempt=attempts[index],
-                    )
+                    if point_spans.active:
+                        # Execute spans already reference this point's
+                        # pre-allocated id: nest the serial attempts
+                        # under it, then materialise it as degraded.
+                        with point_spans.reparent(index):
+                            results[index] = self._attempt_serial(
+                                fn, shared, items[index], index, retry,
+                                faults, tracer, phase, checkpoint,
+                                first_attempt=attempts[index],
+                            )
+                        point_spans.finish(
+                            index, status=trace_mod.STATUS_DEGRADED
+                        )
+                    else:
+                        results[index] = self._attempt_serial(
+                            fn, shared, items[index], index, retry, faults,
+                            tracer, phase, checkpoint,
+                            first_attempt=attempts[index],
+                        )
                 pending = []
                 break
             backoff = max(
@@ -404,16 +632,19 @@ class ParallelExecutor:
                 pool_restarts = self.max_pool_restarts + 1
                 continue
             try:
-                futures = {
-                    pool.submit(
-                        _resilient_call,
-                        fn, faults, index, attempts[index], items[index],
-                    ): index
-                    for index in pending
-                }
+                futures = {}
+                for index in pending:
+                    ctx = point_spans.submit(index)
+                    futures[
+                        pool.submit(
+                            _resilient_call,
+                            fn, faults, index, attempts[index],
+                            items[index], ctx,
+                        )
+                    ] = (index, ctx, time.time())
                 still_pending: List[int] = []
                 for future in as_completed(futures):
-                    index = futures[future]
+                    index, ctx, submitted = futures[future]
                     try:
                         value, meta = future.result()
                     except BrokenProcessPool:
@@ -432,6 +663,10 @@ class ParallelExecutor:
                                 status=trace_mod.STATUS_RETRY,
                                 error="worker killed",
                             )
+                            point_spans.failed(
+                                index, ctx, submitted, attempts[index],
+                                trace_mod.STATUS_RETRY, "worker killed",
+                            )
                             attempts[index] += 1
                             if attempts[index] >= retry.max_attempts:
                                 raise RetryBudgetExceededError(
@@ -446,16 +681,21 @@ class ParallelExecutor:
                     except Exception as error:  # noqa: BLE001
                         attempts[index] += 1
                         exhausted = attempts[index] >= retry.max_attempts
+                        status = (
+                            trace_mod.STATUS_FAILED
+                            if exhausted
+                            else trace_mod.STATUS_RETRY
+                        )
                         tracer.record(
                             phase,
                             index=index,
                             attempt=attempts[index] - 1,
-                            status=(
-                                trace_mod.STATUS_FAILED
-                                if exhausted
-                                else trace_mod.STATUS_RETRY
-                            ),
+                            status=status,
                             error=repr(error),
+                        )
+                        point_spans.failed(
+                            index, ctx, submitted, attempts[index] - 1,
+                            status, repr(error),
                         )
                         if exhausted:
                             raise RetryBudgetExceededError(
@@ -473,10 +713,14 @@ class ParallelExecutor:
                         wall=meta["wall"],
                         cpu=meta["cpu"],
                     )
+                    point_spans.executed(
+                        index, ctx, submitted, meta, attempts[index]
+                    )
                     if checkpoint is not None:
                         checkpoint.record(
                             index, value, elapsed=meta["wall"]
                         )
+                    point_spans.finish(index)
                 pending = still_pending
             finally:
                 pool.shutdown(wait=not pool_broken)

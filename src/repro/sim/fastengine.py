@@ -40,6 +40,7 @@ from ..ctmc.measures import Measure
 from ..errors import SimulationError
 from ..lts.lts import LTS
 from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from .engine import SimulationResult, Simulator, _MAX_IMMEDIATE_CHAIN
 from .estimators import CompiledRewards
 from .streams import EventStreamAllocator, normalize_stream_index
@@ -487,7 +488,14 @@ class FastSimulator:
     def _record_batch_metrics(
         runs: int, events: int, steps: int, refills: int, elapsed: float
     ) -> None:
-        """Aggregate counters for one completed batch (off the hot loop)."""
+        """Aggregate counters (and a trace span) per completed batch."""
+        tracing.record_span(
+            "fastengine:batch",
+            elapsed,
+            runs=runs,
+            events=events,
+            steps=steps,
+        )
         registry = obs_metrics.get_registry()
         if not registry.enabled:
             return

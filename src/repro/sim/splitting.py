@@ -72,6 +72,7 @@ from ..distributions import Exponential
 from ..errors import SimulationError
 from ..lts.lts import LTS
 from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from ..runtime.executor import ParallelExecutor, RetryPolicy
 from ..runtime.faults import FaultInjector
 from ..runtime.trace import TraceRecorder
@@ -434,6 +435,17 @@ def _tree_task(shared: Any, run_index: int) -> Dict[str, Any]:
     same bytes whichever worker runs it, however many times it is
     retried, and whatever the batch composition is.
     """
+    with tracing.span("splitting:tree", index=run_index) as tree_span:
+        tree = _grow_tree(shared, run_index)
+        tree_span.set_attributes(
+            events=tree["events"],
+            clones=tree["clones"],
+            merges=tree["merges"],
+        )
+        return tree
+
+
+def _grow_tree(shared: Any, run_index: int) -> Dict[str, Any]:
     global _WORKER_SPLIT
     (
         lts, measures, clock_semantics, run_length, warmup, seed,
@@ -651,18 +663,29 @@ def split_replicate(
     occupancy: List[List[float]] = [[] for _ in range(levels + 1)]
     events = clones = merges = 0
     peak = 0
-    for tree in executor.map(
-        _tree_task, range(runs), shared=shared, chunksize=1,
-        **resilience,
-    ):
-        for name in names:
-            samples[name].append(tree["measures"][name])
-        for level in range(levels + 1):
-            occupancy[level].append(tree["occupancy"][level])
-        events += tree["events"]
-        clones += tree["clones"]
-        merges += tree["merges"]
-        peak = max(peak, tree["peak"])
+    with tracing.span(
+        "splitting:replicate",
+        runs=runs,
+        levels=levels,
+        splits=splits,
+        segments=segments,
+        workers=workers,
+    ) as split_span:
+        for tree in executor.map(
+            _tree_task, range(runs), shared=shared, chunksize=1,
+            **resilience,
+        ):
+            for name in names:
+                samples[name].append(tree["measures"][name])
+            for level in range(levels + 1):
+                occupancy[level].append(tree["occupancy"][level])
+            events += tree["events"]
+            clones += tree["clones"]
+            merges += tree["merges"]
+            peak = max(peak, tree["peak"])
+        split_span.set_attributes(
+            events=events, clones=clones, merges=merges, peak=peak,
+        )
     estimates = {
         name: summarize(values, confidence)
         for name, values in samples.items()

@@ -214,13 +214,45 @@ class TestRegistry:
         assert child.sum == pytest.approx(1.0)
         assert dict(child.cumulative())["1.0"] == 2
 
-    def test_merge_snapshot_gauge_last_write_wins(self):
+    def test_merge_snapshot_gauge_takes_max(self):
         source = MetricRegistry()
         source.gauge("g").set(7.0)
         target = MetricRegistry()
         target.gauge("g").set(3.0)
         target.merge_snapshot(source.snapshot())
         assert target.value("g") == 7.0
+        # Merging the smaller value back does not regress the gauge:
+        # max-merge makes the result independent of arrival order.
+        smaller = MetricRegistry()
+        smaller.gauge("g").set(3.0)
+        target.merge_snapshot(smaller.snapshot())
+        assert target.value("g") == 7.0
+
+    def test_merge_snapshot_gauge_merge_is_order_invariant(self):
+        snapshots = []
+        for value in (5.0, -2.0, 9.0, 1.0):
+            registry = MetricRegistry()
+            registry.gauge("g").set(value)
+            snapshots.append(registry.snapshot())
+        import itertools
+
+        results = set()
+        for order in itertools.permutations(snapshots):
+            target = MetricRegistry()
+            for snapshot in order:
+                target.merge_snapshot(snapshot)
+            results.add(target.value("g"))
+        assert results == {9.0}
+
+    def test_merge_snapshot_gauge_negative_first_merge(self):
+        # A fresh series must adopt the incoming value even when it is
+        # negative (e.g. a lag-1 autocorrelation gauge), not be clamped
+        # by the 0.0 default of a newly created child.
+        source = MetricRegistry()
+        source.gauge("g").set(-0.4)
+        target = MetricRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.value("g") == -0.4
 
     def test_value_and_reset(self):
         registry = MetricRegistry()
@@ -288,6 +320,56 @@ class TestCatalog:
         assert family.buckets == RESIDUAL_BUCKETS
 
 
+class TestCatalogDrift:
+    """The three views of the metric contract must not drift apart:
+    the ``CATALOG`` specs, the docs/OBSERVABILITY.md table, and the
+    families runtime instrumentation actually registers."""
+
+    def _doc_names(self):
+        import re
+        from pathlib import Path
+
+        doc = (
+            Path(__file__).resolve().parent.parent
+            / "docs"
+            / "OBSERVABILITY.md"
+        ).read_text()
+        return set(re.findall(r"^\| `(repro_[a-z0-9_]+)` \|", doc, re.M))
+
+    def test_docs_table_matches_catalog_exactly(self):
+        catalog_names = {spec.name for spec in CATALOG}
+        doc_names = self._doc_names()
+        missing_from_docs = catalog_names - doc_names
+        missing_from_catalog = doc_names - catalog_names
+        assert not missing_from_docs, (
+            f"catalogued metrics absent from the docs table: "
+            f"{sorted(missing_from_docs)}"
+        )
+        assert not missing_from_catalog, (
+            f"documented metrics absent from CATALOG: "
+            f"{sorted(missing_from_catalog)}"
+        )
+
+    def test_runtime_registered_families_are_catalogued(self, rpc_family):
+        """Everything a real sweep registers must be a catalogued name
+        (an instrumentation site minting an uncatalogued family would
+        escape the docs and the ``metrics`` command)."""
+        registry = MetricRegistry()
+        with use_registry(registry):
+            methodology = IncrementalMethodology(rpc_family)
+            methodology.sweep_markovian(
+                "shutdown_timeout", [0.5, 2.0, 11.0]
+            )
+        catalog_names = {spec.name for spec in CATALOG}
+        registered = set(registry.snapshot())
+        uncatalogued = registered - catalog_names
+        assert not uncatalogued, (
+            f"runtime registered uncatalogued metrics: "
+            f"{sorted(uncatalogued)}"
+        )
+        assert registered <= self._doc_names()
+
+
 class TestExporters:
     def _populated(self):
         registry = MetricRegistry()
@@ -328,6 +410,44 @@ class TestExporters:
         assert loaded["repro_cache_events_total"]["series"][0]["value"] == 4
         with open(prom_path) as handle:
             assert "# TYPE" in handle.read()
+
+    def test_load_json_export_inverts_render_json(self, tmp_path):
+        registry = self._populated()
+        path = tmp_path / "export.json"
+        path.write_text(render_json(registry))
+        assert load_json_export(str(path)) == registry.snapshot()
+
+    def test_render_while_updating_from_threads(self):
+        """Exporters render a consistent snapshot while other threads
+        hammer the registry — no exceptions, every rendered value a
+        valid intermediate state."""
+        import threading
+
+        registry = self._populated()
+        counter = registry.counter(
+            "repro_cache_events_total", "Cache events.", ("kind",)
+        ).labels(kind="hit")
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                counter.inc()
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            for _ in range(50):
+                decoded = json.loads(render_json(registry))
+                value = decoded["repro_cache_events_total"]["series"][0][
+                    "value"
+                ]
+                assert value >= 4
+                assert "# TYPE" in render_prometheus(registry)
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
 
     def test_load_rejects_empty_and_non_object(self, tmp_path):
         empty = tmp_path / "empty.json"
