@@ -31,6 +31,12 @@ files and fails when the numbers drift outside tolerance bands:
   honour the <= 5% contract, and a fresh traced fig3 sweep must emit
   exactly the committed span counts while staying bit-identical to an
   untraced one (walls report-only).
+* ``BENCH_fleet.json`` — the committed fleet numbers must honour the
+  scale gate (>= 10^6 product states solved matrix-free through the
+  lumped operator) and the 1e-9 flat-oracle agreement; a fresh scale
+  solve must keep the recorded state-space structure within the
+  iteration band, and a fresh N=3 differential must still agree with
+  the flat oracle.
 
 Wall-clock is reported but never gated — CI machines are too noisy for
 timing assertions, and the committed ``seconds`` fields are documentation,
@@ -49,9 +55,14 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.casestudies import rpc, streaming
+from repro.casestudies.fleet import build_model as build_fleet_model
 from repro.core.methodology import IncrementalMethodology
 from repro.ctmc.steady_state import steady_state_solution
+from repro.fleet import solve_fleet
 
+from bench_fleet import AGREEMENT_TOLERANCE as FLEET_AGREEMENT
+from bench_fleet import SCALE_STATES_GATE as FLEET_SCALE_GATE
+from bench_fleet import _flat_measures, _worst_gap
 from bench_solvers import CASES, _build_ctmc
 from bench_splitting import EFFICIENCY_GATE as SPLITTING_EFFICIENCY_GATE
 from bench_splitting import collect as collect_splitting
@@ -63,6 +74,7 @@ PARAMETRIC_BASELINE = ROOT / "BENCH_parametric.json"
 SIM_BASELINE = ROOT / "BENCH_sim.json"
 SPLITTING_BASELINE = ROOT / "BENCH_splitting.json"
 OBS_BASELINE = ROOT / "BENCH_obs.json"
+FLEET_BASELINE = ROOT / "BENCH_fleet.json"
 
 #: The committed tracing-overhead ratio (median of paired traced vs
 #: untraced fig3 sweeps, ``benchmarks/bench_obs.py``) must honour the
@@ -519,6 +531,100 @@ def _obs_regressions(baseline: dict, failures: List[str]) -> dict:
     }
 
 
+def _fleet_regressions(baseline: dict, failures: List[str]) -> dict:
+    """Committed fleet gates + a fresh scale solve and N=3 differential.
+
+    The committed ``BENCH_fleet.json`` must honour its acceptance gates
+    (a >= 10^6-state product space solved matrix-free, <= 1e-9 flat
+    agreement); a fresh lumped solve of the scale fleet must keep the
+    recorded state-space structure, stay within the iteration band and
+    residual bounds, and a fresh N=3 lumped-vs-flat differential must
+    still agree with the independent flat oracle.
+    """
+    scale = baseline["scale"]
+    _check(
+        failures,
+        scale["product_states"] >= FLEET_SCALE_GATE,
+        f"fleet: committed scale fleet spans only "
+        f"{scale['product_states']} product states "
+        f"(gate {FLEET_SCALE_GATE})",
+    )
+    for entry in baseline["agreement"]:
+        for key in ("lumped_vs_flat", "product_vs_flat"):
+            if key in entry:
+                _check(
+                    failures,
+                    entry[key] <= FLEET_AGREEMENT,
+                    f"fleet: committed N={entry['fleet_size']} {key} "
+                    f"gap {entry[key]:.3e} exceeds {FLEET_AGREEMENT:.0e}",
+                )
+
+    model = build_fleet_model(scale["fleet_size"], scale["policy"])
+    _check(
+        failures,
+        model.topology.product_states == scale["product_states"],
+        f"fleet: scale product space changed "
+        f"({model.topology.product_states} vs baseline "
+        f"{scale['product_states']})",
+    )
+    _check(
+        failures,
+        model.topology.lumped_states == scale["lumped_states"],
+        f"fleet: scale lumped space changed "
+        f"({model.topology.lumped_states} vs baseline "
+        f"{scale['lumped_states']})",
+    )
+    started = time.perf_counter()
+    solution = solve_fleet(model.topology, model.measures)
+    seconds = time.perf_counter() - started
+    _check(
+        failures,
+        solution.report.method in ("gmres", "power"),
+        f"fleet: scale solve used non-matrix-free backend "
+        f"{solution.report.method!r}",
+    )
+    low, high = ITERATION_RATIO_BAND
+    matvec_ratio = solution.matvecs / max(scale["solver"]["matvecs"], 1)
+    _check(
+        failures,
+        low <= matvec_ratio <= high,
+        f"fleet: scale solve took {solution.matvecs} matvecs, outside "
+        f"[{low}, {high}]x of baseline {scale['solver']['matvecs']}",
+    )
+    residual_limit = max(
+        RESIDUAL_RATIO * scale["solver"]["residual"], RESIDUAL_ABS_FLOOR
+    )
+    _check(
+        failures,
+        solution.report.residual <= residual_limit,
+        f"fleet: scale solve residual {solution.report.residual:.3e} "
+        f"exceeds {residual_limit:.3e}",
+    )
+
+    small = build_fleet_model(3, "balanced")
+    gap = _worst_gap(
+        solve_fleet(small.topology, small.measures).measures,
+        _flat_measures(small),
+    )
+    _check(
+        failures,
+        gap <= FLEET_AGREEMENT,
+        f"fleet: fresh N=3 lumped-vs-flat gap {gap:.3e} exceeds "
+        f"{FLEET_AGREEMENT:.0e}",
+    )
+    return {
+        "scale_states": scale["product_states"],
+        "scale_lumped_states": scale["lumped_states"],
+        "matvecs": solution.matvecs,
+        "baseline_matvecs": scale["solver"]["matvecs"],
+        "residual": solution.report.residual,
+        "baseline_residual": scale["solver"]["residual"],
+        "n3_gap": gap,
+        "seconds": round(seconds, 4),
+        "baseline_seconds": scale["solver"]["seconds"],
+    }
+
+
 def collect() -> dict:
     """Run every regression check; the report carries the failures."""
     failures: List[str] = []
@@ -529,6 +635,7 @@ def collect() -> dict:
         "BENCH_sim.json": SIM_BASELINE,
         "BENCH_splitting.json": SPLITTING_BASELINE,
         "BENCH_obs.json": OBS_BASELINE,
+        "BENCH_fleet.json": FLEET_BASELINE,
     }
     missing = [name for name, path in baselines.items() if not path.exists()]
     if missing:
@@ -542,6 +649,7 @@ def collect() -> dict:
     sim_baseline = json.loads(SIM_BASELINE.read_text())
     splitting_baseline = json.loads(SPLITTING_BASELINE.read_text())
     obs_baseline = json.loads(OBS_BASELINE.read_text())
+    fleet_baseline = json.loads(FLEET_BASELINE.read_text())
     return {
         "solvers": _solver_regressions(solvers_baseline, failures),
         "runtime": {
@@ -555,6 +663,7 @@ def collect() -> dict:
             splitting_baseline, failures
         ),
         "obs": _obs_regressions(obs_baseline, failures),
+        "fleet": _fleet_regressions(fleet_baseline, failures),
         "failures": failures,
         "passed": not failures,
     }
@@ -624,6 +733,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{obs['baseline_overhead_ratio']} (fresh walls "
         f"{obs['wall_off']}s untraced / {obs['wall_on']}s traced, "
         f"report-only)"
+    )
+    fleet = report["fleet"]
+    print(
+        f"  fleet: {fleet['scale_states']:,} product states -> "
+        f"{fleet['scale_lumped_states']:,} lumped solved in "
+        f"{fleet['seconds']}s ({fleet['matvecs']} matvecs, committed "
+        f"{fleet['baseline_matvecs']}), fresh N=3 flat gap "
+        f"{fleet['n3_gap']:.2e}"
     )
     if report["failures"]:
         for failure in report["failures"]:

@@ -14,7 +14,9 @@ The library provides, from scratch:
   timed models with replication/confidence-interval output analysis;
 * :mod:`repro.core` — the paper's three-phase incremental methodology
   (noninterference → Markovian analysis → validated general simulation);
-* :mod:`repro.casestudies` — the rpc and streaming case studies;
+* :mod:`repro.fleet` — the compositional N-device fleet engine
+  (Kronecker generators, exchangeability lumping, matrix-free solves);
+* :mod:`repro.casestudies` — the rpc, streaming and fleet case studies;
 * :mod:`repro.experiments` — regeneration of every figure of the paper.
 """
 

@@ -1,5 +1,6 @@
-"""The paper's two case studies: rpc (Sect. 2.1) and streaming (Sect. 2.2)."""
+"""The case studies: rpc (Sect. 2.1), streaming (Sect. 2.2), and the
+N-device fleet (docs/FLEET.md)."""
 
-from . import rpc, streaming
+from . import fleet, rpc, streaming
 
-__all__ = ["rpc", "streaming"]
+__all__ = ["fleet", "rpc", "streaming"]

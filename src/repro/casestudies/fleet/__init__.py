@@ -1,0 +1,49 @@
+"""The fleet case study: N power-managed devices behind one coordinator.
+
+The third model family (after rpc and streaming): each device runs the
+paper's local timeout DPM crossed with a two-level battery, while a
+network-level coordinator implements the collaborative policies —
+load balancing, staggered wake-ups and battery-emergency handoff
+(docs/FLEET.md).  Unlike the other families this one is *compositional*:
+:func:`build_model` assembles a :class:`~repro.fleet.FleetTopology`
+from single-instance Æmilia components instead of one flat
+architecture, and solves through :mod:`repro.fleet`.
+"""
+
+from .markovian import (
+    FleetModel,
+    build_model,
+    coordinator_automaton,
+    coordinator_spec,
+    device_automaton,
+    device_spec,
+    measures,
+    sync_events,
+)
+from .parameters import (
+    ARRIVAL_RATE_SWEEP,
+    DEFAULT_FLEET_SIZE,
+    DEFAULT_PARAMETERS,
+    POLICIES,
+    CoordinatorPolicy,
+    FleetParameters,
+    policy,
+)
+
+__all__ = [
+    "ARRIVAL_RATE_SWEEP",
+    "DEFAULT_FLEET_SIZE",
+    "DEFAULT_PARAMETERS",
+    "POLICIES",
+    "CoordinatorPolicy",
+    "FleetModel",
+    "FleetParameters",
+    "build_model",
+    "coordinator_automaton",
+    "coordinator_spec",
+    "device_automaton",
+    "device_spec",
+    "measures",
+    "policy",
+    "sync_events",
+]

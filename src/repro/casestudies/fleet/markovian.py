@@ -1,0 +1,334 @@
+"""Generated Æmilia components and measures of the fleet case study.
+
+The fleet composition never builds one flat Æmilia architecture — that
+is exactly what explodes at scale.  Instead each component is written as
+a *single-instance* architecture, its automaton is extracted with
+:func:`repro.fleet.topology.automaton_from_architecture`, and the
+compositional layer (:mod:`repro.fleet`) assembles the N-device SAN
+generator from the parts.
+
+**Device** (8 states = 4 power states x 2 battery levels): the paper's
+timeout DPM — busy -> idle on ``serve``, idle -> sleeping after an
+exponential shutdown timeout, sleeping -> awaking on a coordinator
+wake-up, awaking -> busy after the wake-up latency — crossed with a
+battery that drains while busy and recharges while sleeping.  A
+low-battery idle device sleeps ``low_sleep_factor`` times sooner; under
+the *emergency* policy a busy low-battery device hands its job back
+(``return_job``) and sleeps to recharge.
+
+**Coordinator** (queue of capacity K): accepts arrivals (lost when the
+queue is full), dispatches queued jobs to idle devices
+(``dispatch_job`` / ``receive_job``), and wakes sleeping devices once
+the backlog reaches the policy's ``wake_threshold`` (``wake_device`` /
+``receive_wake``, a wake-up hands the woken device a job).  Handoffs
+re-enter the queue through ``accept_return``.
+
+``monitor_*`` self-loops name the states, following the paper's
+monitoring idiom; they are dynamically null.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ...errors import SpecificationError
+from ...fleet.measures import FleetMeasure
+from ...fleet.topology import (
+    Automaton,
+    FleetTopology,
+    SyncEvent,
+    automaton_from_architecture,
+)
+from .parameters import (
+    DEFAULT_PARAMETERS,
+    CoordinatorPolicy,
+    FleetParameters,
+    policy as resolve_policy,
+)
+
+#: One shared const header so a single override map fits both components.
+_CONST_HEADER = """(
+    const real service_time := 0.2,
+    const real awake_time := 3.0,
+    const real shutdown_timeout := 5.0,
+    const real arrival_rate := 1.5,
+    const real dispatch_time := 0.1,
+    const real wake_rate := 1.0,
+    const real drain_rate := 0.05,
+    const real recharge_rate := 0.2,
+    const real handoff_time := 0.5,
+    const real low_sleep_factor := 2.0,
+    const real monitor_rate := 1.0)
+"""
+
+#: Sync actions of the device side (``return_job`` only with handoff).
+DEVICE_SYNC_ACTIONS = ("receive_job", "receive_wake")
+#: Sync actions of the coordinator side.
+COORDINATOR_SYNC_ACTIONS = ("dispatch_job", "wake_device")
+
+#: Device states excluded by staggered wake-ups: no *other* device may
+#: be mid-wake-up when a wake event fires.
+AWAKING_STATES = frozenset({"awaking_ok", "awaking_low"})
+
+
+def device_spec(handoff: bool) -> str:
+    """Æmilia text of the 8-state device (single instance)."""
+    handoff_branch = (
+        "        <return_job, exp(1 / handoff_time)> . Sleeping_Low(),\n"
+        if handoff
+        else ""
+    )
+    handoff_output = "; return_job" if handoff else ""
+    return (
+        "ARCHI_TYPE Fleet_Device" + _CONST_HEADER + """
+ARCHI_ELEM_TYPES
+ELEM_TYPE Fleet_Device_Type(void)
+  BEHAVIOR
+    Idle_Ok(void; void) =
+      choice {
+        <receive_job, _> . Busy_Ok(),
+        <go_sleep, exp(1 / shutdown_timeout)> . Sleeping_Ok(),
+        <monitor_idle_ok, exp(monitor_rate)> . Idle_Ok()
+      };
+    Busy_Ok(void; void) =
+      choice {
+        <serve, exp(1 / service_time)> . Idle_Ok(),
+        <drain, exp(drain_rate)> . Busy_Low(),
+        <monitor_busy_ok, exp(monitor_rate)> . Busy_Ok()
+      };
+    Sleeping_Ok(void; void) =
+      choice {
+        <receive_wake, _> . Awaking_Ok(),
+        <monitor_sleeping_ok, exp(monitor_rate)> . Sleeping_Ok()
+      };
+    Awaking_Ok(void; void) =
+      choice {
+        <awake, exp(1 / awake_time)> . Busy_Ok(),
+        <monitor_awaking_ok, exp(monitor_rate)> . Awaking_Ok()
+      };
+    Idle_Low(void; void) =
+      choice {
+        <receive_job, _> . Busy_Low(),
+        <go_sleep, exp(low_sleep_factor / shutdown_timeout)> . Sleeping_Low(),
+        <monitor_idle_low, exp(monitor_rate)> . Idle_Low()
+      };
+    Busy_Low(void; void) =
+      choice {
+        <serve, exp(1 / service_time)> . Idle_Low(),
+"""
+        + handoff_branch
+        + """        <monitor_busy_low, exp(monitor_rate)> . Busy_Low()
+      };
+    Sleeping_Low(void; void) =
+      choice {
+        <receive_wake, _> . Awaking_Low(),
+        <recharge, exp(recharge_rate)> . Sleeping_Ok(),
+        <monitor_sleeping_low, exp(monitor_rate)> . Sleeping_Low()
+      };
+    Awaking_Low(void; void) =
+      choice {
+        <awake, exp(1 / awake_time)> . Busy_Low(),
+        <monitor_awaking_low, exp(monitor_rate)> . Awaking_Low()
+      }
+  INPUT_INTERACTIONS UNI receive_job; receive_wake
+  OUTPUT_INTERACTIONS UNI serve"""
+        + handoff_output
+        + """
+
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    D : Fleet_Device_Type()
+END
+"""
+    )
+
+
+def coordinator_spec(
+    queue_capacity: int, wake_threshold: int, handoff: bool
+) -> str:
+    """Æmilia text of the (K+1)-state queue coordinator."""
+    if queue_capacity < 1:
+        raise SpecificationError(
+            f"queue capacity must be >= 1, got {queue_capacity}"
+        )
+    if not 1 <= wake_threshold <= queue_capacity:
+        raise SpecificationError(
+            f"wake threshold must be in 1..{queue_capacity}, "
+            f"got {wake_threshold}"
+        )
+    behaviors = []
+    for level in range(queue_capacity + 1):
+        branches = []
+        if level < queue_capacity:
+            branches.append(
+                f"<accept_job, exp(arrival_rate)> . Queue_{level + 1}()"
+            )
+            if handoff:
+                branches.append(
+                    f"<accept_return, _> . Queue_{level + 1}()"
+                )
+        else:
+            # Arrivals at a full queue are lost; the dynamically null
+            # self-loop keeps the loss flow measurable.
+            branches.append(
+                f"<lose_job, exp(arrival_rate)> . Queue_{level}()"
+            )
+        if level >= 1:
+            branches.append(
+                f"<dispatch_job, exp(1 / dispatch_time)> . Queue_{level - 1}()"
+            )
+        if level >= wake_threshold:
+            branches.append(
+                f"<wake_device, exp(wake_rate)> . Queue_{level - 1}()"
+            )
+        branches.append(
+            f"<monitor_queue_{level}, exp(monitor_rate)> . Queue_{level}()"
+        )
+        body = ",\n        ".join(branches)
+        behaviors.append(
+            f"    Queue_{level}(void; void) =\n"
+            f"      choice {{\n        {body}\n      }}"
+        )
+    inputs = (
+        "  INPUT_INTERACTIONS UNI accept_return\n"
+        if handoff
+        else "  INPUT_INTERACTIONS void\n"
+    )
+    return (
+        "ARCHI_TYPE Fleet_Coordinator" + _CONST_HEADER + """
+ARCHI_ELEM_TYPES
+ELEM_TYPE Fleet_Coordinator_Type(void)
+  BEHAVIOR
+"""
+        + ";\n".join(behaviors)
+        + "\n"
+        + inputs
+        + """  OUTPUT_INTERACTIONS UNI dispatch_job; wake_device
+
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    A : Fleet_Coordinator_Type()
+END
+"""
+    )
+
+
+def device_automaton(
+    parameters: FleetParameters = DEFAULT_PARAMETERS,
+    handoff: bool = False,
+) -> Automaton:
+    sync = DEVICE_SYNC_ACTIONS + (("return_job",) if handoff else ())
+    return automaton_from_architecture(
+        device_spec(handoff),
+        sync,
+        name="device",
+        const_overrides=parameters.const_overrides(),
+    )
+
+
+def coordinator_automaton(
+    parameters: FleetParameters = DEFAULT_PARAMETERS,
+    policy: CoordinatorPolicy = None,
+) -> Automaton:
+    policy = policy or resolve_policy("balanced")
+    sync = COORDINATOR_SYNC_ACTIONS + (
+        ("accept_return",) if policy.handoff else ()
+    )
+    return automaton_from_architecture(
+        coordinator_spec(
+            parameters.queue_capacity, policy.wake_threshold, policy.handoff
+        ),
+        sync,
+        name="coordinator",
+        const_overrides=parameters.const_overrides(),
+    )
+
+
+def sync_events(policy: CoordinatorPolicy) -> Tuple[SyncEvent, ...]:
+    events = [
+        SyncEvent("dispatch", "dispatch_job", "receive_job"),
+        SyncEvent(
+            "wake",
+            "wake_device",
+            "receive_wake",
+            exclusive_states=AWAKING_STATES if policy.staggered else None,
+        ),
+    ]
+    if policy.handoff:
+        events.append(SyncEvent("handoff", "accept_return", "return_job"))
+    return tuple(events)
+
+
+def measures(
+    parameters: FleetParameters = DEFAULT_PARAMETERS,
+) -> Tuple[FleetMeasure, ...]:
+    """The fleet reward measures (paper power levels, fleet flows)."""
+    power = {
+        "idle_ok": parameters.power_idle,
+        "idle_low": parameters.power_idle,
+        "busy_ok": parameters.power_busy,
+        "busy_low": parameters.power_busy,
+        "awaking_ok": parameters.power_awaking,
+        "awaking_low": parameters.power_awaking,
+    }
+    queue = {
+        f"queue_{level}": float(level)
+        for level in range(parameters.queue_capacity + 1)
+    }
+    return (
+        FleetMeasure("power", device_weights=power),
+        FleetMeasure("throughput", event_rewards={"serve": 1.0}),
+        FleetMeasure("queue_length", coordinator_weights=queue),
+        FleetMeasure("job_loss", event_rewards={"lose_job": 1.0}),
+        FleetMeasure(
+            "sleeping_devices",
+            device_weights={"sleeping_ok": 1.0, "sleeping_low": 1.0},
+        ),
+        FleetMeasure(
+            "low_battery",
+            device_weights={
+                "idle_low": 1.0,
+                "busy_low": 1.0,
+                "sleeping_low": 1.0,
+                "awaking_low": 1.0,
+            },
+        ),
+        FleetMeasure("wakeups", event_rewards={"wake": 1.0}),
+        FleetMeasure("handoffs", event_rewards={"handoff": 1.0}),
+    )
+
+
+@dataclass(frozen=True)
+class FleetModel:
+    """A built fleet model: topology plus its reward measures."""
+
+    topology: FleetTopology
+    measures: Tuple[FleetMeasure, ...]
+    parameters: FleetParameters
+    policy: CoordinatorPolicy
+
+
+def build_model(
+    n: int,
+    policy: str = "balanced",
+    parameters: Optional[FleetParameters] = None,
+) -> FleetModel:
+    """Assemble the N-device fleet model under one coordinator policy."""
+    parameters = parameters or DEFAULT_PARAMETERS
+    chosen = resolve_policy(policy)
+    device = device_automaton(parameters, handoff=chosen.handoff)
+    coordinator = coordinator_automaton(parameters, chosen)
+    topology = FleetTopology(
+        coordinator=coordinator,
+        device=device,
+        n=n,
+        events=sync_events(chosen),
+        name=f"fleet[{chosen.name}]",
+    )
+    return FleetModel(
+        topology=topology,
+        measures=measures(parameters),
+        parameters=parameters,
+        policy=chosen,
+    )

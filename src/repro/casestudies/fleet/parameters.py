@@ -1,0 +1,130 @@
+"""Parameters and coordinator policies of the fleet case study.
+
+The fleet extends the paper's single-appliance assessment to N
+power-managed devices sharing one channel / access point (the ROADMAP's
+Kodikon-style two-level architecture): each device keeps the paper's
+local timeout DPM (idle 2, busy 3, awaking 2, sleeping 0 power units;
+service time 0.2 ms, awaking time 3 ms, shutdown timeout 5 ms) plus a
+two-level battery (ok / low), while a network-level coordinator queues
+arriving jobs and implements the collaborative policy:
+
+* **load balancing** — jobs are dispatched to any idle device; sleeping
+  devices are woken only once the queue reaches ``wake_threshold``
+  (an *eager* policy wakes at threshold 1);
+* **staggered wake-ups** — at most one device may be mid-wake-up at a
+  time, bounding the fleet's inrush power draw;
+* **battery-emergency handoff** — a busy device whose battery runs low
+  returns its job to the coordinator's queue and goes to sleep to
+  recharge instead of finishing the job.
+
+Times are in milliseconds like the rpc study; battery dynamics are
+slow relative to service (drain while busy, recharge while sleeping).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from ...errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class FleetParameters:
+    """Rate parameters of the fleet benchmark (times in ms)."""
+
+    service_time: float = 0.2
+    awake_time: float = 3.0
+    shutdown_timeout: float = 5.0
+    arrival_rate: float = 1.5
+    dispatch_time: float = 0.1
+    wake_rate: float = 1.0
+    drain_rate: float = 0.05
+    recharge_rate: float = 0.2
+    handoff_time: float = 0.5
+    low_sleep_factor: float = 2.0
+    monitor_rate: float = 1.0
+    power_idle: float = 2.0
+    power_busy: float = 3.0
+    power_awaking: float = 2.0
+    queue_capacity: int = 4
+
+    def const_overrides(self) -> Dict[str, float]:
+        """Override map for the generated architectures' rate consts.
+
+        ``queue_capacity`` and the power levels are structural /
+        measure-side, not Æmilia consts, so they are excluded.
+        """
+        return {
+            "service_time": self.service_time,
+            "awake_time": self.awake_time,
+            "shutdown_timeout": self.shutdown_timeout,
+            "arrival_rate": self.arrival_rate,
+            "dispatch_time": self.dispatch_time,
+            "wake_rate": self.wake_rate,
+            "drain_rate": self.drain_rate,
+            "recharge_rate": self.recharge_rate,
+            "handoff_time": self.handoff_time,
+            "low_sleep_factor": self.low_sleep_factor,
+            "monitor_rate": self.monitor_rate,
+        }
+
+    def override(self, overrides: Mapping[str, float]) -> "FleetParameters":
+        """A copy with the named parameters replaced (sweep points)."""
+        unknown = set(overrides) - {
+            f.name for f in dataclasses.fields(self)
+        }
+        if unknown:
+            raise SpecificationError(
+                f"unknown fleet parameter(s): {', '.join(sorted(unknown))}"
+            )
+        return dataclasses.replace(self, **dict(overrides))
+
+
+@dataclass(frozen=True)
+class CoordinatorPolicy:
+    """One collaborative coordination policy of the fleet AP."""
+
+    name: str
+    #: Minimum queue length at which sleeping devices are woken.
+    wake_threshold: int = 1
+    #: At most one device mid-wake-up at a time (inrush bound).
+    staggered: bool = False
+    #: Busy low-battery devices hand their job back and sleep.
+    handoff: bool = False
+
+
+#: The shipped coordinator policies, by CLI name.
+POLICIES: Dict[str, CoordinatorPolicy] = {
+    "eager": CoordinatorPolicy("eager", wake_threshold=1),
+    "balanced": CoordinatorPolicy("balanced", wake_threshold=2),
+    "staggered": CoordinatorPolicy(
+        "staggered", wake_threshold=2, staggered=True
+    ),
+    "emergency": CoordinatorPolicy(
+        "emergency", wake_threshold=2, staggered=True, handoff=True
+    ),
+}
+
+
+def policy(name: str) -> CoordinatorPolicy:
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown coordinator policy {name!r} "
+            f"(have: {', '.join(sorted(POLICIES))})"
+        ) from None
+
+
+#: Default parameter set.
+DEFAULT_PARAMETERS = FleetParameters()
+
+#: Default fleet size for sweeps (small enough for quick lumped solves).
+DEFAULT_FLEET_SIZE = 4
+
+#: Arrival rates swept by the fleet experiment (jobs per ms).
+ARRIVAL_RATE_SWEEP: List[float] = [
+    0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0,
+]

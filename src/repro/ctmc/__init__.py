@@ -2,6 +2,12 @@
 
 from .build import build_ctmc, classify_states
 from .chain import CTMC, CTMCTransition
+from .kronecker import (
+    KroneckerGenerator,
+    KroneckerOperator,
+    KroneckerTerm,
+    kron_vector,
+)
 from .lumping import lump, lumping_partition
 from .measure_lang import parse_measures
 from .measures import (
@@ -45,6 +51,10 @@ __all__ = [
     "classify_states",
     "CTMC",
     "CTMCTransition",
+    "KroneckerGenerator",
+    "KroneckerOperator",
+    "KroneckerTerm",
+    "kron_vector",
     "lump",
     "lumping_partition",
     "parse_measures",

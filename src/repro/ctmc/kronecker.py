@@ -1,0 +1,362 @@
+"""Compositional CTMC generators as sums of Kronecker products.
+
+A fleet of ``M`` interacting components (a coordinator plus ``N``
+devices, say) has a product state space of size ``prod(dims)`` — far too
+large to materialize past a handful of devices.  Its generator, however,
+has *structure*: every local move and every synchronized event is a
+Kronecker product of small per-component matrices (the stochastic
+automata network form of Plateau):
+
+    Q  =  sum_t  A_t[0] (x) A_t[1] (x) ... (x) A_t[M-1]  -  diag(w)
+
+where each term ``t`` touches only the components that participate in
+the event (identity elsewhere), rates are folded into the matrix
+entries, and ``w`` is the vector of total outflow rates making rows sum
+to zero.  This module represents that sum symbolically
+(:class:`KroneckerGenerator`) and exposes it as a matrix-free scipy
+:class:`~scipy.sparse.linalg.LinearOperator`
+(:class:`KroneckerOperator`) implementing the solver registry's
+matrix-free contract (docs/SOLVERS.md): ``matvec``/``rmatvec`` via the
+shuffle algorithm (one small sparse multiply per participating axis, one
+elementwise multiply for the diagonal), ``diagonal()`` computed exactly
+from factor diagonals and row sums, and ``nnz_equivalent`` for the
+solver report — the flat matrix is never formed.
+
+Factors are either small ``scipy.sparse`` matrices or 1-D arrays
+(interpreted as diagonal factors — guards such as "no other device is
+awaking" are diagonal indicators applied to non-participating axes).
+Self-loops in a factor are harmless: their contribution to the term and
+to the outflow vector cancel exactly in ``Q``.
+
+Terms carry a *label* so reward measures can ask for the steady-state
+flow of one event family (``pi . rowsum(term)``) without knowing the
+Kronecker structure; see :meth:`KroneckerGenerator.flow_vector`.
+
+The fleet layer (:mod:`repro.fleet`) builds these terms from the Æmilia
+topology and applies exchangeability lumping *before* choosing between
+this full product-space operator and the multiset-lumped one
+(docs/FLEET.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from ..errors import AnalysisError
+
+#: A per-axis factor: a small sparse/dense matrix, or a 1-D array
+#: standing for the diagonal matrix ``diag(vector)``.
+Factor = Union[sparse.spmatrix, np.ndarray]
+
+#: Refuse to materialize product spaces beyond this size by default.
+DEFAULT_MATERIALIZE_LIMIT = 200_000
+
+
+def _as_factor(factor: Factor) -> Factor:
+    """Normalise a factor: CSR for matrices, float array for diagonals."""
+    if isinstance(factor, np.ndarray) and factor.ndim == 1:
+        return np.asarray(factor, float)
+    if isinstance(factor, np.ndarray):
+        return sparse.csr_matrix(np.asarray(factor, float))
+    return sparse.csr_matrix(factor, dtype=float)
+
+
+def _factor_dim(factor: Factor) -> int:
+    if isinstance(factor, np.ndarray):
+        return int(factor.shape[0])
+    return int(factor.shape[0])
+
+
+def _factor_diagonal(factor: Factor) -> np.ndarray:
+    if isinstance(factor, np.ndarray):
+        return factor
+    return factor.diagonal()
+
+
+def _factor_rowsums(factor: Factor) -> np.ndarray:
+    if isinstance(factor, np.ndarray):
+        return factor
+    return np.asarray(factor.sum(axis=1), float).ravel()
+
+
+def _factor_nnz(factor: Factor) -> int:
+    if isinstance(factor, np.ndarray):
+        return int(np.count_nonzero(factor))
+    return int(factor.nnz)
+
+
+def _factor_matrix(factor: Factor) -> sparse.spmatrix:
+    """The factor as an explicit sparse matrix (materialize path only)."""
+    if isinstance(factor, np.ndarray):
+        return sparse.diags(factor).tocsr()
+    return factor
+
+
+def kron_vector(
+    dims: Sequence[int], axis_vectors: Mapping[int, np.ndarray]
+) -> np.ndarray:
+    """The Kronecker product of per-axis vectors (ones where absent).
+
+    This is how diagonals and row sums of a Kronecker term lift to the
+    product space: ``diag((x) A_k) = (x) diag(A_k)`` and likewise for
+    row sums, with identity factors contributing all-ones vectors.
+    """
+    out = np.ones(1)
+    for axis, dim in enumerate(dims):
+        vector = axis_vectors.get(axis)
+        if vector is None:
+            vector = np.ones(dim)
+        out = np.multiply.outer(out, np.asarray(vector, float)).reshape(-1)
+    return out
+
+
+def _axis_apply(
+    tensor: np.ndarray, axis: int, factor: Factor, transpose: bool
+) -> np.ndarray:
+    """Apply one factor along one axis of the state tensor.
+
+    Applying ``A_k`` on the left of axis ``k`` for every factored axis
+    realises ``((x)_k A_k) @ x`` — the shuffle algorithm: cost is one
+    ``(d_k, n/d_k)`` sparse multiply per axis instead of anything
+    proportional to the product matrix.
+    """
+    moved = np.moveaxis(tensor, axis, 0)
+    head = moved.shape[0]
+    flat = moved.reshape(head, -1)
+    if isinstance(factor, np.ndarray):
+        # Diagonal factor (guard): elementwise scaling, self-adjoint.
+        out = flat * factor[:, None]
+    else:
+        matrix = factor.T if transpose else factor
+        out = matrix @ flat
+    out = out.reshape((head,) + moved.shape[1:])
+    return np.moveaxis(out, 0, axis)
+
+
+@dataclass(frozen=True)
+class KroneckerTerm:
+    """One event family: rate-weighted factors on participating axes.
+
+    *factors* maps axis index to its factor; absent axes are identity.
+    Rates are folded into the matrix entries (a synchronized event's
+    rate is the product of its factors' entries), so a term needs no
+    separate scalar.
+    """
+
+    label: str
+    factors: Mapping[int, Factor]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "factors",
+            {
+                int(axis): _as_factor(factor)
+                for axis, factor in dict(self.factors).items()
+            },
+        )
+
+    def apply(
+        self, tensor: np.ndarray, transpose: bool
+    ) -> np.ndarray:
+        for axis in sorted(self.factors):
+            tensor = _axis_apply(
+                tensor, axis, self.factors[axis], transpose
+            )
+        return tensor
+
+    def diagonal_vector(self, dims: Sequence[int]) -> np.ndarray:
+        return kron_vector(
+            dims,
+            {
+                axis: _factor_diagonal(factor)
+                for axis, factor in self.factors.items()
+            },
+        )
+
+    def rowsum_vector(self, dims: Sequence[int]) -> np.ndarray:
+        return kron_vector(
+            dims,
+            {
+                axis: _factor_rowsums(factor)
+                for axis, factor in self.factors.items()
+            },
+        )
+
+    def nnz_equivalent(self, dims: Sequence[int]) -> int:
+        """Entries the term would contribute if materialized."""
+        count = 1
+        for axis, dim in enumerate(dims):
+            factor = self.factors.get(axis)
+            count *= dim if factor is None else _factor_nnz(factor)
+        return count
+
+
+class KroneckerGenerator:
+    """A CTMC generator held as a sum of Kronecker terms.
+
+    The terms carry the off-diagonal (event) rates; the generator
+    subtracts the total outflow ``w = sum_t rowsum(term_t)`` on the
+    diagonal so rows sum to zero.  Nothing of product-space size is ever
+    formed except O(size) vectors.
+    """
+
+    def __init__(
+        self, dims: Sequence[int], terms: Sequence[KroneckerTerm]
+    ):
+        self.dims: Tuple[int, ...] = tuple(int(d) for d in dims)
+        if not self.dims or any(d < 1 for d in self.dims):
+            raise AnalysisError(
+                f"Kronecker generator needs positive dims, got {self.dims}"
+            )
+        self.terms: Tuple[KroneckerTerm, ...] = tuple(terms)
+        for term in self.terms:
+            for axis, factor in term.factors.items():
+                if axis < 0 or axis >= len(self.dims):
+                    raise AnalysisError(
+                        f"term {term.label!r} factors axis {axis} outside "
+                        f"the {len(self.dims)}-component product"
+                    )
+                if _factor_dim(factor) != self.dims[axis]:
+                    raise AnalysisError(
+                        f"term {term.label!r} axis {axis} factor has "
+                        f"dimension {_factor_dim(factor)}, expected "
+                        f"{self.dims[axis]}"
+                    )
+        self.size = int(np.prod(self.dims))
+        self._outflow: Optional[np.ndarray] = None
+        self._diagonal: Optional[np.ndarray] = None
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.size, self.size)
+
+    @property
+    def outflow(self) -> np.ndarray:
+        """Total event outflow per product state (the ``-diag`` part)."""
+        if self._outflow is None:
+            total = np.zeros(self.size)
+            for term in self.terms:
+                total += term.rowsum_vector(self.dims)
+            self._outflow = total
+        return self._outflow
+
+    def diagonal(self) -> np.ndarray:
+        """Exact diagonal of ``Q`` (term diagonals minus outflow)."""
+        if self._diagonal is None:
+            diag = -self.outflow.copy()
+            for term in self.terms:
+                diag += term.diagonal_vector(self.dims)
+            self._diagonal = diag
+        return self._diagonal
+
+    @property
+    def nnz_equivalent(self) -> int:
+        """Entries a materialized CSR of ``Q`` would hold, at most."""
+        return self.size + sum(
+            term.nnz_equivalent(self.dims) for term in self.terms
+        )
+
+    def apply(self, x: np.ndarray, transpose: bool = False) -> np.ndarray:
+        """``Q @ x`` (or ``Q.T @ x``) without materializing ``Q``."""
+        x = np.asarray(x, float).reshape(-1)
+        if x.shape[0] != self.size:
+            raise AnalysisError(
+                f"operand has {x.shape[0]} entries, product space has "
+                f"{self.size}"
+            )
+        tensor = x.reshape(self.dims)
+        result = np.zeros(self.size)
+        for term in self.terms:
+            result += term.apply(tensor, transpose).reshape(-1)
+        result -= self.outflow * x
+        return result
+
+    def flow_vector(self, label: str) -> np.ndarray:
+        """``v`` with ``pi . v`` = steady-state flow of *label* events.
+
+        The flow of an event family is ``sum_x pi(x) * outflow_t(x)``
+        summed over its terms — the reward side of transition-reward
+        measures on the product space.
+        """
+        vector = np.zeros(self.size)
+        found = False
+        for term in self.terms:
+            if term.label == label:
+                vector += term.rowsum_vector(self.dims)
+                found = True
+        if not found:
+            raise AnalysisError(
+                f"no Kronecker term is labelled {label!r}"
+            )
+        return vector
+
+    def marginal(self, pi: np.ndarray, axis: int) -> np.ndarray:
+        """Marginal distribution of one component under *pi*."""
+        tensor = np.asarray(pi, float).reshape(self.dims)
+        other = tuple(k for k in range(len(self.dims)) if k != axis)
+        return tensor.sum(axis=other)
+
+    def operator(self) -> "KroneckerOperator":
+        return KroneckerOperator(self)
+
+    def materialize(
+        self, max_size: int = DEFAULT_MATERIALIZE_LIMIT
+    ) -> sparse.csr_matrix:
+        """Explicit CSR of ``Q`` — differential tests only, size-gated."""
+        if self.size > max_size:
+            raise AnalysisError(
+                f"refusing to materialize a {self.size}-state product "
+                f"space (limit {max_size}); use the matrix-free operator"
+            )
+        total = sparse.csr_matrix((self.size, self.size))
+        for term in self.terms:
+            pieces = [
+                _factor_matrix(term.factors[axis])
+                if axis in term.factors
+                else sparse.identity(dim, format="csr")
+                for axis, dim in enumerate(self.dims)
+            ]
+            product = pieces[0]
+            for piece in pieces[1:]:
+                product = sparse.kron(product, piece, format="csr")
+            total = total + product
+        return (total - sparse.diags(self.outflow)).tocsr()
+
+
+class KroneckerOperator(sparse_linalg.LinearOperator):
+    """Matrix-free :class:`LinearOperator` view of a Kronecker generator.
+
+    Implements the solver registry's matrix-free contract: ``matvec``
+    and ``rmatvec`` (so ``.adjoint()`` works), an exact ``diagonal()``,
+    and ``nnz_equivalent`` for reports.  ``matvec_count`` tallies every
+    application (forward and adjoint) for the ``repro_fleet_matvecs``
+    metric.
+    """
+
+    def __init__(self, generator: KroneckerGenerator):
+        self.generator = generator
+        self.matvec_count = 0
+        super().__init__(dtype=np.dtype(float), shape=generator.shape)
+
+    def _matvec(self, x: np.ndarray) -> np.ndarray:
+        self.matvec_count += 1
+        return self.generator.apply(np.asarray(x).reshape(-1))
+
+    def _rmatvec(self, x: np.ndarray) -> np.ndarray:
+        self.matvec_count += 1
+        return self.generator.apply(
+            np.asarray(x).reshape(-1), transpose=True
+        )
+
+    def diagonal(self) -> np.ndarray:
+        return self.generator.diagonal()
+
+    @property
+    def nnz_equivalent(self) -> int:
+        return self.generator.nnz_equivalent

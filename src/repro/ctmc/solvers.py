@@ -24,6 +24,16 @@ chain when the preferred backend fails; the environment variable
 not name one explicitly (this is how the CI solver matrix forces each
 backend through the full test suite).
 
+**Matrix-free operands**: ``solve_steady_state`` also accepts a scipy
+:class:`~scipy.sparse.linalg.LinearOperator` (e.g. the Kronecker fleet
+operator of :mod:`repro.ctmc.kronecker`) exposing ``matvec``,
+``rmatvec`` and ``diagonal()``.  ``gmres`` runs unpreconditioned on an
+anchored operator and ``power`` iterates with one adjoint matvec per
+step; ``direct`` and ``sor`` require a materialized matrix and raise
+:class:`~repro.errors.SolverError` with
+``reason="matrix_free_unsupported"`` — the ``auto``/fallback chain
+*skips* them instead of crashing (docs/SOLVERS.md).
+
 **Convergence contract** (shared by all iterative backends): an iterate
 is converged only when *both*
 
@@ -170,12 +180,29 @@ class _Problem:
     iterate is computed, so it can never perturb the numerics.
     """
 
-    def __init__(self, q: sparse.csr_matrix):
-        self.q = q.tocsr()
-        self.a = self.q.transpose().tocsr()  # A x = (pi Q)^T
+    def __init__(self, q):
+        if sparse.issparse(q):
+            self.matrix_free = False
+            self.q = q.tocsr()
+            self.a = self.q.transpose().tocsr()  # A x = (pi Q)^T
+            self.nnz = int(self.q.nnz)
+            self.diagonal = self.q.diagonal()
+        else:
+            # Matrix-free operand: any LinearOperator-like object with
+            # matvec/rmatvec and an exact diagonal() (the contract the
+            # KroneckerOperator implements, docs/SOLVERS.md).
+            self.matrix_free = True
+            self.q = q
+            self.a = q.adjoint()
+            self.nnz = int(getattr(q, "nnz_equivalent", 0))
+            if not hasattr(q, "diagonal"):
+                raise SolverError(
+                    "matrix-free solves need the operator to expose "
+                    "diagonal() (see repro.ctmc.kronecker)",
+                    reason="matrix_free_unsupported",
+                )
+            self.diagonal = np.asarray(q.diagonal(), float)
         self.size = q.shape[0]
-        self.nnz = int(self.q.nnz)
-        self.diagonal = self.q.diagonal()
         #: Residuals are judged relative to the magnitude of Q.
         self.scale = max(1.0, float(np.abs(self.diagonal).max(initial=0.0)))
         #: Opt-in iteration observation (docs/OBSERVABILITY.md).
@@ -244,6 +271,36 @@ _ALIASES: Dict[str, str] = {"gauss_seidel": "sor"}
 #: Tried in order when ``auto``'s preferred backend fails.
 _FALLBACK_CHAIN = ("direct", "sor", "power")
 
+#: Backends that factorise or slice the matrix and therefore cannot run
+#: on a matrix-free operand; the fallback chain skips them (a *named*
+#: request still reaches the backend and gets the typed error).
+_MATERIALIZED_ONLY = frozenset({"direct", "sor"})
+
+#: Deterministic fallback order for matrix-free operands.
+_MATRIX_FREE_CHAIN = ("gmres", "power")
+
+
+def _fallback_candidates(problem: "_Problem") -> Tuple[str, ...]:
+    """The fallback chain the operand can actually run.
+
+    Matrix-free operands *skip* the materializing backends instead of
+    crashing into their typed rejection one by one.
+    """
+    return (
+        _MATRIX_FREE_CHAIN if problem.matrix_free else _FALLBACK_CHAIN
+    )
+
+
+def _require_materialized(problem: "_Problem", method: str) -> None:
+    """Typed rejection of matrix-free operands by materializing backends."""
+    if problem.matrix_free:
+        raise SolverError(
+            f"the {method!r} backend requires a materialized sparse "
+            f"generator; solve LinearOperator operands with gmres/power",
+            method=method,
+            reason="matrix_free_unsupported",
+        )
+
 
 def register_solver(name: str) -> Callable[[SolverBackend], SolverBackend]:
     """Decorator registering a steady-state backend under *name*."""
@@ -292,7 +349,7 @@ def resolve_method(method: Optional[str] = None) -> str:
     return name
 
 
-def select_method(size: int, nnz: int) -> str:
+def select_method(size: int, nnz: int, matrix_free: bool = False) -> str:
     """Automatic backend selection by chain size and sparsity.
 
     Small chains are factorised directly; mid-sized sparse chains go to
@@ -300,7 +357,14 @@ def select_method(size: int, nnz: int) -> str:
     rows stay direct (the factorisation amortises better than Krylov
     iterations over dense mat-vecs); very large chains fall back to the
     low-memory vectorized Gauss-Seidel sweeps.
+
+    With ``matrix_free=True`` (a :class:`LinearOperator` operand) only
+    the backends that work from matvecs alone are eligible:
+    unpreconditioned GMRES while restarts stay affordable, uniformized
+    power iteration beyond.
     """
+    if matrix_free:
+        return "gmres" if size <= 50_000 else "power"
     if size <= 2_000:
         return "direct"
     average_degree = nnz / max(size, 1)
@@ -320,7 +384,19 @@ def _anchor_row(problem: _Problem) -> int:
     That balance equation is the safest one to sacrifice for the scale
     anchor: its information is best represented in the rest of the
     system, so replacing it perturbs the conditioning least.
+
+    On a matrix-free operand the absolute row sums are not directly
+    readable, but a generator's structure recovers them from one adjoint
+    matvec: row ``i`` of ``A`` holds ``q_ii <= 0`` on the diagonal and
+    the non-negative incoming rates off it, so ``|row_i|_1 = (A 1)_i -
+    2 q_ii`` and the dominance ``2|q_ii| - |row_i|_1`` reduces to
+    ``-(A 1)_i``.
     """
+    if problem.matrix_free:
+        column_sums = np.asarray(
+            problem.a @ np.ones(problem.size), float
+        ).reshape(-1)
+        return int(np.argmax(-column_sums))
     absolute_row_sums = np.asarray(
         abs(problem.a).sum(axis=1)
     ).ravel()
@@ -355,11 +431,45 @@ def _anchored_system(
     return system, rhs, anchor
 
 
+def _anchored_operator(
+    problem: _Problem,
+) -> Tuple[sparse_linalg.LinearOperator, np.ndarray, int]:
+    """Matrix-free counterpart of :func:`_anchored_system`.
+
+    The anchored equation differs from the sparse path: the sacrificed
+    balance row is replaced by the *normalisation* ``scale * sum(x) =
+    scale`` rather than ``x[anchor] = 1``.  A dense row would ruin a
+    sparse factorisation but costs nothing inside a matvec, and it pins
+    the solution to the distribution itself (norm <= 1) instead of a
+    vector normalised at one — typically tiny-probability — state.
+    With the single-entry anchor the solution norm can reach ``1 /
+    pi[anchor]``, parking the attainable true residual (rounding floor
+    ``eps * ||A|| * ||x||``) far above any practical GMRES tolerance,
+    so the solver grinds to maxiter on an iterate that was already
+    converged; the normalisation row keeps the floor near ``eps *
+    scale`` and restores an honest stopping test.
+    """
+    anchor = _anchor_row(problem)
+
+    def matvec(x: np.ndarray) -> np.ndarray:
+        y = np.asarray(problem.a @ x, float).reshape(-1).copy()
+        y[anchor] = problem.scale * float(x.sum())
+        return y
+
+    system = sparse_linalg.LinearOperator(
+        (problem.size, problem.size), matvec=matvec, dtype=float
+    )
+    rhs = np.zeros(problem.size)
+    rhs[anchor] = problem.scale
+    return system, rhs, anchor
+
+
 @register_solver("direct")
 def _solve_direct(
     problem: _Problem, options: SolverOptions
 ) -> Tuple[np.ndarray, int]:
     """Sparse LU factorisation of the anchored balance equations."""
+    _require_materialized(problem, "direct")
     system, rhs, _ = _anchored_system(problem)
     try:
         solution = sparse_linalg.spsolve(system, rhs)
@@ -374,20 +484,40 @@ def _solve_direct(
 def _solve_gmres(
     problem: _Problem, options: SolverOptions
 ) -> Tuple[np.ndarray, int]:
-    """ILU-preconditioned restarted GMRES on the anchored system."""
-    system, rhs, _ = _anchored_system(problem)
+    """ILU-preconditioned restarted GMRES on the anchored system.
+
+    A matrix-free operand runs Jacobi-preconditioned on the anchored
+    *operator* — incomplete factorisation needs the matrix entries, but
+    the matrix-free contract guarantees an exact ``diagonal()``, and
+    diagonal scaling is what turns the stiff anchored balance system
+    into one restarted GMRES actually converges on (unpreconditioned it
+    stalls orders of magnitude above tolerance).
+    """
     preconditioner = None
-    try:
-        ilu = sparse_linalg.spilu(
-            system.tocsc(), drop_tol=1e-6, fill_factor=20.0
-        )
+    if problem.matrix_free:
+        system, rhs, anchor = _anchored_operator(problem)
+        jacobi = problem.diagonal.astype(float).copy()
+        jacobi[anchor] = problem.scale
+        # A generator diagonal is strictly negative off the anchor for
+        # any irreducible chain; guard the degenerate zeros anyway.
+        jacobi[jacobi == 0.0] = 1.0
         preconditioner = sparse_linalg.LinearOperator(
-            system.shape, matvec=ilu.solve
+            system.shape, matvec=lambda x: x / jacobi, dtype=float
         )
-    except Exception:
-        # Singular/zero pivots in the incomplete factorisation: run
-        # unpreconditioned, the post-hoc residual check still guards.
-        preconditioner = None
+    else:
+        system, rhs, _ = _anchored_system(problem)
+        try:
+            ilu = sparse_linalg.spilu(
+                system.tocsc(), drop_tol=1e-6, fill_factor=20.0
+            )
+            preconditioner = sparse_linalg.LinearOperator(
+                system.shape, matvec=ilu.solve
+            )
+        except Exception:
+            # Singular/zero pivots in the incomplete factorisation: run
+            # unpreconditioned, the post-hoc residual check still
+            # guards.
+            preconditioner = None
     iterations = 0
 
     def count(pr_norm):
@@ -399,13 +529,23 @@ def _solve_gmres(
             problem.observe_iteration(iterations, float(pr_norm), None)
 
     try:
+        # Krylov depth 200: ILU-preconditioned (sparse) solves converge
+        # long before the first restart, while the Jacobi-only
+        # matrix-free solves need the deeper subspace — stiff fleet
+        # operators stall indefinitely under restart-64 but converge in
+        # a few thousand matvecs at 200.
+        restart = min(problem.size, 200)
         solution, info = sparse_linalg.gmres(
             system,
             rhs,
             rtol=min(options.tolerance, 1e-10),
             atol=0.0,
-            restart=min(problem.size, 64),
-            maxiter=options.max_iterations,
+            restart=restart,
+            # scipy counts restart *cycles* here: divide so the option
+            # bounds total inner iterations (matvecs), keeping failing
+            # matrix-free solves from burning restart * max_iterations
+            # operator applications before falling back.
+            maxiter=max(1, -(-options.max_iterations // restart)),
             M=preconditioner,
             callback=count,
             callback_type="pr_norm",
@@ -490,6 +630,7 @@ def _solve_sor(
     classic per-row formulation — the fixed point is identical — but
     each sweep runs in compiled sparse kernels.
     """
+    _require_materialized(problem, "sor")
     factor, upper, relaxation = _sor_sweep_operator(problem, omega)
     x = np.full(problem.size, 1.0 / problem.size)
     for iteration in range(1, options.max_iterations + 1):
@@ -525,19 +666,34 @@ def _solve_sor(
 def _solve_power(
     problem: _Problem, options: SolverOptions
 ) -> Tuple[np.ndarray, int]:
-    """Power iteration on the uniformised DTMC of the recurrent class."""
+    """Power iteration on the uniformised DTMC of the recurrent class.
+
+    On a matrix-free operand each step is ``x + (Q^T x) / Lambda`` — the
+    same uniformised update (``P^T = I + Q^T / Lambda``) written as one
+    adjoint matvec, since the off-diagonal cannot be sliced out of an
+    operator.
+    """
     exit_rates = -problem.diagonal
     uniformization_rate = float(exit_rates.max(initial=0.0)) * 1.02
     if uniformization_rate <= 0:
         raise SolverError(
             "power iteration needs a positive exit rate", method="power"
         )
-    off_diagonal = problem.q - sparse.diags(problem.diagonal)
-    transition_t = (off_diagonal / uniformization_rate).transpose().tocsr()
-    stay = 1.0 - exit_rates / uniformization_rate
+    transition_t = stay = None
+    if not problem.matrix_free:
+        off_diagonal = problem.q - sparse.diags(problem.diagonal)
+        transition_t = (
+            (off_diagonal / uniformization_rate).transpose().tocsr()
+        )
+        stay = 1.0 - exit_rates / uniformization_rate
     x = np.full(problem.size, 1.0 / problem.size)
     for iteration in range(1, options.max_iterations + 1):
-        updated = transition_t @ x + stay * x
+        if transition_t is None:
+            updated = x + np.asarray(
+                problem.a @ x, float
+            ).reshape(-1) / uniformization_rate
+        else:
+            updated = transition_t @ x + stay * x
         total = updated.sum()
         if not np.isfinite(total) or total <= 0.0:
             raise SolverError(
@@ -721,7 +877,7 @@ def _record_solve_metrics(
 
 
 def solve_steady_state(
-    q: sparse.csr_matrix,
+    q,
     method: Optional[str] = None,
     tolerance: float = DEFAULT_TOLERANCE,
     residual_tolerance: float = DEFAULT_RESIDUAL_TOLERANCE,
@@ -731,10 +887,17 @@ def solve_steady_state(
 ) -> SteadyStateSolution:
     """Solve ``pi Q = 0, sum(pi) = 1`` on an irreducible generator.
 
+    *q* is a sparse generator submatrix, or a matrix-free
+    :class:`~scipy.sparse.linalg.LinearOperator` with ``rmatvec`` and
+    ``diagonal()`` (e.g. :class:`repro.ctmc.kronecker.KroneckerOperator`
+    — the flat matrix is never formed).
+
     *method* is a registry name, an alias, ``auto`` or ``None``
     (= ``$REPRO_SOLVER`` or ``auto``).  ``auto`` selects by size and
     sparsity and falls back along :data:`_FALLBACK_CHAIN` when the
-    preferred backend fails; a named method never falls back.
+    preferred backend fails (matrix-free operands skip the
+    materializing ``direct``/``sor`` backends); a named method never
+    falls back.
 
     With ``track_iterations=True`` the per-iteration convergence series
     is attached to the report (``SolverReport.iteration_trace``);
@@ -762,7 +925,7 @@ def solve_steady_state(
             ).inc()
         failed = ["parametric"]
         last_error: Optional[SolverError] = None
-        for candidate in _FALLBACK_CHAIN:
+        for candidate in _fallback_candidates(problem):
             problem.reset_observation()
             try:
                 raw, iterations = _REGISTRY[candidate](problem, options)
@@ -788,11 +951,13 @@ def solve_steady_state(
             solution.report, time.perf_counter() - started
         )
         return solution
-    preferred = select_method(problem.size, problem.nnz)
+    preferred = select_method(
+        problem.size, problem.nnz, matrix_free=problem.matrix_free
+    )
     candidates = [preferred]
     candidates.extend(
         fallback
-        for fallback in _FALLBACK_CHAIN
+        for fallback in _fallback_candidates(problem)
         if fallback not in candidates
     )
     failed: list = []

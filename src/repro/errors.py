@@ -75,7 +75,11 @@ class SolverError(ReproError):
     Carries the solver diagnostics when they are known: which backend
     failed, the residual ``||pi Q||_inf`` it reached, and how many
     iterations it spent — appended to the message so logs show them even
-    through plain ``str(error)``.
+    through plain ``str(error)``.  *reason* is a machine-readable
+    classification of the failure; ``matrix_free_unsupported`` marks a
+    backend that requires a materialized sparse matrix rejecting a
+    matrix-free :class:`~scipy.sparse.linalg.LinearOperator` operand (the
+    ``auto`` fallback chain skips such backends instead of crashing).
     """
 
     def __init__(
@@ -85,6 +89,7 @@ class SolverError(ReproError):
         method: "str | None" = None,
         residual: "float | None" = None,
         iterations: "int | None" = None,
+        reason: "str | None" = None,
     ):
         details = []
         if method is not None:
@@ -93,12 +98,15 @@ class SolverError(ReproError):
             details.append(f"residual={residual:.3e}")
         if iterations is not None:
             details.append(f"iterations={iterations}")
+        if reason is not None:
+            details.append(f"reason={reason}")
         if details:
             message = f"{message} [{' '.join(details)}]"
         super().__init__(message)
         self.method = method
         self.residual = residual
         self.iterations = iterations
+        self.reason = reason
 
 
 class ParametricError(SolverError):
@@ -113,10 +121,9 @@ class ParametricError(SolverError):
     """
 
     def __init__(self, message: str, *, reason: str = "unsupported", **kwargs):
-        super().__init__(message, method="parametric", **kwargs)
         #: Machine-readable fallback reason (metrics label):
         #: ``unsupported`` / ``budget`` / ``fit`` / ``structure``.
-        self.reason = reason
+        super().__init__(message, method="parametric", reason=reason, **kwargs)
 
 
 class SimulationError(ReproError):

@@ -55,7 +55,9 @@ import time
 from typing import List, Optional
 
 from ..casestudies import rpc, streaming
+from ..casestudies.fleet import DEFAULT_FLEET_SIZE, POLICIES
 from ..core.methodology import IncrementalMethodology
+from ..fleet import REPRESENTATIONS, FleetAssessment
 from ..core.reporting import format_table
 from ..ctmc.solvers import solver_choices
 from ..errors import CheckpointError
@@ -371,12 +373,31 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--case", choices=sorted(_CASES), required=True,
+        "--case", choices=sorted([*_CASES, "fleet"]), required=True,
         help="case-study model family",
     )
     parser.add_argument(
         "--phase", choices=["markovian", "general"], default="markovian",
         help="analytic (markovian) or simulated (general) sweep",
+    )
+    parser.add_argument(
+        "--fleet-size", type=int, default=DEFAULT_FLEET_SIZE, metavar="N",
+        help=(
+            "--case fleet: number of devices (the product space is "
+            "|C|*|S|^N but the solve never materializes it; "
+            "docs/FLEET.md)"
+        ),
+    )
+    parser.add_argument(
+        "--policy", choices=sorted(POLICIES), default="balanced",
+        help="--case fleet: coordinator wake-up/handoff policy",
+    )
+    parser.add_argument(
+        "--representation", choices=list(REPRESENTATIONS), default="lumped",
+        help=(
+            "--case fleet: solve the exchangeability-lumped operator "
+            "(default) or the full Kronecker product operator"
+        ),
     )
     parser.add_argument(
         "--parameter", required=True, metavar="NAME",
@@ -535,12 +556,28 @@ def run_sweep(argv: List[str]) -> int:
             "--rare and --paired are mutually exclusive: splitting "
             "trees cannot share the CRN stream discipline"
         )
+    if args.case == "fleet" and args.phase != "markovian":
+        raise SystemExit(
+            "--case fleet is analytic: only --phase markovian applies"
+        )
     options = _run_options(args)
-    methodology = IncrementalMethodology(
-        _CASES[args.case](),
-        max_states=args.max_states,
-        **options.methodology_kwargs(),
-    )
+    if args.case == "fleet":
+        methodology = FleetAssessment(
+            args.fleet_size,
+            policy=args.policy,
+            representation=args.representation,
+            workers=options.workers,
+            retry=options.retry,
+            faults=options.faults,
+            tracer=options.tracer,
+            solver=options.solver,
+        )
+    else:
+        methodology = IncrementalMethodology(
+            _CASES[args.case](),
+            max_states=args.max_states,
+            **options.methodology_kwargs(),
+        )
     started = time.time()
     cpu_started = time.process_time()
     try:
@@ -552,7 +589,14 @@ def run_sweep(argv: List[str]) -> int:
             points=len(values),
             workers=args.workers,
         ):
-            if args.phase == "markovian":
+            if args.case == "fleet":
+                series = methodology.sweep(
+                    args.parameter,
+                    values,
+                    method=args.method,
+                    checkpoint=args.checkpoint,
+                )
+            elif args.phase == "markovian":
                 series = methodology.sweep_markovian(
                     args.parameter,
                     values,
@@ -607,6 +651,18 @@ def run_sweep(argv: List[str]) -> int:
         "values": values,
         "series": series,
     }
+    if args.case == "fleet":
+        fleet_info = {
+            "size": args.fleet_size,
+            "policy": args.policy,
+            "representation": args.representation,
+        }
+        if methodology.operator_records:
+            last = methodology.operator_records[-1]
+            fleet_info["product_states"] = last["product_states"]
+            fleet_info["lumped_states"] = last["lumped_states"]
+            fleet_info["operator_states"] = last["states"]
+        payload["fleet"] = fleet_info
     if args.paired:
         payload["paired"] = {"crn": not args.independent}
     if args.rare:

@@ -12,7 +12,7 @@ from typing import Callable, Dict, List
 
 from ..casestudies import rpc, streaming
 from ..core.reporting import format_table
-from . import extensions, rpc_figures, streaming_figures
+from . import extensions, fleet_figures, rpc_figures, streaming_figures
 from .results import RunOptions
 
 
@@ -201,6 +201,16 @@ def _experiments() -> List[Experiment]:
                     else (50.0, 100.0, 200.0, 300.0, 450.0, 600.0)
                 ),
                 capacity=8 if quick else 12,
+            ),
+        ),
+        Experiment(
+            "ext-fleet",
+            "extension: N-device fleet coordinator policies "
+            "(Kronecker/lumped matrix-free solves)",
+            lambda quick, options=None: fleet_figures.fleet_policies(
+                rates=fleet_figures.QUICK_RATES if quick else None,
+                n=3 if quick else 4,
+                options=options,
             ),
         ),
         Experiment(

@@ -1,0 +1,62 @@
+"""Fleet-scale compositional engine (docs/FLEET.md).
+
+Represents an N-device DPM fleet — per-device automata plus a
+channel/AP coordinator, extracted from single-instance Æmilia
+architectures — as a sum of Kronecker products
+(:mod:`repro.ctmc.kronecker`), applies exchangeability lumping *before*
+operator construction (|S|^N product space collapses to multiset
+counting), and solves the steady state through the matrix-free solver
+backends.  The flat generator is never materialized; an independent
+flat-enumeration oracle (:mod:`repro.fleet.flat`) backs the ≤1e-9
+differential tests at small N.
+"""
+
+from .flat import FlatFleet, build_flat, build_flat_topology
+from .kron import (
+    FleetProduct,
+    build_product,
+    permuted_product,
+    product_generator,
+)
+from .lumping import LumpedFleet, LumpedOperator, multisets
+from .measures import (
+    FleetMeasure,
+    evaluate_flat,
+    evaluate_lumped,
+    evaluate_product,
+)
+from .methodology import FleetAssessment
+from .solve import REPRESENTATIONS, FleetSolution, solve_fleet
+from .topology import (
+    Automaton,
+    FleetTopology,
+    LocalTransition,
+    SyncEvent,
+    automaton_from_architecture,
+)
+
+__all__ = [
+    "Automaton",
+    "FlatFleet",
+    "FleetAssessment",
+    "FleetMeasure",
+    "FleetProduct",
+    "FleetSolution",
+    "FleetTopology",
+    "LocalTransition",
+    "LumpedFleet",
+    "LumpedOperator",
+    "REPRESENTATIONS",
+    "SyncEvent",
+    "automaton_from_architecture",
+    "build_flat",
+    "build_flat_topology",
+    "build_product",
+    "evaluate_flat",
+    "evaluate_lumped",
+    "evaluate_product",
+    "multisets",
+    "permuted_product",
+    "product_generator",
+    "solve_fleet",
+]

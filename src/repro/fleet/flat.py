@@ -1,0 +1,172 @@
+"""Flat enumeration of a fleet — the differential-testing oracle.
+
+This module deliberately shares *no* machinery with the Kronecker and
+lumping paths: it explores the product state space one state at a time
+(breadth-first over ``(coordinator state, device state vector)``
+tuples), applying the composition rules directly — coordinator local
+moves, per-device local moves, and synchronized events with the
+exclusivity guard checked against the literal other-device states.  The
+result is an ordinary :class:`repro.ctmc.CTMC` solved through the
+standard registry, giving an independent oracle for the ≤1e-9 agreement
+tests at N ∈ {2, 3, 4} (docs/FLEET.md).  Size-gated: flat enumeration
+is exactly what the Kronecker subsystem exists to avoid.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..ctmc import CTMC
+from ..errors import StateSpaceLimitError
+from .topology import Automaton, FleetTopology, SyncEvent
+
+#: Flat enumeration is for differential tests only; refuse past this.
+DEFAULT_FLAT_LIMIT = 200_000
+
+FlatState = Tuple[int, Tuple[int, ...]]
+
+
+@dataclass
+class FlatFleet:
+    """The flat product CTMC plus decode tables and labelled flows."""
+
+    coordinator: Automaton
+    devices: Tuple[Automaton, ...]
+    events: Tuple[SyncEvent, ...]
+    ctmc: CTMC
+    states: Tuple[FlatState, ...]
+    index: Dict[FlatState, int]
+    transitions: Tuple[Tuple[int, int, float, str], ...]
+
+    def flows(self, pi: np.ndarray) -> Dict[str, float]:
+        pi = np.asarray(pi, float).reshape(-1)
+        flows: Dict[str, float] = {}
+        for source, _target, rate, label in self.transitions:
+            flows[label] = flows.get(label, 0.0) + float(pi[source]) * rate
+        return flows
+
+
+def build_flat(
+    coordinator: Automaton,
+    devices: Sequence[Automaton],
+    events: Sequence[SyncEvent] = (),
+    max_states: int = DEFAULT_FLAT_LIMIT,
+) -> FlatFleet:
+    """Enumerate the reachable flat product chain of a fleet."""
+    devices = tuple(devices)
+    exclusive_indices = {
+        event.name: tuple(
+            devices[0].state_index(name)
+            for name in sorted(event.exclusive_states)
+        )
+        if event.exclusive_states
+        else ()
+        for event in events
+    }
+    initial: FlatState = (
+        coordinator.initial,
+        tuple(device.initial for device in devices),
+    )
+    index: Dict[FlatState, int] = {initial: 0}
+    states: List[FlatState] = [initial]
+    transitions: List[Tuple[int, int, float, str]] = []
+    queue = deque([initial])
+
+    def intern(state: FlatState) -> int:
+        position = index.get(state)
+        if position is None:
+            if len(states) >= max_states:
+                raise StateSpaceLimitError(
+                    f"flat fleet enumeration exceeded {max_states} "
+                    "states; use the Kronecker/lumped representations"
+                )
+            position = len(states)
+            index[state] = position
+            states.append(state)
+            queue.append(state)
+        return position
+
+    while queue:
+        state = queue.popleft()
+        source = index[state]
+        c, device_states = state
+
+        for transition in coordinator.local:
+            if transition.source == c:
+                target = intern((transition.target, device_states))
+                transitions.append(
+                    (source, target, transition.rate, transition.label)
+                )
+        for position, device in enumerate(devices):
+            local_state = device_states[position]
+            for transition in device.local:
+                if transition.source == local_state:
+                    moved = list(device_states)
+                    moved[position] = transition.target
+                    target = intern((c, tuple(moved)))
+                    transitions.append(
+                        (source, target, transition.rate, transition.label)
+                    )
+        for event in events:
+            coordinator_hook = coordinator.sync_matrix(
+                event.coordinator_action
+            )
+            exclusive = exclusive_indices[event.name]
+            for position, device in enumerate(devices):
+                if exclusive and any(
+                    device_states[other] in exclusive
+                    for other in range(len(devices))
+                    if other != position
+                ):
+                    continue
+                device_hook = device.sync_matrix(event.device_action)
+                local_state = device_states[position]
+                for s_next in np.nonzero(device_hook[local_state])[0]:
+                    device_weight = device_hook[local_state, s_next]
+                    moved = list(device_states)
+                    moved[position] = int(s_next)
+                    for c_next in np.nonzero(coordinator_hook[c])[0]:
+                        rate = device_weight * coordinator_hook[c, c_next]
+                        target = intern((int(c_next), tuple(moved)))
+                        transitions.append(
+                            (source, target, float(rate), event.name)
+                        )
+
+    initial_distribution = np.zeros(len(states))
+    initial_distribution[0] = 1.0
+    ctmc = CTMC(len(states), initial_distribution)
+    for source, target, rate, label in transitions:
+        if source == target:
+            continue  # dynamically null; kept in `transitions` for flows
+        ctmc.add_transition(source, target, rate, {label: 1.0})
+    for position, state in enumerate(states):
+        c, device_states = state
+        info = coordinator.state_names[c] + "|" + ",".join(
+            devices[i].state_names[s]
+            for i, s in enumerate(device_states)
+        )
+        ctmc.set_state_info(position, info)
+    return FlatFleet(
+        coordinator=coordinator,
+        devices=devices,
+        events=tuple(events),
+        ctmc=ctmc,
+        states=tuple(states),
+        index=index,
+        transitions=tuple(transitions),
+    )
+
+
+def build_flat_topology(
+    topology: FleetTopology, max_states: int = DEFAULT_FLAT_LIMIT
+) -> FlatFleet:
+    return build_flat(
+        topology.coordinator,
+        (topology.device,) * topology.n,
+        topology.events,
+        max_states=max_states,
+    )

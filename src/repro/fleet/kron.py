@@ -1,0 +1,178 @@
+"""Product-space Kronecker generator of a fleet (no lumping).
+
+Axis layout: axis 0 is the coordinator, axes ``1..N`` are the devices.
+The generator is the stochastic automata network sum
+
+* one local term for the coordinator (its off-diagonal rate matrix),
+* one local term per device axis,
+* one term per (sync event, participating device): the coordinator's
+  hook matrix on axis 0, the device's hook matrix on the participant's
+  axis, and — for staggered events — a diagonal indicator guard on every
+  *other* device axis zeroing states the event excludes.
+
+Rates fold into the factor entries (active-side rate × passive-side
+weight), so no scalar multipliers are needed.  Devices may be
+heterogeneous (same state names, different rates) — that is what the
+permutation-invariance property tests exercise — but must share the
+device state-name alphabet so guards and measures stay well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..ctmc.kronecker import KroneckerGenerator, KroneckerTerm
+from ..errors import SpecificationError
+from .topology import Automaton, FleetTopology, SyncEvent
+
+#: Term labels for the unsynchronized parts of the composition.
+COORDINATOR_LOCAL = "coordinator_local"
+
+
+def device_local_label(position: int) -> str:
+    return f"device_local[{position}]"
+
+
+@dataclass
+class FleetProduct:
+    """A fleet's product-space generator plus enough context to measure.
+
+    Wraps the :class:`KroneckerGenerator` with the component automata so
+    reward evaluation can translate state names and local-action labels
+    into marginals and flow vectors (see :mod:`repro.fleet.measures`).
+    """
+
+    coordinator: Automaton
+    devices: Tuple[Automaton, ...]
+    events: Tuple[SyncEvent, ...]
+    generator: KroneckerGenerator
+
+    @property
+    def n(self) -> int:
+        return len(self.devices)
+
+    def coordinator_marginal(self, pi: np.ndarray) -> np.ndarray:
+        return self.generator.marginal(pi, 0)
+
+    def device_marginal(self, pi: np.ndarray, position: int) -> np.ndarray:
+        return self.generator.marginal(pi, position + 1)
+
+    def flows(self, pi: np.ndarray) -> Dict[str, float]:
+        """Steady-state flow (firings per time unit) of every label.
+
+        Sync events use the generator's Kronecker flow vectors (guards
+        included); local labels use the exact marginal identity
+        ``flow = sum_i marginal_i . rowsums_label`` — local transitions
+        carry no guards, so the marginal form is exact, and it avoids
+        splitting the local terms per label.
+        """
+        pi = np.asarray(pi, float).reshape(-1)
+        flows: Dict[str, float] = {}
+        for event in self.events:
+            flows[event.name] = flows.get(event.name, 0.0) + float(
+                pi @ self.generator.flow_vector(event.name)
+            )
+        coordinator_marginal = self.coordinator_marginal(pi)
+        for label in self.coordinator.local_labels():
+            flows[label] = flows.get(label, 0.0) + float(
+                coordinator_marginal
+                @ self.coordinator.local_label_rowsums(label)
+            )
+        for position, device in enumerate(self.devices):
+            marginal = self.device_marginal(pi, position)
+            for label in device.local_labels():
+                flows[label] = flows.get(label, 0.0) + float(
+                    marginal @ device.local_label_rowsums(label)
+                )
+        return flows
+
+
+def product_generator(
+    coordinator: Automaton,
+    devices: Sequence[Automaton],
+    events: Sequence[SyncEvent] = (),
+) -> FleetProduct:
+    """Build the product-space SAN generator of a (possibly
+    heterogeneous) fleet.
+
+    Every device must expose the same state names in the same order;
+    sync-hook shapes are validated against the events.
+    """
+    devices = tuple(devices)
+    if not devices:
+        raise SpecificationError("a fleet needs at least one device")
+    names = devices[0].state_names
+    for device in devices[1:]:
+        if device.state_names != names:
+            raise SpecificationError(
+                "heterogeneous fleet devices must share state names: "
+                f"{device.state_names} != {names}"
+            )
+    dims = (coordinator.num_states,) + tuple(
+        device.num_states for device in devices
+    )
+    terms = []
+    coordinator_local = coordinator.local_matrix()
+    if coordinator_local.nnz:
+        terms.append(
+            KroneckerTerm(COORDINATOR_LOCAL, {0: coordinator_local})
+        )
+    for position, device in enumerate(devices):
+        local = device.local_matrix()
+        if local.nnz:
+            terms.append(
+                KroneckerTerm(
+                    device_local_label(position), {position + 1: local}
+                )
+            )
+    for event in events:
+        coordinator_hook = coordinator.sync_matrix(event.coordinator_action)
+        for position, device in enumerate(devices):
+            factors: Dict[int, np.ndarray] = {
+                0: coordinator_hook,
+                position + 1: device.sync_matrix(event.device_action),
+            }
+            if event.exclusive_states:
+                guard = np.ones(len(names))
+                for state in event.exclusive_states:
+                    guard[device.state_index(state)] = 0.0
+                for other in range(len(devices)):
+                    if other != position:
+                        factors[other + 1] = guard
+            terms.append(KroneckerTerm(event.name, factors))
+    generator = KroneckerGenerator(dims, terms)
+    return FleetProduct(coordinator, devices, tuple(events), generator)
+
+
+def build_product(topology: FleetTopology) -> FleetProduct:
+    """Product generator of a homogeneous fleet topology."""
+    return product_generator(
+        topology.coordinator,
+        (topology.device,) * topology.n,
+        topology.events,
+    )
+
+
+def permuted_product(
+    topology_devices: Sequence[Automaton],
+    coordinator: Automaton,
+    events: Sequence[SyncEvent],
+    permutation: Sequence[int],
+) -> FleetProduct:
+    """The same fleet with device axes reassigned by *permutation*.
+
+    Used by the exchangeability property tests: permuting which device
+    sits on which axis must leave every fleet measure unchanged.
+    """
+    devices = tuple(topology_devices)
+    if sorted(permutation) != list(range(len(devices))):
+        raise SpecificationError(
+            f"{permutation!r} is not a permutation of "
+            f"0..{len(devices) - 1}"
+        )
+    return product_generator(
+        coordinator, tuple(devices[p] for p in permutation), events
+    )

@@ -1,0 +1,330 @@
+"""Exchangeability lumping: |S|^N device product → multiset counting.
+
+Identical devices are exchangeable: the steady state depends only on
+*how many* devices occupy each local state, never on *which* ones.  The
+orbits of the device-permutation group acting on the product space are
+the multisets of device states, so the lumped space has
+
+    |C| * C(N + |S| - 1, |S| - 1)
+
+states — e.g. 5 * C(14, 7) = 17 160 instead of 5 * 8^7 ≈ 8.4 * 10^6 for
+the benchmark fleet.  The lumping is *exact* (strong lumpability): every
+fleet construct is symmetric in the devices — local rates are shared,
+sync events pick a participant uniformly by rate, and exclusivity guards
+only read the multiset of the other devices.
+
+Lumped rates, for a state ``(c, m)`` with ``m[s]`` devices in local
+state ``s``:
+
+* coordinator local ``c -> c'`` at rate ``q`` — unchanged;
+* device local ``s -> s'`` at rate ``q`` — rate ``m[s] * q`` into
+  ``(c, m - e_s + e_s')``;
+* sync event with hooks ``Wc[c, c']`` and ``Wd[s, s']`` — rate
+  ``m[s] * Wc * Wd`` into ``(c', m - e_s + e_s')``, blocked when the
+  event's exclusive states intersect ``m - e_s`` (the other devices).
+
+The lumped generator is kept as flat ``(src, dst, rate)`` arrays grouped
+by label (so event flows stay measurable) and exposed through
+:class:`LumpedOperator`, a matrix-free
+:class:`~scipy.sparse.linalg.LinearOperator` whose matvec is two
+``np.bincount`` passes — the same solver contract the Kronecker operator
+implements, so ``power``/``gmres`` solve it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy.sparse import linalg as sparse_linalg
+
+from ..errors import SpecificationError
+from .topology import FleetTopology
+
+
+def multisets(num_states: int, n: int) -> Tuple[Tuple[int, ...], ...]:
+    """All count vectors of ``n`` devices over ``num_states`` states.
+
+    Deterministic lexicographic order (the enumeration order is part of
+    checkpoint fingerprints, so it must never change).
+    """
+    out = []
+    for combo in combinations_with_replacement(range(num_states), n):
+        counts = [0] * num_states
+        for state in combo:
+            counts[state] += 1
+        out.append(tuple(counts))
+    return tuple(out)
+
+
+@dataclass
+class _LabelEntries:
+    sources: List[int]
+    targets: List[int]
+    rates: List[float]
+
+    def add(self, source: int, target: int, rate: float) -> None:
+        self.sources.append(source)
+        self.targets.append(target)
+        self.rates.append(rate)
+
+
+class LumpedFleet:
+    """The multiset-lumped CTMC of a homogeneous fleet.
+
+    State ``c * M + j`` is coordinator state ``c`` with device multiset
+    ``self.multisets[j]``; ``M = len(self.multisets)``.
+    """
+
+    def __init__(self, topology: FleetTopology):
+        self.topology = topology
+        coordinator = topology.coordinator
+        device = topology.device
+        self.multisets = multisets(device.num_states, topology.n)
+        self._multiset_index = {
+            counts: j for j, counts in enumerate(self.multisets)
+        }
+        self.counts_matrix = np.asarray(self.multisets, float)
+        self.num_multisets = len(self.multisets)
+        self.size = coordinator.num_states * self.num_multisets
+        if self.size != topology.lumped_states:
+            raise SpecificationError(
+                f"lumped enumeration produced {self.size} states, "
+                f"expected {topology.lumped_states}"
+            )
+        self._entries: Dict[str, _LabelEntries] = {}
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _state(self, coordinator_state: int, multiset_index: int) -> int:
+        return coordinator_state * self.num_multisets + multiset_index
+
+    def _shifted(self, counts, source, target) -> int:
+        moved = list(counts)
+        moved[source] -= 1
+        moved[target] += 1
+        return self._multiset_index[tuple(moved)]
+
+    def _label(self, label: str) -> _LabelEntries:
+        return self._entries.setdefault(label, _LabelEntries([], [], []))
+
+    def _build(self) -> None:
+        topology = self.topology
+        coordinator = topology.coordinator
+        device = topology.device
+        num_coord = coordinator.num_states
+        # Coordinator local moves: independent of the device multiset.
+        for transition in coordinator.local:
+            entries = self._label(transition.label)
+            for j in range(self.num_multisets):
+                entries.add(
+                    self._state(transition.source, j),
+                    self._state(transition.target, j),
+                    transition.rate,
+                )
+        # Device local moves: one of the m[s] devices fires.
+        for transition in device.local:
+            entries = self._label(transition.label)
+            for j, counts in enumerate(self.multisets):
+                occupancy = counts[transition.source]
+                if occupancy == 0:
+                    continue
+                target = self._shifted(
+                    counts, transition.source, transition.target
+                )
+                for c in range(num_coord):
+                    entries.add(
+                        self._state(c, j),
+                        self._state(c, target),
+                        occupancy * transition.rate,
+                    )
+        # Synchronized events.
+        for event in topology.events:
+            entries = self._label(event.name)
+            coordinator_hook = coordinator.sync_matrix(
+                event.coordinator_action
+            )
+            device_hook = device.sync_matrix(event.device_action)
+            exclusive = (
+                tuple(
+                    device.state_index(name)
+                    for name in sorted(event.exclusive_states)
+                )
+                if event.exclusive_states
+                else ()
+            )
+            coordinator_moves = list(zip(*np.nonzero(coordinator_hook)))
+            device_moves = list(zip(*np.nonzero(device_hook)))
+            for j, counts in enumerate(self.multisets):
+                for s, s_next in device_moves:
+                    occupancy = counts[s]
+                    if occupancy == 0:
+                        continue
+                    if exclusive:
+                        # Guard reads the *other* devices: the multiset
+                        # minus the participant.
+                        blocked = any(
+                            counts[x] - (1 if x == s else 0) > 0
+                            for x in exclusive
+                        )
+                        if blocked:
+                            continue
+                    weight = occupancy * device_hook[s, s_next]
+                    target = self._shifted(counts, s, s_next)
+                    for c, c_next in coordinator_moves:
+                        entries.add(
+                            self._state(c, j),
+                            self._state(c_next, target),
+                            weight * coordinator_hook[c, c_next],
+                        )
+
+    # -- views -------------------------------------------------------------
+
+    def decode(self, state: int) -> Tuple[int, Tuple[int, ...]]:
+        """``state -> (coordinator state, device multiset)``."""
+        c, j = divmod(state, self.num_multisets)
+        return c, self.multisets[j]
+
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+    def label_arrays(
+        self, label: str
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        entries = self._entries[label]
+        return (
+            np.asarray(entries.sources, int),
+            np.asarray(entries.targets, int),
+            np.asarray(entries.rates, float),
+        )
+
+    def flows(self, pi: np.ndarray) -> Dict[str, float]:
+        """Steady-state flow of every label under distribution *pi*."""
+        pi = np.asarray(pi, float).reshape(-1)
+        return {
+            label: float(
+                pi[np.asarray(entries.sources, int)]
+                @ np.asarray(entries.rates, float)
+            )
+            for label, entries in self._entries.items()
+        }
+
+    def coordinator_distribution(self, pi: np.ndarray) -> np.ndarray:
+        return np.asarray(pi, float).reshape(
+            self.topology.coordinator.num_states, self.num_multisets
+        ).sum(axis=1)
+
+    def expected_device_counts(self, pi: np.ndarray) -> np.ndarray:
+        """Expected number of devices in each local state."""
+        multiset_marginal = (
+            np.asarray(pi, float)
+            .reshape(
+                self.topology.coordinator.num_states, self.num_multisets
+            )
+            .sum(axis=0)
+        )
+        return multiset_marginal @ self.counts_matrix
+
+    def operator(self) -> "LumpedOperator":
+        return LumpedOperator(self)
+
+    def project(self, product_pi: np.ndarray) -> np.ndarray:
+        """Aggregate a product-space distribution onto the lumped space.
+
+        The differential tests use this: lumping is exact, so the
+        product-space steady state must aggregate to the lumped one.
+        """
+        topology = self.topology
+        dims = (topology.coordinator.num_states,) + (
+            topology.device.num_states,
+        ) * topology.n
+        tensor = np.asarray(product_pi, float).reshape(dims)
+        out = np.zeros(self.size)
+        for flat_index, mass in np.ndenumerate(tensor):
+            if mass == 0.0:
+                continue
+            counts = [0] * topology.device.num_states
+            for device_state in flat_index[1:]:
+                counts[device_state] += 1
+            j = self._multiset_index[tuple(counts)]
+            out[self._state(flat_index[0], j)] += mass
+        return out
+
+
+class LumpedOperator(sparse_linalg.LinearOperator):
+    """Matrix-free view of a lumped fleet generator.
+
+    Same solver contract as
+    :class:`repro.ctmc.kronecker.KroneckerOperator`: ``matvec`` /
+    ``rmatvec`` (two ``np.bincount`` passes over the flat entry arrays),
+    exact ``diagonal()``, ``nnz_equivalent``, and a ``matvec_count``
+    tally for the fleet metrics.
+    """
+
+    def __init__(self, lumped: LumpedFleet):
+        self.lumped = lumped
+        size = lumped.size
+        sources = []
+        targets = []
+        rates = []
+        for label in lumped.labels():
+            src, dst, rate = lumped.label_arrays(label)
+            sources.append(src)
+            targets.append(dst)
+            rates.append(rate)
+        if sources:
+            self._sources = np.concatenate(sources)
+            self._targets = np.concatenate(targets)
+            self._rates = np.concatenate(rates)
+        else:  # pragma: no cover - degenerate single-state fleets
+            self._sources = np.zeros(0, int)
+            self._targets = np.zeros(0, int)
+            self._rates = np.zeros(0)
+        self._outflow = np.bincount(
+            self._sources, weights=self._rates, minlength=size
+        )
+        self_loops = self._sources == self._targets
+        self._diagonal = (
+            np.bincount(
+                self._sources[self_loops],
+                weights=self._rates[self_loops],
+                minlength=size,
+            )
+            - self._outflow
+        )
+        self.matvec_count = 0
+        super().__init__(dtype=np.dtype(float), shape=(size, size))
+
+    def _matvec(self, x: np.ndarray) -> np.ndarray:
+        self.matvec_count += 1
+        x = np.asarray(x, float).reshape(-1)
+        return (
+            np.bincount(
+                self._sources,
+                weights=self._rates * x[self._targets],
+                minlength=self.shape[0],
+            )
+            - self._outflow * x
+        )
+
+    def _rmatvec(self, x: np.ndarray) -> np.ndarray:
+        self.matvec_count += 1
+        x = np.asarray(x, float).reshape(-1)
+        return (
+            np.bincount(
+                self._targets,
+                weights=self._rates * x[self._sources],
+                minlength=self.shape[0],
+            )
+            - self._outflow * x
+        )
+
+    def diagonal(self) -> np.ndarray:
+        return self._diagonal
+
+    @property
+    def nnz_equivalent(self) -> int:
+        return int(self._sources.size) + int(self.shape[0])

@@ -1,0 +1,168 @@
+"""Fleet reward measures, evaluated on any of the three representations.
+
+A :class:`FleetMeasure` is a linear reward over the fleet steady state:
+
+* ``device_weights`` — per-device state rewards, summed over the fleet
+  (total power draw, number of sleeping devices, ...);
+* ``coordinator_weights`` — coordinator-state rewards (queue length,
+  loss indicator, ...);
+* ``event_rewards`` — per-firing rewards on action labels (throughput,
+  wake-up frequency, handoff frequency, ...).  Labels absent from a
+  model (a policy without handoff has no ``handoff`` flow) contribute
+  zero, so one measure list serves every policy.
+
+The same measure evaluates against the lumped chain
+(:class:`~repro.fleet.lumping.LumpedFleet`), the product-space
+Kronecker form (:class:`~repro.fleet.kron.FleetProduct`) and the flat
+oracle (:class:`~repro.fleet.flat.FlatFleet`); the three paths share no
+arithmetic, which is what makes the differential tests meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from .flat import FlatFleet
+from .kron import FleetProduct
+from .lumping import LumpedFleet
+from .topology import Automaton
+
+
+@dataclass(frozen=True)
+class FleetMeasure:
+    """One linear steady-state reward over a fleet."""
+
+    name: str
+    device_weights: Mapping[str, float] = field(default_factory=dict)
+    coordinator_weights: Mapping[str, float] = field(default_factory=dict)
+    event_rewards: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "device_weights", dict(self.device_weights))
+        object.__setattr__(
+            self, "coordinator_weights", dict(self.coordinator_weights)
+        )
+        object.__setattr__(self, "event_rewards", dict(self.event_rewards))
+
+
+def _weight_vector(
+    automaton: Automaton, weights: Mapping[str, float]
+) -> np.ndarray:
+    vector = np.zeros(automaton.num_states)
+    for name, weight in weights.items():
+        vector[automaton.state_index(name)] = weight
+    return vector
+
+
+def _combine(
+    measure: FleetMeasure,
+    device_value: float,
+    coordinator_value: float,
+    flows: Mapping[str, float],
+) -> float:
+    value = device_value + coordinator_value
+    for label, reward in measure.event_rewards.items():
+        value += reward * flows.get(label, 0.0)
+    return value
+
+
+def evaluate_lumped(
+    measures: Sequence[FleetMeasure], pi: np.ndarray, lumped: LumpedFleet
+) -> Dict[str, float]:
+    """Evaluate *measures* against a lumped steady-state distribution."""
+    pi = np.asarray(pi, float).reshape(-1)
+    flows = lumped.flows(pi)
+    coordinator_distribution = lumped.coordinator_distribution(pi)
+    expected_counts = lumped.expected_device_counts(pi)
+    results = {}
+    for measure in measures:
+        device_value = float(
+            expected_counts
+            @ _weight_vector(lumped.topology.device, measure.device_weights)
+        )
+        coordinator_value = float(
+            coordinator_distribution
+            @ _weight_vector(
+                lumped.topology.coordinator, measure.coordinator_weights
+            )
+        )
+        results[measure.name] = _combine(
+            measure, device_value, coordinator_value, flows
+        )
+    return results
+
+
+def evaluate_product(
+    measures: Sequence[FleetMeasure], pi: np.ndarray, product: FleetProduct
+) -> Dict[str, float]:
+    """Evaluate *measures* against a product-space distribution."""
+    pi = np.asarray(pi, float).reshape(-1)
+    flows = product.flows(pi)
+    coordinator_marginal = product.coordinator_marginal(pi)
+    device_marginals = [
+        product.device_marginal(pi, position)
+        for position in range(product.n)
+    ]
+    results = {}
+    for measure in measures:
+        device_value = float(
+            sum(
+                marginal
+                @ _weight_vector(device, measure.device_weights)
+                for marginal, device in zip(
+                    device_marginals, product.devices
+                )
+            )
+        )
+        coordinator_value = float(
+            coordinator_marginal
+            @ _weight_vector(
+                product.coordinator, measure.coordinator_weights
+            )
+        )
+        results[measure.name] = _combine(
+            measure, device_value, coordinator_value, flows
+        )
+    return results
+
+
+def evaluate_flat(
+    measures: Sequence[FleetMeasure], pi: np.ndarray, flat: FlatFleet
+) -> Dict[str, float]:
+    """Evaluate *measures* against the flat oracle's distribution."""
+    pi = np.asarray(pi, float).reshape(-1)
+    flows = flat.flows(pi)
+    device_vectors = {}
+    results = {}
+    for measure in measures:
+        key = tuple(sorted(measure.device_weights.items()))
+        if key not in device_vectors:
+            per_state = np.zeros(len(flat.states))
+            vectors = [
+                _weight_vector(device, measure.device_weights)
+                for device in flat.devices
+            ]
+            for position, (_c, device_states) in enumerate(flat.states):
+                per_state[position] = sum(
+                    vectors[i][s] for i, s in enumerate(device_states)
+                )
+            device_vectors[key] = per_state
+        coordinator_vector = _weight_vector(
+            flat.coordinator, measure.coordinator_weights
+        )
+        coordinator_value = float(
+            sum(
+                pi[position] * coordinator_vector[c]
+                for position, (c, _d) in enumerate(flat.states)
+            )
+        )
+        results[measure.name] = _combine(
+            measure,
+            float(pi @ device_vectors[key]),
+            coordinator_value,
+            flows,
+        )
+    return results

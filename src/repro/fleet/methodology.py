@@ -1,0 +1,264 @@
+"""Fleet assessment: checkpointed, fault-tolerant parameter sweeps.
+
+:class:`FleetAssessment` is the fleet counterpart of
+:class:`repro.core.methodology.IncrementalMethodology`: one point solve
+(:meth:`solve`) plus a parameter sweep (:meth:`sweep`) that distributes
+points over the :class:`~repro.runtime.ParallelExecutor` — workers-N
+bit-identical to serial — with the full reliability surface: bounded
+retries, deterministic chaos injection, span tracing and fingerprinted
+JSONL checkpoints with SIGKILL-safe resume (docs/RELIABILITY.md).
+
+Each sweep point rebuilds the two *component* automata (a handful of
+states each — milliseconds) and solves the lumped or product operator
+through the matrix-free registry; nothing of product-space size is ever
+constructed.  The checkpoint fingerprint embeds everything that
+determines point results — case, fleet size, policy, representation,
+parameter, values, overrides and the resolved solver method — and
+nothing that doesn't (notably not the worker count).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.methodology import summarize_solver_records
+from ..ctmc.solvers import resolve_method
+from ..errors import SpecificationError
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
+from ..runtime import (
+    FaultInjector,
+    ParallelExecutor,
+    RetryPolicy,
+    SweepCheckpoint,
+    Timer,
+    TraceRecorder,
+    resolve_workers,
+    sweep_fingerprint,
+)
+from .solve import REPRESENTATIONS, solve_fleet
+
+_LOG = obs_log.get_logger("fleet")
+
+
+def _fleet_point(shared: Any, value: float) -> Dict[str, object]:
+    """Solve one fleet sweep point (executor task, must stay pickleable).
+
+    Rebuilds the component automata with the point's parameter value
+    folded into the Æmilia consts, then solves through
+    :func:`repro.fleet.solve.solve_fleet`.
+    """
+    (n, policy, parameter, base_overrides, representation, method) = shared
+    from ..casestudies.fleet import build_model, DEFAULT_PARAMETERS
+
+    overrides = dict(base_overrides)
+    overrides[parameter] = float(value)
+    model = build_model(
+        n, policy, DEFAULT_PARAMETERS.override(overrides)
+    )
+    with tracing.span(
+        "fleet:solve", value=float(value), representation=representation
+    ):
+        solution = solve_fleet(
+            model.topology,
+            model.measures,
+            representation=representation,
+            method=method,
+        )
+    return {
+        "measures": solution.measures,
+        "solver": solution.report.as_dict(),
+        "operator": {
+            "representation": solution.representation,
+            "states": solution.operator_states,
+            "product_states": solution.product_states,
+            "lumped_states": solution.lumped_states,
+            "nnz_equivalent": solution.nnz_equivalent,
+            "matvecs": solution.matvecs,
+        },
+    }
+
+
+class FleetAssessment:
+    """Drives fleet solves and sweeps for one (size, policy) setting."""
+
+    def __init__(
+        self,
+        n: int,
+        policy: str = "balanced",
+        workers: Optional[int] = 1,
+        representation: str = "lumped",
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultInjector] = None,
+        tracer: Optional[TraceRecorder] = None,
+        solver: Optional[str] = None,
+    ):
+        from ..casestudies.fleet import policy as resolve_policy
+
+        resolve_policy(policy)  # fail fast on unknown names
+        if representation not in REPRESENTATIONS:
+            raise SpecificationError(
+                f"unknown fleet representation {representation!r} "
+                f"(have: {', '.join(REPRESENTATIONS)})"
+            )
+        self.n = int(n)
+        self.policy = policy
+        self.workers = resolve_workers(workers)
+        self.representation = representation
+        self.retry = retry
+        self.faults = faults
+        self.tracer = tracer
+        self.solver = solver
+        self.timer = Timer()
+        #: Per-point solver reports in execution order.
+        self.solver_records: List[Dict[str, object]] = []
+        #: Per-point operator diagnostics in execution order.
+        self.operator_records: List[Dict[str, object]] = []
+
+    # -- plumbing (mirrors IncrementalMethodology) -------------------------
+
+    def _solver_method(self, method: Optional[str]) -> str:
+        return resolve_method(method if method is not None else self.solver)
+
+    def _executor(self, workers: Optional[int]) -> ParallelExecutor:
+        return ParallelExecutor(
+            self.workers if workers is None else workers
+        )
+
+    def _resilience(self, checkpoint: Optional[SweepCheckpoint], phase: str):
+        if (
+            self.retry is None
+            and self.faults is None
+            and self.tracer is None
+            and checkpoint is None
+        ):
+            return {}
+        if self.tracer is None:
+            self.tracer = TraceRecorder()
+        return {
+            "retry": self.retry,
+            "faults": self.faults,
+            "tracer": self.tracer,
+            "checkpoint": checkpoint,
+            "phase": phase,
+        }
+
+    def runtime_stats(self) -> Dict[str, object]:
+        stats: Dict[str, object] = {
+            "workers": self.workers,
+            "timings": self.timer.as_dict(),
+        }
+        if self.solver_records:
+            stats["solver"] = summarize_solver_records(self.solver_records)
+        if self.operator_records:
+            last = self.operator_records[-1]
+            stats["operator"] = dict(last)
+        if self.tracer is not None:
+            stats["retries"] = self.tracer.retries
+            stats["checkpoint_hits"] = self.tracer.checkpoint_hits
+            stats["trace"] = self.tracer.summary()
+        return stats
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(
+        self,
+        const_overrides: Optional[Dict[str, float]] = None,
+        method: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Solve one fleet point; returns the worker payload shape."""
+        from ..casestudies.fleet import DEFAULT_PARAMETERS, build_model
+
+        parameters = DEFAULT_PARAMETERS.override(const_overrides or {})
+        model = build_model(self.n, self.policy, parameters)
+        with self.timer.span("solve"):
+            solution = solve_fleet(
+                model.topology,
+                model.measures,
+                representation=self.representation,
+                method=self._solver_method(method),
+            )
+        result = {
+            "measures": solution.measures,
+            "solver": solution.report.as_dict(),
+            "operator": solution.payload(),
+        }
+        self.solver_records.append(result["solver"])
+        return result
+
+    def sweep(
+        self,
+        parameter: str,
+        values: Sequence[float],
+        const_overrides: Optional[Dict[str, float]] = None,
+        method: Optional[str] = None,
+        workers: Optional[int] = None,
+        checkpoint: Optional[str] = None,
+    ) -> Dict[str, List[float]]:
+        """Sweep one fleet parameter; series keyed by measure name."""
+        from ..casestudies.fleet import DEFAULT_PARAMETERS
+
+        method = self._solver_method(method)
+        base_overrides = dict(const_overrides or {})
+        # Validate the parameter names before any worker sees them.
+        DEFAULT_PARAMETERS.override(
+            {**base_overrides, parameter: float(values[0])}
+        )
+        _LOG.info(
+            "fleet sweep: n=%d policy=%s over %s (%d points, %s, "
+            "workers=%d)",
+            self.n, self.policy, parameter, len(values),
+            self.representation,
+            self.workers if workers is None else resolve_workers(workers),
+        )
+        tracing.add_attributes(
+            parameter=parameter, points=len(values),
+            fleet_size=self.n, policy=self.policy,
+            representation=self.representation, method=method,
+        )
+        executor = self._executor(workers)
+        journal = None
+        if checkpoint is not None:
+            journal = SweepCheckpoint(
+                checkpoint,
+                sweep_fingerprint(
+                    family="fleet",
+                    kind="fleet",
+                    fleet_size=self.n,
+                    policy=self.policy,
+                    representation=self.representation,
+                    parameter=parameter,
+                    values=[float(v) for v in values],
+                    const_overrides=sorted(base_overrides.items()),
+                    method=method,
+                ),
+            )
+        resilience = self._resilience(journal, "solve")
+        shared = (
+            self.n, self.policy, parameter, base_overrides,
+            self.representation, method,
+        )
+        try:
+            with self.timer.span("solve"):
+                results = executor.map(
+                    _fleet_point,
+                    [float(v) for v in values],
+                    shared,
+                    **resilience,
+                )
+        finally:
+            if journal is not None:
+                journal.close()
+        registry = obs_metrics.get_registry()
+        if registry.enabled and results:
+            obs_metrics.SWEEP_POINTS.on(registry).labels(
+                case="fleet", kind="fleet"
+            ).inc(len(results))
+        series: Dict[str, List[float]] = {}
+        for point_result in results:
+            self.solver_records.append(point_result["solver"])
+            self.operator_records.append(point_result["operator"])
+            for name, value in point_result["measures"].items():
+                series.setdefault(name, []).append(value)
+        return series

@@ -1,0 +1,151 @@
+"""Fleet steady-state solving through the matrix-free solver registry.
+
+``solve_fleet`` is the funnel every fleet consumer (methodology sweeps,
+CLI, benchmarks, tests) goes through: it builds the requested
+representation of the topology —
+
+* ``"lumped"`` (default): the exchangeability-lumped chain as a
+  matrix-free :class:`~repro.fleet.lumping.LumpedOperator`, the only
+  representation that scales (|S|^N product collapses to multiset
+  counting *before* any operator exists);
+* ``"product"``: the full product-space
+  :class:`~repro.ctmc.kronecker.KroneckerOperator` (differential tests,
+  heterogeneous fleets);
+
+hands the operator to :func:`repro.ctmc.solve_steady_state` (which
+auto-selects a matrix-free backend and skips ``direct``/``sor``),
+evaluates the fleet measures, and emits the ``repro_fleet_*`` metrics.
+The flat generator is never materialized on either path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..ctmc.solvers import (
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_RESIDUAL_TOLERANCE,
+    DEFAULT_TOLERANCE,
+    SolverReport,
+    solve_steady_state,
+)
+from ..errors import SpecificationError
+from ..obs import metrics as obs_metrics
+from .kron import build_product
+from .lumping import LumpedFleet
+from .measures import FleetMeasure, evaluate_lumped, evaluate_product
+from .topology import FleetTopology
+
+#: Valid values of ``solve_fleet``'s *representation* argument.
+REPRESENTATIONS = ("lumped", "product")
+
+
+@dataclass
+class FleetSolution:
+    """Measures plus solver/operator diagnostics of one fleet solve."""
+
+    measures: Dict[str, float]
+    report: SolverReport
+    n: int
+    representation: str
+    product_states: int
+    lumped_states: int
+    operator_states: int
+    nnz_equivalent: int
+    matvecs: int
+    pi: object = field(repr=False, default=None)
+
+    def payload(self) -> Dict[str, object]:
+        """JSON-ready summary (the CLI / benchmark shape)."""
+        return {
+            "measures": dict(sorted(self.measures.items())),
+            "fleet_size": self.n,
+            "representation": self.representation,
+            "product_states": self.product_states,
+            "lumped_states": self.lumped_states,
+            "operator_states": self.operator_states,
+            "operator_nnz_equivalent": self.nnz_equivalent,
+            "matvecs": self.matvecs,
+            "solver": {
+                "method": self.report.method,
+                "iterations": self.report.iterations,
+                "residual": self.report.residual,
+                "fallbacks": list(self.report.fallbacks),
+            },
+        }
+
+
+def _record_fleet_metrics(
+    topology: FleetTopology,
+    representation: str,
+    nnz_equivalent: int,
+    matvecs: int,
+) -> None:
+    registry = obs_metrics.get_registry()
+    obs_metrics.FLEET_DEVICES.on(registry).set(float(topology.n))
+    obs_metrics.FLEET_PRODUCT_STATES.on(registry).set(
+        float(topology.product_states)
+    )
+    obs_metrics.FLEET_LUMPED_STATES.on(registry).set(
+        float(topology.lumped_states)
+    )
+    obs_metrics.FLEET_OPERATOR_NNZ.on(registry).labels(
+        representation=representation
+    ).set(float(nnz_equivalent))
+    obs_metrics.FLEET_MATVECS.on(registry).labels(
+        representation=representation
+    ).inc(float(matvecs))
+
+
+def solve_fleet(
+    topology: FleetTopology,
+    measures: Sequence[FleetMeasure],
+    representation: str = "lumped",
+    method: Optional[str] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    residual_tolerance: float = DEFAULT_RESIDUAL_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    keep_distribution: bool = False,
+) -> FleetSolution:
+    """Solve one fleet steady state and evaluate its measures."""
+    if representation not in REPRESENTATIONS:
+        raise SpecificationError(
+            f"unknown fleet representation {representation!r} "
+            f"(have: {', '.join(REPRESENTATIONS)})"
+        )
+    if representation == "lumped":
+        lumped = LumpedFleet(topology)
+        operator = lumped.operator()
+    else:
+        product = build_product(topology)
+        operator = product.generator.operator()
+    solution = solve_steady_state(
+        operator,
+        method=method,
+        tolerance=tolerance,
+        residual_tolerance=residual_tolerance,
+        max_iterations=max_iterations,
+    )
+    if representation == "lumped":
+        values = evaluate_lumped(measures, solution.pi, lumped)
+    else:
+        values = evaluate_product(measures, solution.pi, product)
+    _record_fleet_metrics(
+        topology,
+        representation,
+        operator.nnz_equivalent,
+        operator.matvec_count,
+    )
+    return FleetSolution(
+        measures=values,
+        report=solution.report,
+        n=topology.n,
+        representation=representation,
+        product_states=topology.product_states,
+        lumped_states=topology.lumped_states,
+        operator_states=operator.shape[0],
+        nnz_equivalent=operator.nnz_equivalent,
+        matvecs=operator.matvec_count,
+        pi=solution.pi if keep_distribution else None,
+    )

@@ -710,6 +710,30 @@ PARAMETRIC_FALLBACKS = MetricSpec(
     "Falls back from the parametric path to per-point solves, by reason.",
     ("reason",),
 )
+FLEET_DEVICES = MetricSpec(
+    "repro_fleet_devices", "gauge",
+    "Device count N of the last fleet model solved.",
+)
+FLEET_PRODUCT_STATES = MetricSpec(
+    "repro_fleet_product_states", "gauge",
+    "Pre-lumping product-space size |C|*|S|^N of the last fleet solve.",
+)
+FLEET_LUMPED_STATES = MetricSpec(
+    "repro_fleet_lumped_states", "gauge",
+    "Multiset-lumped state count of the last fleet solve.",
+)
+FLEET_OPERATOR_NNZ = MetricSpec(
+    "repro_fleet_operator_nnz_equivalent", "gauge",
+    "Nonzero-equivalent entries of the last fleet operator, "
+    "by representation.",
+    ("representation",),
+)
+FLEET_MATVECS = MetricSpec(
+    "repro_fleet_matvecs_total", "counter",
+    "Matrix-free operator applications during fleet solves, "
+    "by representation.",
+    ("representation",),
+)
 
 #: Every metric the stack emits, in catalog order (docs/OBSERVABILITY.md).
 CATALOG: Tuple[MetricSpec, ...] = (
@@ -753,4 +777,9 @@ CATALOG: Tuple[MetricSpec, ...] = (
     PARAMETRIC_EVALUATIONS,
     PARAMETRIC_EVAL_SECONDS,
     PARAMETRIC_FALLBACKS,
+    FLEET_DEVICES,
+    FLEET_PRODUCT_STATES,
+    FLEET_LUMPED_STATES,
+    FLEET_OPERATOR_NNZ,
+    FLEET_MATVECS,
 )

@@ -26,6 +26,7 @@ EXPECTED_IDS = {
     "streaming-validation",
     "tab-params",
     "ext-battery",
+    "ext-fleet",
     "ext-sensitivity",
     "ext-survival",
 }

@@ -1,0 +1,164 @@
+"""Kronecker generator algebra and the matrix-free solver contract."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ctmc.kronecker import (
+    KroneckerGenerator,
+    KroneckerOperator,
+    KroneckerTerm,
+    kron_vector,
+)
+from repro.ctmc.solvers import solve_steady_state
+from repro.errors import AnalysisError, SolverError
+
+
+def local_term(axis, matrix, label="local"):
+    return KroneckerTerm(label, {axis: np.asarray(matrix, float)})
+
+
+def random_generator(rng, dims=(3, 4, 2)):
+    """A random irreducible-ish SAN: local terms plus one sync term."""
+    terms = []
+    for axis, dim in enumerate(dims):
+        matrix = rng.uniform(0.1, 2.0, size=(dim, dim))
+        np.fill_diagonal(matrix, 0.0)
+        terms.append(local_term(axis, matrix, label=f"local{axis}"))
+    # One synchronized event touching axes 0 and 1, guarded on axis 2.
+    w0 = np.zeros((dims[0], dims[0]))
+    w0[0, 1] = 1.5
+    w1 = np.zeros((dims[1], dims[1]))
+    w1[1, 0] = 0.7
+    guard = np.ones(dims[2])
+    guard[0] = 0.0
+    terms.append(KroneckerTerm("sync", {0: w0, 1: w1, 2: guard}))
+    return KroneckerGenerator(dims, terms)
+
+
+class TestKroneckerAlgebra:
+    def test_apply_matches_materialized(self):
+        rng = np.random.default_rng(7)
+        generator = random_generator(rng)
+        flat = generator.materialize()
+        x = rng.normal(size=generator.size)
+        np.testing.assert_allclose(
+            generator.apply(x), flat @ x, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            generator.apply(x, transpose=True), flat.T @ x, atol=1e-12
+        )
+
+    def test_diagonal_matches_materialized(self):
+        generator = random_generator(np.random.default_rng(3))
+        np.testing.assert_allclose(
+            generator.diagonal(),
+            generator.materialize().diagonal(),
+            atol=1e-12,
+        )
+
+    def test_rows_sum_to_zero(self):
+        generator = random_generator(np.random.default_rng(11))
+        ones = np.ones(generator.size)
+        np.testing.assert_allclose(
+            generator.apply(ones), np.zeros(generator.size), atol=1e-12
+        )
+
+    def test_diagonal_guard_factor_blocks_states(self):
+        # The sync term's guard zeroes axis-2 state 0: no sync flow may
+        # leave any product state with component 2 in state 0.
+        generator = random_generator(np.random.default_rng(5))
+        flow = generator.flow_vector("sync").reshape(generator.dims)
+        assert np.all(flow[:, :, 0] == 0.0)
+        assert np.any(flow[:, :, 1] != 0.0)
+
+    def test_flow_vector_matches_offdiagonal_rowsums(self):
+        generator = random_generator(np.random.default_rng(2))
+        total = np.zeros(generator.size)
+        for label in ("local0", "local1", "local2", "sync"):
+            total += generator.flow_vector(label)
+        np.testing.assert_allclose(total, generator.outflow, atol=1e-12)
+
+    def test_flow_vector_unknown_label(self):
+        generator = random_generator(np.random.default_rng(2))
+        with pytest.raises(AnalysisError):
+            generator.flow_vector("nope")
+
+    def test_kron_vector_lifts_per_axis_vectors(self):
+        dims = (2, 3)
+        lifted = kron_vector(
+            dims, {0: np.array([1.0, 2.0]), 1: np.array([3.0, 4.0, 5.0])}
+        )
+        expected = np.kron([1.0, 2.0], [3.0, 4.0, 5.0])
+        np.testing.assert_allclose(lifted, expected)
+
+    def test_materialize_is_size_gated(self):
+        generator = random_generator(np.random.default_rng(1))
+        with pytest.raises(AnalysisError):
+            generator.materialize(max_size=generator.size - 1)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            KroneckerGenerator(
+                (2, 2), [local_term(0, np.zeros((3, 3)))]
+            )
+        with pytest.raises(AnalysisError):
+            KroneckerGenerator(
+                (2,), [local_term(4, np.zeros((2, 2)))]
+            )
+
+    def test_nnz_equivalent_counts_term_entries(self):
+        generator = random_generator(np.random.default_rng(9))
+        operator = generator.operator()
+        assert operator.nnz_equivalent == generator.nnz_equivalent
+        assert generator.nnz_equivalent > 0
+        # Never worse than the dense product-space square.
+        assert generator.nnz_equivalent <= generator.size**2 + generator.size
+
+
+class TestMatrixFreeSolverContract:
+    def setup_method(self):
+        self.generator = random_generator(np.random.default_rng(42))
+        self.flat = self.generator.materialize()
+
+    def test_operator_solve_matches_sparse_solve(self):
+        operator = self.generator.operator()
+        free = solve_steady_state(operator)
+        flat = solve_steady_state(sparse.csr_matrix(self.flat))
+        np.testing.assert_allclose(free.pi, flat.pi, atol=1e-9)
+        assert operator.matvec_count > 0
+        assert free.report.residual <= 1e-10 * max(
+            1.0, np.abs(self.generator.diagonal()).max()
+        )
+
+    def test_auto_skips_materializing_backends(self):
+        solution = solve_steady_state(self.generator.operator())
+        assert solution.report.method in ("gmres", "power")
+        assert "direct" not in solution.report.fallbacks
+        assert "sor" not in solution.report.fallbacks
+
+    @pytest.mark.parametrize("method", ["direct", "sor"])
+    def test_materializing_backends_raise_typed_error(self, method):
+        with pytest.raises(SolverError) as excinfo:
+            solve_steady_state(self.generator.operator(), method=method)
+        assert excinfo.value.reason == "matrix_free_unsupported"
+
+    def test_power_backend_works_matrix_free(self):
+        free = solve_steady_state(self.generator.operator(), method="power")
+        flat = solve_steady_state(sparse.csr_matrix(self.flat))
+        np.testing.assert_allclose(free.pi, flat.pi, atol=1e-8)
+
+    def test_operator_without_diagonal_rejected(self):
+        from scipy.sparse import linalg as sparse_linalg
+
+        bare = sparse_linalg.aslinearoperator(self.flat)
+        with pytest.raises(SolverError) as excinfo:
+            solve_steady_state(bare)
+        assert excinfo.value.reason == "matrix_free_unsupported"
+
+    def test_adjoint_roundtrip(self):
+        operator = self.generator.operator()
+        x = np.random.default_rng(0).normal(size=self.generator.size)
+        np.testing.assert_allclose(
+            operator.adjoint() @ x, self.flat.T @ x, atol=1e-12
+        )

@@ -95,6 +95,11 @@ EXPECTED_CATALOG = {
     "repro_parametric_evaluations_total": ("counter", ()),
     "repro_parametric_eval_seconds": ("histogram", ()),
     "repro_parametric_fallbacks_total": ("counter", ("reason",)),
+    "repro_fleet_devices": ("gauge", ()),
+    "repro_fleet_product_states": ("gauge", ()),
+    "repro_fleet_lumped_states": ("gauge", ()),
+    "repro_fleet_operator_nnz_equivalent": ("gauge", ("representation",)),
+    "repro_fleet_matvecs_total": ("counter", ("representation",)),
 }
 
 

@@ -284,6 +284,7 @@ SIGKILL_SWEEPS = {
     "rpc": ("shutdown_timeout",
             "0.5,1.0,2.0,4.0,6.0,8.0,11.0,16.0,20.0,25.0"),
     "streaming": ("awake_period", "10.0,20.0,35.0,50.0,75.0,100.0"),
+    "fleet": ("arrival_rate", "0.25,0.5,0.75,1.0,1.5,2.0,3.0,4.0"),
 }
 
 
